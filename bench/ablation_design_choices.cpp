@@ -1,0 +1,90 @@
+// Ablation bench for the design choices DESIGN.md calls out: smoothing
+// group count, forward-backward averaging, geometry weighting mode,
+// symmetry removal, multipath suppression, bearing-uncertainty kernel
+// and synthesis floor. Six APs, all 41 clients each.
+#include "bench_util.h"
+#include "testbed/runner.h"
+
+using namespace arraytrack;
+
+namespace {
+
+testbed::ErrorStats run_config(const testbed::OfficeTestbed& tb,
+                               testbed::RunnerConfig rc) {
+  testbed::ExperimentRunner runner(&tb, rc);
+  const auto obs =
+      const_cast<testbed::ExperimentRunner&>(runner).observe_all_clients();
+  return testbed::ErrorStats(
+      runner.localization_errors(obs, {0, 1, 2, 3, 4, 5}));
+}
+
+void row(const char* name, const testbed::ErrorStats& s) {
+  std::printf("%-36s median %5.0f cm  mean %5.0f cm  p95 %6.0f cm\n", name,
+              s.median() * 100.0, s.mean() * 100.0,
+              s.percentile(95) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "design-choice sensitivity, 6 APs, 41 clients");
+
+  const auto tb = testbed::OfficeTestbed::standard();
+
+  {
+    testbed::RunnerConfig rc;
+    row("default (NG=4, FB off, weight on)", run_config(tb, rc));
+  }
+  for (std::size_t ng : {2u, 3u}) {
+    testbed::RunnerConfig rc;
+    rc.system.server.pipeline.music.smoothing_groups = ng;
+    char name[64];
+    std::snprintf(name, sizeof(name), "smoothing NG=%zu", ng);
+    row(name, run_config(tb, rc));
+  }
+  {
+    testbed::RunnerConfig rc;
+    rc.system.server.pipeline.music.forward_backward = true;
+    row("forward-backward averaging on", run_config(tb, rc));
+  }
+  {
+    testbed::RunnerConfig rc;
+    rc.system.server.pipeline.geometry_weighting = false;
+    row("geometry weighting off", run_config(tb, rc));
+  }
+  {
+    testbed::RunnerConfig rc;
+    rc.system.server.pipeline.weighting_soft_floor = 0.35;
+    row("soft geometry weighting (0.35)", run_config(tb, rc));
+  }
+  {
+    testbed::RunnerConfig rc;
+    rc.system.server.pipeline.symmetry_removal = false;
+    row("symmetry removal off", run_config(tb, rc));
+  }
+  {
+    testbed::RunnerConfig rc;
+    rc.system.server.multipath_suppression = false;
+    row("multipath suppression off", run_config(tb, rc));
+  }
+  for (double sigma : {0.0, 1.0, 4.0}) {
+    testbed::RunnerConfig rc;
+    rc.system.server.pipeline.bearing_sigma_deg = sigma;
+    char name[64];
+    std::snprintf(name, sizeof(name), "bearing kernel sigma=%.0f deg", sigma);
+    row(name, run_config(tb, rc));
+  }
+  for (double floor : {1e-6, 0.2}) {
+    testbed::RunnerConfig rc;
+    rc.system.server.localizer.floor = floor;
+    char name[64];
+    std::snprintf(name, sizeof(name), "synthesis floor=%g", floor);
+    row(name, run_config(tb, rc));
+  }
+  {
+    testbed::RunnerConfig rc;
+    rc.system.server.localizer.hill_climb_starts = 0;
+    row("grid only (no hill climbing)", run_config(tb, rc));
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Appendix A: AP-client height difference error. A height difference h
+// inflates the phase-relevant path length by 1/cos(phi); the paper
+// computes 4% error at d = 5 m and 1% at d = 10 m for h = 1.5 m. We
+// print the closed form alongside the simulated bearing shift.
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/arraytrack.h"
+#include "core/pipeline.h"
+#include "geom/floorplan.h"
+
+using namespace arraytrack;
+
+int main() {
+  bench::banner("Appendix A", "AP-client height difference error");
+  bench::paper_note("h=1.5m: 4% at d=5m, 1% at d=10m");
+
+  const double h = 1.5;
+  std::printf("%8s %16s %24s\n", "d (m)", "closed form", "simulated bearing shift");
+  for (double d : {5.0, 7.5, 10.0, 15.0}) {
+    const double analytic = (std::hypot(d, h) / d - 1.0) * 100.0;
+
+    // Simulated: free space, one AP, client at distance d; compare the
+    // dominant bearing with and without the height difference.
+    geom::Floorplan plan({{-50, -50}, {50, 50}});
+    core::SystemConfig cfg;
+    cfg.channel.max_reflection_order = 0;
+    cfg.channel.ap_height_m = 1.5;
+    cfg.channel.client_height_m = 1.5;
+    core::System same(&plan, cfg);
+    same.add_ap({0, 0}, 0.0);
+    cfg.channel.client_height_m = 0.0;
+    core::System diff(&plan, cfg);
+    diff.add_ap({0, 0}, 0.0);
+
+    const geom::Vec2 client = geom::unit_from_angle(deg2rad(55.0)) * d;
+    core::PipelineOptions po;
+    po.bearing_sigma_deg = 0.0;
+    po.geometry_weighting = false;
+
+    core::ApProcessor p_same(&same.ap(0), po);
+    core::ApProcessor p_diff(&diff.ap(0), po);
+    const auto s_same =
+        p_same.process(same.ap(0).capture_snapshot(client, 0.0, 0));
+    const auto s_diff =
+        p_diff.process(diff.ap(0).capture_snapshot(client, 0.0, 0));
+    const double shift = rad2deg(aoa::bearing_distance(
+        s_same.dominant_bearing(), s_diff.dominant_bearing()));
+    std::printf("%8.1f %15.1f%% %21.2f deg\n", d, analytic, shift);
+  }
+  std::printf(
+      "(the phase error is common-mode across the array to first order, "
+      "so the bearing shift stays well under the percentage bound)\n");
+  return 0;
+}

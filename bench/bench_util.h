@@ -1,0 +1,40 @@
+// Shared helpers for the reproduction benches: consistent headers and
+// paper-vs-measured reporting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "testbed/metrics.h"
+
+namespace arraytrack::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("=============================================================\n");
+}
+
+inline void paper_note(const std::string& text) {
+  std::printf("paper:    %s\n", text.c_str());
+}
+
+inline void measured_note(const std::string& text) {
+  std::printf("measured: %s\n", text.c_str());
+}
+
+/// CDF rows like the paper's error plots (thresholds in cm, errors in m).
+inline void print_cdf_cm(const testbed::ErrorStats& stats,
+                         const std::string& label) {
+  std::printf("%s: n=%zu median=%.0fcm mean=%.0fcm p90=%.0fcm p95=%.0fcm p98=%.0fcm\n",
+              label.c_str(), stats.count(), stats.median() * 100.0,
+              stats.mean() * 100.0, stats.percentile(90) * 100.0,
+              stats.percentile(95) * 100.0, stats.percentile(98) * 100.0);
+  for (double cm : {10.0, 23.0, 50.0, 90.0, 100.0, 200.0, 500.0}) {
+    std::printf("   P(err <= %4.0f cm) = %.2f\n", cm,
+                stats.cdf_at(cm / 100.0));
+  }
+}
+
+}  // namespace arraytrack::bench

@@ -1,0 +1,92 @@
+// Extension bench: joint angle-delay estimation (the SpotFi line of
+// follow-on work). ArrayTrack disambiguates reflections with multiple
+// frames and multiple APs; CSI adds a delay axis, making the direct
+// path identifiable from a SINGLE frame at a SINGLE AP as the
+// smallest-delay peak. This bench measures, across the 41 testbed
+// clients at the corridor AP, how often each method's direct-path
+// bearing lands within 5 degrees of the truth (mirror-forgiven; a
+// linear row cannot side a bearing from one frame).
+#include "aoa/joint.h"
+#include "aoa/music.h"
+#include "bench_util.h"
+#include "core/arraytrack.h"
+#include "dsp/noise.h"
+#include "phy/csi.h"
+#include "testbed/office.h"
+
+using namespace arraytrack;
+
+namespace {
+
+double mirror_err_deg(double bearing, double truth) {
+  return rad2deg(std::min(aoa::bearing_distance(bearing, truth),
+                          aoa::bearing_distance(bearing, wrap_2pi(-truth))));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: SpotFi-style joint AoA/ToF",
+                "direct-path identification from one frame, one AP");
+  bench::paper_note(
+      "ArrayTrack suppresses reflections with frame groups (2.4) and "
+      "multi-AP synthesis (2.5); the CSI delay axis identifies the "
+      "direct path outright — the follow-on work's key idea");
+
+  auto tb = testbed::OfficeTestbed::standard();
+  channel::ChannelConfig cfg;
+  channel::MultipathChannel chan(&tb.plan, cfg, 7);
+  const double lambda = cfg.wavelength_m();
+  const auto site = tb.ap_sites[2];
+
+  array::PlacedArray pa(array::ArrayGeometry::uniform_linear(8, lambda / 2),
+                        site.position, site.orientation_rad);
+  std::vector<std::size_t> row = {0, 1, 2, 3, 4, 5, 6, 7};
+  aoa::MusicEstimator angle_only(&pa, row, lambda);
+  aoa::JointAoaTof joint(&pa, row, lambda, 312.5e3);
+  dsp::AwgnSource noise(99);
+
+  int n = 0, angle_hit = 0, joint_hit = 0, direct_not_strongest = 0;
+  int joint_saved = 0;
+  for (const auto& client : tb.clients) {
+    const auto pr =
+        chan.path_response(client, pa.position(), pa.world_positions());
+    if (pr.paths.empty()) continue;
+    ++n;
+    const double truth = wrap_2pi(pa.bearing_to(client));
+
+    // Angle-only: covariance from the CSI columns (equivalent data).
+    const auto csi = phy::synthesize_csi(pr, 312.5e3,
+                                         phy::standard_subcarriers(),
+                                         chan.noise_power_mw(), &noise);
+    const auto spec = angle_only.spectrum(csi.h);
+    const bool a_ok =
+        mirror_err_deg(spec.dominant_bearing(), truth) < 5.0;
+    angle_hit += a_ok;
+
+    const auto peaks = joint.spectrum(csi.h).find_peaks(0.03);
+    const auto direct = aoa::JointSpectrum::direct_path(peaks, 0.05);
+    const bool j_ok = mirror_err_deg(direct.theta_rad, truth) < 5.0;
+    joint_hit += j_ok;
+    if (!a_ok) {
+      ++direct_not_strongest;
+      if (j_ok) ++joint_saved;
+    }
+  }
+
+  std::printf("clients: %d\n", n);
+  std::printf("angle-only dominant peak within 5 deg: %d (%.0f%%)\n",
+              angle_hit, 100.0 * angle_hit / n);
+  std::printf("joint smallest-delay peak within 5 deg: %d (%.0f%%)\n",
+              joint_hit, 100.0 * joint_hit / n);
+  std::printf(
+      "clients whose strongest angle peak was NOT the direct path: %d; "
+      "rescued by the delay rule: %d\n",
+      direct_not_strongest, joint_saved);
+  std::printf(
+      "(WiFi's 16.25 MHz of used bandwidth resolves only ~20-60 ns of "
+      "delay even with super-resolution, so nearby reflections merge "
+      "with the direct path in tau; SpotFi's full system also fused "
+      "many packets and APs)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 13: CDF of location error from UNOPTIMIZED raw AoA spectra
+// (no geometry weighting, no symmetry removal, no multipath
+// suppression; one frame per client), pooled over every combination of
+// three, four, five and six APs across the 41-client testbed.
+//
+// Paper: median 75 cm (3 APs) -> 26 cm (6 APs); mean 317 cm -> 38 cm.
+#include "bench_util.h"
+#include "testbed/runner.h"
+
+using namespace arraytrack;
+
+int main() {
+  bench::banner("Figure 13", "static (unoptimized) localization accuracy");
+  bench::paper_note(
+      "median 75cm @3APs -> 26cm @6APs; mean 317cm -> 38cm; error falls "
+      "as APs increase");
+
+  auto tb = testbed::OfficeTestbed::standard();
+  testbed::RunnerConfig rc;
+  rc.frames_per_client = 1;  // static environment: no motion to exploit
+  rc.system.server.multipath_suppression = false;
+  rc.system.server.pipeline.geometry_weighting = false;
+  rc.system.server.pipeline.symmetry_removal = false;
+  testbed::ExperimentRunner runner(&tb, rc);
+  const auto obs = runner.observe_all_clients();
+
+  for (std::size_t k : {3u, 4u, 5u, 6u}) {
+    testbed::ErrorStats stats(runner.errors_for_ap_count(obs, k));
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu APs (unoptimized)", k);
+    bench::print_cdf_cm(stats, label);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 14: likelihood heatmaps for one client with one through six
+// APs fused. With one AP the likelihood is a bearing fan (plus its
+// mirror); each added AP sharpens the mode around the true position.
+#include "bench_util.h"
+#include "core/arraytrack.h"
+#include "testbed/runner.h"
+
+using namespace arraytrack;
+
+int main() {
+  bench::banner("Figure 14", "heatmaps vs number of APs");
+  bench::paper_note(
+      "one AP: a bearing fan; more APs reinforce the true location and "
+      "erase false positives; dot = ground truth");
+
+  auto tb = testbed::OfficeTestbed::standard();
+  testbed::RunnerConfig rc;
+  testbed::ExperimentRunner runner(&tb, rc);
+  const auto obs = runner.observe_clients({12});
+  const auto& o = obs[0];
+  std::printf("client ground truth: (%.2f, %.2f)\n", o.truth.x, o.truth.y);
+
+  const core::Localizer& loc = runner.system().server().localizer();
+  for (std::size_t n = 1; n <= o.per_ap.size(); ++n) {
+    std::vector<core::ApSpectrum> subset(o.per_ap.begin(),
+                                         o.per_ap.begin() + std::ptrdiff_t(n));
+    const auto map = loc.heatmap(subset);
+    const auto fix = loc.locate(subset);
+    std::printf("\n--- %zu AP%s fused ---\n", n, n > 1 ? "s" : "");
+    std::printf("%s", map.to_ascii(64).c_str());
+    if (fix)
+      std::printf("estimate (%.2f, %.2f), error %.2f m\n", fix->position.x,
+                  fix->position.y, geom::distance(fix->position, o.truth));
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 16: localization error with 4-, 6- and 8-antenna APs (six APs
+// fused, full ArrayTrack pipeline).
+//
+// Paper: mean 138 cm (4 ant), 60 cm (6 ant), 31 cm (8 ant); the gap
+// from 4 to 6 antennas is bigger than from 6 to 8.
+#include "bench_util.h"
+#include "testbed/runner.h"
+
+using namespace arraytrack;
+
+int main() {
+  bench::banner("Figure 16", "accuracy vs antennas per AP");
+  bench::paper_note(
+      "mean error 138cm @4 antennas, 60cm @6, 31cm @8; 4->6 improves "
+      "more than 6->8");
+
+  auto tb = testbed::OfficeTestbed::standard();
+  std::vector<double> means;
+  for (std::size_t antennas : {4u, 6u, 8u}) {
+    testbed::RunnerConfig rc;
+    rc.system.ap.radios = antennas;
+    testbed::ExperimentRunner runner(&tb, rc);
+    const auto obs = runner.observe_all_clients();
+    testbed::ErrorStats stats(
+        runner.localization_errors(obs, {0, 1, 2, 3, 4, 5}));
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu-antenna APs", antennas);
+    bench::print_cdf_cm(stats, label);
+    means.push_back(stats.mean());
+  }
+  std::printf(
+      "gap check: 4->6 improvement %.0f cm vs 6->8 improvement %.0f cm "
+      "(paper: first gap bigger)\n",
+      (means[0] - means[1]) * 100.0, (means[1] - means[2]) * 100.0);
+  return 0;
+}

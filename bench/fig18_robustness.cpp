@@ -1,0 +1,42 @@
+// Figure 18: robustness to client height difference and antenna
+// orientation (polarization mismatch), with eight antennas and six APs.
+//
+// Paper: median error 23 cm (baseline) -> 26 cm with a 1.5 m height
+// difference -> 50 cm with perpendicular antenna orientation.
+#include "bench_util.h"
+#include "testbed/runner.h"
+
+using namespace arraytrack;
+
+int main() {
+  bench::banner("Figure 18", "height and orientation robustness");
+  bench::paper_note(
+      "median 23cm baseline; 26cm with 1.5m height difference; 50cm "
+      "with perpendicular antenna polarization");
+
+  auto tb = testbed::OfficeTestbed::standard();
+
+  struct Case {
+    const char* name;
+    double client_height;
+    double pol_deg;
+  };
+  const Case cases[] = {
+      {"original (same height, aligned)", 1.5, 0.0},
+      {"1.5 m height difference", 0.0, 0.0},
+      {"perpendicular antenna orientation", 1.5, 80.0},
+  };
+
+  for (const auto& c : cases) {
+    testbed::RunnerConfig rc;
+    rc.system.channel.client_height_m = c.client_height;
+    rc.system.channel.ap_height_m = 1.5;
+    rc.system.channel.polarization_mismatch_deg = c.pol_deg;
+    testbed::ExperimentRunner runner(&tb, rc);
+    const auto obs = runner.observe_all_clients();
+    testbed::ErrorStats stats(
+        runner.localization_errors(obs, {0, 1, 2, 3, 4, 5}));
+    bench::print_cdf_cm(stats, c.name);
+  }
+  return 0;
+}

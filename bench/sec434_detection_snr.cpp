@@ -1,0 +1,69 @@
+// Section 4.3.4: packet detection at low SNR. Using all ten short
+// training symbols, the matched-filter detector finds packets down to
+// about -10 dB SNR; the plain Schmidl-Cox metric dies earlier.
+#include "bench_util.h"
+#include "dsp/detector.h"
+#include "dsp/noise.h"
+#include "dsp/preamble.h"
+
+using namespace arraytrack;
+using namespace arraytrack::dsp;
+
+namespace {
+
+std::vector<cplx> make_stream(const PreambleGenerator& gen, std::size_t offset,
+                              double snr_db, std::uint64_t seed) {
+  AwgnSource noise(seed);
+  auto s = noise.generate(offset + gen.preamble().size() + 1500,
+                          db_to_linear(-snr_db));
+  for (std::size_t i = 0; i < gen.preamble().size(); ++i)
+    s[offset + i] += gen.preamble()[i];
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Section 4.3.4", "packet detection vs SNR");
+  bench::paper_note(
+      "with all 10 short training symbols, packets detected at SNR as "
+      "low as -10 dB");
+
+  PreambleGenerator gen(2);
+  // 0.22 sits above the noise-only correlation ceiling for this window
+  // length (max ~0.15 over thousands of offsets) while a -10 dB packet
+  // still correlates at ~0.30.
+  MatchedFilterDetector matched(gen.short_section(), 0.22);
+  SchmidlCoxDetector schmidl(gen.sts_period(), 0.5);
+
+  std::printf("%8s %18s %18s\n", "SNR(dB)", "matched-filter", "Schmidl-Cox");
+  for (double snr : {20.0, 10.0, 5.0, 0.0, -5.0, -10.0, -13.0, -16.0}) {
+    int hits_mf = 0, hits_sc = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      const std::size_t offset = 600 + 37 * std::size_t(t);
+      const auto s = make_stream(gen, offset, snr,
+                                 std::uint64_t(1000 * snr + t + 50000));
+      const auto d1 = matched.detect(s);
+      if (d1 && std::llabs(int64_t(d1->start_index) - int64_t(offset)) <= 3)
+        ++hits_mf;
+      const auto d2 = schmidl.detect(s);
+      if (d2 &&
+          std::llabs(int64_t(d2->start_index) - int64_t(offset)) <=
+              int64_t(gen.sts_period()))
+        ++hits_sc;
+    }
+    std::printf("%8.0f %17.0f%% %17.0f%%\n", snr, 100.0 * hits_mf / trials,
+                100.0 * hits_sc / trials);
+  }
+
+  // False positives on pure noise.
+  AwgnSource noise(99);
+  int fp = 0;
+  for (int t = 0; t < 40; ++t) {
+    const auto s = noise.generate(4000, 1.0);
+    if (matched.detect(s)) ++fp;
+  }
+  std::printf("matched-filter false positives on noise: %d/40\n", fp);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Section 4.3.5: packet collisions. Two clients collide; as long as
+// the preambles do not overlap, the AP detects both, computes a
+// spectrum for each, and successive interference cancellation removes
+// the first packet's bearings from the second packet's spectrum.
+#include "bench_util.h"
+#include "core/arraytrack.h"
+#include "core/pipeline.h"
+#include "core/sic.h"
+#include "dsp/preamble.h"
+#include "testbed/office.h"
+#include "testbed/runner.h"
+
+using namespace arraytrack;
+
+int main() {
+  bench::banner("Section 4.3.5", "packet collisions and SIC");
+  bench::paper_note(
+      "preamble-overlap chance 0.6% for 1000-byte packets; AoA "
+      "recovered for both packets when preambles are disjoint");
+
+  std::printf(
+      "preamble collision probability, 1000 B at 11 Mb/s: %.2f%% "
+      "(paper ~0.6%% at its rate)\n",
+      100.0 * core::preamble_collision_probability(1000, 11e6));
+  std::printf("                               1500 B at 54 Mb/s: %.2f%%\n",
+              100.0 * core::preamble_collision_probability(1500, 54e6));
+
+  auto tb = testbed::OfficeTestbed::standard();
+  core::SystemConfig cfg;
+  core::System sys(&tb.plan, cfg);
+  sys.add_ap(tb.ap_sites[2].position, tb.ap_sites[2].orientation_rad);
+  auto& ap = sys.ap(0);
+
+  dsp::PreambleGenerator gen(2);
+  const auto wf1 = gen.frame(4000, 1);
+  const auto wf2 = gen.frame(4000, 2);
+
+  int trials = 0, both_detected = 0, both_recovered = 0;
+  int capture_effect = 0, bearing_overlap = 0;
+  for (std::size_t c1 = 3; c1 < 40; c1 += 9) {
+    for (std::size_t c2 = 7; c2 < 40; c2 += 9) {
+      if (c1 == c2) continue;
+      ++trials;
+      phy::Transmission t1, t2;
+      t1.waveform = &wf1;
+      t1.client_pos = tb.clients[c1];
+      t1.start_sample = 0;
+      t1.client_id = int(c1);
+      t2.waveform = &wf2;
+      t2.client_pos = tb.clients[c2];
+      t2.start_sample = gen.preamble().size() + 700;
+      t2.client_id = int(c2);
+
+      const auto captures = ap.receive({t1, t2}, double(trials));
+      if (captures.size() != 2) {
+        ++capture_effect;  // weaker preamble buried under the other body
+        continue;
+      }
+      ++both_detected;
+      // Bearing-domain SIC (the paper's method: remove packet 1's
+      // peaks from packet 2's spectrum) cannot keep packet 2's bearing
+      // when it lands on one of packet 1's mirrored peak lobes; count
+      // those collisions. A second AP at a different angle resolves
+      // them.
+      {
+        core::PipelineOptions po_probe;
+        po_probe.symmetry_removal = false;
+        core::ApProcessor probe(&ap, po_probe);
+        const auto s1_probe = probe.process(captures[0]);
+        const double tr2 = wrap_2pi(ap.array().bearing_to(tb.clients[c2]));
+        for (const auto& pk : s1_probe.find_peaks(0.08)) {
+          if (aoa::bearing_distance(pk.bearing_rad, tr2) < deg2rad(10.0) ||
+              aoa::bearing_distance(pk.bearing_rad, wrap_2pi(-tr2)) <
+                  deg2rad(10.0)) {
+            ++bearing_overlap;
+            break;
+          }
+        }
+      }
+
+      // The second capture is a mixture of both transmitters, which
+      // makes a per-capture symmetry (side) decision unreliable; the
+      // spectra here stay mirrored, and recovery is judged against the
+      // bearing or its mirror (the multi-AP synthesis resolves the
+      // ambiguity downstream, as in the paper's 2.3.4 discussion).
+      core::PipelineOptions po;
+      po.symmetry_removal = false;
+      // The second window holds BOTH transmitters' multipath: use
+      // light smoothing so the larger subarray leaves room for the
+      // doubled signal count.
+      po.music.smoothing_groups = 2;
+      core::ApProcessor proc(&ap, po);
+      const auto s1 = proc.process(captures[0]);
+      auto s2_raw = proc.process(captures[1]);
+      const auto s2 = core::sic_cancel(s1, s2_raw);
+
+      const double truth1 = wrap_2pi(ap.array().bearing_to(tb.clients[c1]));
+      const double truth2 = wrap_2pi(ap.array().bearing_to(tb.clients[c2]));
+      // Success = the transmitter's bearing (or mirror) is among the
+      // spectrum's top-3 arrivals: that is what the multi-AP synthesis
+      // consumes (the direct path need not be the strongest peak; see
+      // the paper's section 6 NLOS discussion).
+      auto recovered = [](const aoa::AoaSpectrum& s, double truth) {
+        const auto peaks = s.find_peaks(0.08);
+        for (std::size_t i = 0; i < std::min<std::size_t>(peaks.size(), 3);
+             ++i) {
+          if (aoa::bearing_distance(peaks[i].bearing_rad, truth) <
+                  deg2rad(10.0) ||
+              aoa::bearing_distance(peaks[i].bearing_rad, wrap_2pi(-truth)) <
+                  deg2rad(10.0))
+            return true;
+        }
+        return false;
+      };
+      if (recovered(s1, truth1) && recovered(s2, truth2)) ++both_recovered;
+    }
+  }
+  std::printf(
+      "staggered collisions: %d trials; both preambles detected %d "
+      "(%d lost to capture effect); both transmitters recovered %d "
+      "(%.0f%% of detected; in %d detected pairs packet 2's bearing "
+      "collides with a (possibly mirrored) packet-1 lobe at this single "
+      "AP, where angle-domain SIC cannot keep it)\n",
+      trials, both_detected, capture_effect, both_recovered,
+      100.0 * both_recovered / std::max(1, both_detected),
+      bearing_overlap);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Collision handling (paper 4.3.5): two clients transmit overlapping
+// frames. As long as the preambles themselves do not overlap, the AP
+// detects both, and successive interference cancellation removes the
+// first transmitter's bearings from the second's spectrum.
+//
+//   ./collision_sic
+#include <cstdio>
+
+#include "core/arraytrack.h"
+#include "core/pipeline.h"
+#include "core/sic.h"
+#include "dsp/preamble.h"
+#include "testbed/office.h"
+
+using namespace arraytrack;
+
+int main() {
+  auto tb = testbed::OfficeTestbed::standard();
+  core::SystemConfig cfg;
+  core::System sys(&tb.plan, cfg);
+  sys.add_ap(tb.ap_sites[2].position, tb.ap_sites[2].orientation_rad);
+  auto& ap = sys.ap(0);
+
+  const geom::Vec2 alice = tb.clients[5];
+  const geom::Vec2 bob = tb.clients[30];
+  std::printf("alice at (%.1f, %.1f), bob at (%.1f, %.1f), one AP at "
+              "(%.1f, %.1f)\n",
+              alice.x, alice.y, bob.x, bob.y, ap.array().position().x,
+              ap.array().position().y);
+
+  // Build the colliding waveforms: bob starts while alice's frame body
+  // is still on the air, but after her preamble finished.
+  dsp::PreambleGenerator gen(2);
+  const auto wf_alice = gen.frame(4000, /*seed=*/1);
+  const auto wf_bob = gen.frame(4000, /*seed=*/2);
+  phy::Transmission ta, tb2;
+  ta.waveform = &wf_alice;
+  ta.client_pos = alice;
+  ta.start_sample = 0;
+  ta.client_id = 1;
+  tb2.waveform = &wf_bob;
+  tb2.client_pos = bob;
+  tb2.start_sample = gen.preamble().size() + 800;
+  tb2.client_id = 2;
+
+  const auto captures = ap.receive({ta, tb2}, 0.0);
+  std::printf("collision on the air: %zu preambles detected\n",
+              captures.size());
+  if (captures.size() != 2) return 1;
+
+  core::ApProcessor proc(&ap);
+  const auto spec_alice = proc.process(captures[0]);
+  auto spec_bob_raw = proc.process(captures[1]);
+
+  const double truth_a = wrap_2pi(ap.array().bearing_to(alice));
+  const double truth_b = wrap_2pi(ap.array().bearing_to(bob));
+
+  std::printf("\nalice's spectrum (clean window):\n%s",
+              spec_alice.to_ascii(72, 6).c_str());
+  std::printf("alice truth %.1f deg, dominant %.1f deg\n", rad2deg(truth_a),
+              rad2deg(spec_alice.dominant_bearing()));
+
+  std::printf("\nbob's raw spectrum (contaminated by alice's body):\n%s",
+              spec_bob_raw.to_ascii(72, 6).c_str());
+
+  const auto spec_bob = core::sic_cancel(spec_alice, spec_bob_raw);
+  std::printf("\nbob's spectrum after SIC:\n%s",
+              spec_bob.to_ascii(72, 6).c_str());
+  std::printf("bob truth %.1f deg, dominant %.1f deg\n", rad2deg(truth_b),
+              rad2deg(spec_bob.dominant_bearing()));
+
+  std::printf("\npreamble-overlap odds for 1000 B packets at 11 Mb/s: "
+              "%.2f%%\n",
+              100.0 * core::preamble_collision_probability(1000, 11e6));
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "aoa/covariance.h"
+
+#include <stdexcept>
+
+namespace arraytrack::aoa {
+
+linalg::CMatrix sample_covariance(const linalg::CMatrix& snapshots) {
+  const std::size_t m = snapshots.rows();
+  const std::size_t n = snapshots.cols();
+  if (n == 0) throw std::invalid_argument("sample_covariance: no snapshots");
+  linalg::CMatrix r(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t k = 0; k < n; ++k)
+        acc += snapshots(i, k) * std::conj(snapshots(j, k));
+      r(i, j) = acc / double(n);
+    }
+  }
+  return r;
+}
+
+linalg::CMatrix spatial_smooth(const linalg::CMatrix& r, std::size_t groups) {
+  if (r.rows() != r.cols())
+    throw std::invalid_argument("spatial_smooth: matrix must be square");
+  if (groups == 0 || groups > r.rows())
+    throw std::invalid_argument("spatial_smooth: invalid group count");
+  const std::size_t sub = r.rows() - groups + 1;
+  linalg::CMatrix out(sub, sub);
+  for (std::size_t g = 0; g < groups; ++g) out += r.block(g, g, sub, sub);
+  out *= cplx{1.0 / double(groups), 0.0};
+  return out;
+}
+
+linalg::CMatrix forward_backward(const linalg::CMatrix& r) {
+  if (r.rows() != r.cols())
+    throw std::invalid_argument("forward_backward: matrix must be square");
+  const std::size_t m = r.rows();
+  linalg::CMatrix out(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      out(i, j) = 0.5 * (r(i, j) +
+                         std::conj(r(m - 1 - i, m - 1 - j)));
+  return out;
+}
+
+}  // namespace arraytrack::aoa

@@ -1,0 +1,24 @@
+// Antenna covariance estimation and spatial smoothing (paper 2.3.2).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace arraytrack::aoa {
+
+/// Sample covariance Rxx = (1/N) * X * X^H from an M x N snapshot
+/// matrix (rows = antennas, cols = time samples).
+linalg::CMatrix sample_covariance(const linalg::CMatrix& snapshots);
+
+/// Forward spatial smoothing (Shan, Wax & Kailath): averages the
+/// `groups` leading-diagonal subarray blocks of size M - groups + 1.
+/// groups == 1 returns the input. Multipath arrivals are coherent
+/// copies of one signal, which collapses Rxx to rank one; smoothing
+/// restores the rank MUSIC needs.
+linalg::CMatrix spatial_smooth(const linalg::CMatrix& r, std::size_t groups);
+
+/// Forward-backward averaging: (R + J * conj(R) * J) / 2 with J the
+/// exchange matrix. Doubles the effective subarray count for a ULA;
+/// provided for the smoothing ablation.
+linalg::CMatrix forward_backward(const linalg::CMatrix& r);
+
+}  // namespace arraytrack::aoa

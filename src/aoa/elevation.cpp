@@ -1,0 +1,101 @@
+#include "aoa/elevation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "aoa/covariance.h"
+#include "linalg/eigen.h"
+
+namespace arraytrack::aoa {
+
+ElevationSpectrum::ElevationSpectrum(std::size_t bins, double min_rad,
+                                     double max_rad)
+    : power_(bins, 0.0), min_(min_rad), max_(max_rad) {}
+
+double ElevationSpectrum::bin_elevation(std::size_t i) const {
+  if (power_.size() < 2) return min_;
+  return min_ + (max_ - min_) * double(i) / double(power_.size() - 1);
+}
+
+double ElevationSpectrum::value_at(double el) const {
+  if (power_.empty()) return 0.0;
+  const double clamped = std::clamp(el, min_, max_);
+  const double pos =
+      (clamped - min_) / (max_ - min_) * double(power_.size() - 1);
+  const std::size_t i0 = std::min(std::size_t(pos), power_.size() - 1);
+  const std::size_t i1 = std::min(i0 + 1, power_.size() - 1);
+  const double f = pos - double(i0);
+  return (1.0 - f) * power_[i0] + f * power_[i1];
+}
+
+double ElevationSpectrum::dominant_elevation() const {
+  if (power_.empty()) return 0.0;
+  const auto it = std::max_element(power_.begin(), power_.end());
+  return bin_elevation(std::size_t(it - power_.begin()));
+}
+
+double ElevationSpectrum::max_value() const {
+  return power_.empty() ? 0.0
+                        : *std::max_element(power_.begin(), power_.end());
+}
+
+void ElevationSpectrum::normalize() {
+  const double m = max_value();
+  if (m <= 0.0) return;
+  for (auto& v : power_) v /= m;
+}
+
+ElevationMusic::ElevationMusic(const array::PlacedArray* array,
+                               std::vector<std::size_t> vertical_elements,
+                               double lambda_m, ElevationMusicOptions opt)
+    : array_(array),
+      elements_(std::move(vertical_elements)),
+      lambda_(lambda_m),
+      opt_(opt) {
+  if (elements_.size() < 2)
+    throw std::invalid_argument("ElevationMusic: need >= 2 elements");
+  if (opt_.smoothing_groups == 0 || opt_.smoothing_groups >= elements_.size())
+    throw std::invalid_argument("ElevationMusic: invalid smoothing_groups");
+}
+
+ElevationSpectrum ElevationMusic::spectrum(
+    const linalg::CMatrix& snapshots) const {
+  if (snapshots.rows() != elements_.size())
+    throw std::invalid_argument("ElevationMusic: snapshot row mismatch");
+
+  const auto r = sample_covariance(snapshots);
+  const auto rs = spatial_smooth(r, opt_.smoothing_groups);
+  const auto eig = linalg::eig_hermitian(rs);
+  const std::size_t ms = rs.rows();
+
+  std::size_t d = 0;
+  for (double v : eig.eigenvalues)
+    if (v >= opt_.eig_threshold * eig.eigenvalues.back()) ++d;
+  d = std::clamp<std::size_t>(d, 1, ms - 1);
+  const std::size_t noise_dim = ms - d;
+
+  // Steering over the smoothed sub-column: relative z offsets of the
+  // first ms column elements.
+  std::vector<double> dz(ms);
+  for (std::size_t i = 0; i < ms; ++i)
+    dz[i] = array_->geometry().z_offset(elements_[i]) -
+            array_->geometry().z_offset(elements_[0]);
+
+  ElevationSpectrum spec(opt_.bins, opt_.min_rad, opt_.max_rad);
+  const double k = kTwoPi / lambda_;
+  for (std::size_t b = 0; b < opt_.bins; ++b) {
+    const double el = spec.bin_elevation(b);
+    linalg::CVector a(ms);
+    for (std::size_t i = 0; i < ms; ++i)
+      a[i] = std::exp(kJ * (k * dz[i] * std::sin(el)));
+    a = a.normalized();
+    double denom = 0.0;
+    for (std::size_t i = 0; i < noise_dim; ++i)
+      denom += std::norm(eig.eigenvectors.col(i).dot(a));
+    spec[b] = 1.0 / std::max(denom, 1e-12);
+  }
+  return spec;
+}
+
+}  // namespace arraytrack::aoa

@@ -1,0 +1,72 @@
+// Elevation estimation from a vertical antenna column (the paper's
+// section 4.3.1 future-work extension, implemented).
+//
+// A vertical uniform linear array measures the elevation angle the
+// same way the horizontal row measures azimuth: inter-element phase
+// advances by 2*pi/lambda * dz * sin(elevation). The estimator below
+// runs spatially smoothed MUSIC over the elevation range and returns a
+// dedicated elevation spectrum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "array/placed_array.h"
+#include "linalg/matrix.h"
+
+namespace arraytrack::aoa {
+
+/// Power versus elevation angle over [min_rad, max_rad].
+class ElevationSpectrum {
+ public:
+  ElevationSpectrum() = default;
+  ElevationSpectrum(std::size_t bins, double min_rad, double max_rad);
+
+  std::size_t bins() const { return power_.size(); }
+  double min_rad() const { return min_; }
+  double max_rad() const { return max_; }
+
+  double& operator[](std::size_t i) { return power_[i]; }
+  double operator[](std::size_t i) const { return power_[i]; }
+
+  double bin_elevation(std::size_t i) const;
+  /// Linear interpolation; clamps outside the range.
+  double value_at(double elevation_rad) const;
+  double dominant_elevation() const;
+  double max_value() const;
+  void normalize();
+
+ private:
+  std::vector<double> power_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct ElevationMusicOptions {
+  std::size_t smoothing_groups = 2;
+  double eig_threshold = 0.06;
+  std::size_t bins = 181;
+  /// Elevation sweep range; indoor geometries rarely exceed +-60 deg.
+  double min_rad = -kPi / 3.0;
+  double max_rad = kPi / 3.0;
+};
+
+/// MUSIC over a vertical column of array elements.
+class ElevationMusic {
+ public:
+  /// `vertical_elements` are geometry indices forming a uniform
+  /// vertical column (equal z spacing); snapshot rows must match.
+  ElevationMusic(const array::PlacedArray* array,
+                 std::vector<std::size_t> vertical_elements, double lambda_m,
+                 ElevationMusicOptions opt = {});
+
+  ElevationSpectrum spectrum(const linalg::CMatrix& snapshots) const;
+
+ private:
+  const array::PlacedArray* array_;
+  std::vector<std::size_t> elements_;
+  double lambda_;
+  ElevationMusicOptions opt_;
+};
+
+}  // namespace arraytrack::aoa

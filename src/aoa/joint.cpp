@@ -1,0 +1,162 @@
+#include "aoa/joint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eigen.h"
+
+namespace arraytrack::aoa {
+
+JointSpectrum::JointSpectrum(std::size_t theta_bins, std::size_t tau_bins,
+                             double tau_max_s)
+    : nt_(theta_bins), ntau_(tau_bins), tau_max_(tau_max_s),
+      p_(theta_bins * tau_bins, 0.0) {}
+
+double JointSpectrum::theta_of(std::size_t i) const {
+  return kPi * double(i) / double(nt_ - 1);
+}
+
+double JointSpectrum::tau_of(std::size_t j) const {
+  return tau_max_ * double(j) / double(ntau_ - 1);
+}
+
+double JointSpectrum::max_value() const {
+  return p_.empty() ? 0.0 : *std::max_element(p_.begin(), p_.end());
+}
+
+std::vector<JointSpectrum::Peak> JointSpectrum::find_peaks(
+    double min_fraction) const {
+  std::vector<Peak> peaks;
+  const double floor_level = min_fraction * max_value();
+  for (std::size_t i = 0; i < nt_; ++i) {
+    for (std::size_t j = 0; j < ntau_; ++j) {
+      const double v = at(i, j);
+      if (v < floor_level || v <= 0.0) continue;
+      bool is_max = true;
+      for (int di = -1; di <= 1 && is_max; ++di) {
+        for (int dj = -1; dj <= 1; ++dj) {
+          if (di == 0 && dj == 0) continue;
+          const std::ptrdiff_t ni = std::ptrdiff_t(i) + di;
+          const std::ptrdiff_t nj = std::ptrdiff_t(j) + dj;
+          if (ni < 0 || nj < 0 || ni >= std::ptrdiff_t(nt_) ||
+              nj >= std::ptrdiff_t(ntau_))
+            continue;
+          if (this->at(std::size_t(ni), std::size_t(nj)) > v) {
+            is_max = false;
+            break;
+          }
+        }
+      }
+      if (is_max) peaks.push_back({theta_of(i), tau_of(j), v});
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.power > b.power; });
+  return peaks;
+}
+
+JointSpectrum::Peak JointSpectrum::direct_path(const std::vector<Peak>& peaks,
+                                               double power_floor) {
+  if (peaks.empty()) return {};
+  const double floor_level = power_floor * peaks.front().power;
+  Peak best = peaks.front();
+  for (const auto& p : peaks)
+    if (p.power >= floor_level && p.tau_s < best.tau_s) best = p;
+  return best;
+}
+
+JointAoaTof::JointAoaTof(const array::PlacedArray* array,
+                         std::vector<std::size_t> row_elements,
+                         double lambda_m, double subcarrier_spacing_hz,
+                         JointOptions opt)
+    : array_(array),
+      elements_(std::move(row_elements)),
+      lambda_(lambda_m),
+      spacing_hz_(subcarrier_spacing_hz),
+      opt_(opt) {
+  if (elements_.size() < 2)
+    throw std::invalid_argument("JointAoaTof: need >= 2 antennas");
+  if (opt_.antenna_block < 2 || opt_.antenna_block > elements_.size())
+    throw std::invalid_argument("JointAoaTof: bad antenna_block");
+  if (opt_.subcarrier_block < 2)
+    throw std::invalid_argument("JointAoaTof: bad subcarrier_block");
+  if (opt_.theta_bins < 2 || opt_.tau_bins < 2)
+    throw std::invalid_argument("JointAoaTof: bad grid");
+}
+
+JointSpectrum JointAoaTof::spectrum(const linalg::CMatrix& csi) const {
+  const std::size_t m = elements_.size();
+  const std::size_t k = csi.cols();
+  if (csi.rows() != m)
+    throw std::invalid_argument("JointAoaTof: CSI antenna count mismatch");
+  if (opt_.subcarrier_block > k)
+    throw std::invalid_argument("JointAoaTof: CSI has too few subcarriers");
+
+  const std::size_t ms = opt_.antenna_block;
+  const std::size_t ks = opt_.subcarrier_block;
+  const std::size_t dim = ms * ks;
+
+  // 2-D forward smoothing: average the covariance of every
+  // (antenna, subcarrier) sub-block. Each sub-block is one coherent
+  // "virtual snapshot" — this is what decorrelates the paths.
+  linalg::CMatrix r(dim, dim);
+  std::size_t blocks = 0;
+  for (std::size_t a0 = 0; a0 + ms <= m; ++a0) {
+    for (std::size_t k0 = 0; k0 + ks <= k; ++k0) {
+      linalg::CVector x(dim);
+      for (std::size_t i = 0; i < ms; ++i)
+        for (std::size_t j = 0; j < ks; ++j)
+          x[i * ks + j] = csi(a0 + i, k0 + j);
+      // r += x x^H
+      for (std::size_t r1 = 0; r1 < dim; ++r1)
+        for (std::size_t c1 = 0; c1 < dim; ++c1)
+          r(r1, c1) += x[r1] * std::conj(x[c1]);
+      ++blocks;
+    }
+  }
+  if (blocks == 0) throw std::invalid_argument("JointAoaTof: no sub-blocks");
+  r *= cplx{1.0 / double(blocks), 0.0};
+
+  const auto eig = linalg::eig_hermitian(r);
+  std::size_t d = 0;
+  for (double v : eig.eigenvalues)
+    if (v >= opt_.eig_threshold * eig.eigenvalues.back()) ++d;
+  d = std::clamp<std::size_t>(d, 1, dim - 1);
+
+  std::vector<linalg::CVector> es;
+  es.reserve(d);
+  for (std::size_t sidx = dim - d; sidx < dim; ++sidx)
+    es.push_back(eig.eigenvectors.col(sidx));
+
+  // Steering over the sub-block: antenna part from the row geometry
+  // (relative to the block's first element), delay part
+  // exp(-j*2*pi*spacing*j*tau).
+  std::vector<std::size_t> sub(elements_.begin(),
+                               elements_.begin() + std::ptrdiff_t(ms));
+
+  JointSpectrum spec(opt_.theta_bins, opt_.tau_bins, opt_.tau_max_s);
+  for (std::size_t ti = 0; ti < opt_.theta_bins; ++ti) {
+    const double theta = spec.theta_of(ti);
+    const auto a_ant = array_->steering_subset(theta, lambda_, sub);
+    for (std::size_t tj = 0; tj < opt_.tau_bins; ++tj) {
+      const double tau = spec.tau_of(tj);
+      linalg::CVector s(dim);
+      for (std::size_t j = 0; j < ks; ++j) {
+        const cplx dphase =
+            std::exp(-kJ * (kTwoPi * spacing_hz_ * double(j) * tau));
+        for (std::size_t i = 0; i < ms; ++i) s[i * ks + j] = a_ant[i] * dphase;
+      }
+      s = s.normalized();
+      // ||E_N^H s||^2 == 1 - ||E_S^H s||^2 for unit s; the signal
+      // subspace is far smaller than the noise subspace, so project
+      // onto it instead.
+      double sig = 0.0;
+      for (const auto& e : es) sig += std::norm(e.dot(s));
+      spec.at(ti, tj) = 1.0 / std::max(1.0 - sig, 1e-12);
+    }
+  }
+  return spec;
+}
+
+}  // namespace arraytrack::aoa

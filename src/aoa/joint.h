@@ -1,0 +1,94 @@
+// Joint angle-of-arrival / time-of-flight estimation from CSI — the
+// SpotFi (SIGCOMM 2015) line of work that ArrayTrack spawned,
+// implemented as an extension.
+//
+// Across the antenna dimension a path's CSI phase encodes its bearing;
+// across the subcarrier dimension it encodes its excess delay. 2-D
+// spatial smoothing over (antenna, subcarrier) sub-blocks decorrelates
+// the coherent paths, and 2-D MUSIC produces a spectrum over
+// (theta, tau). The decisive payoff over angle-only estimation: the
+// DIRECT path is identifiable as the peak with the smallest delay,
+// even when a reflection is stronger.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "array/placed_array.h"
+#include "linalg/matrix.h"
+
+namespace arraytrack::aoa {
+
+struct JointOptions {
+  /// Antenna sub-block length for 2-D smoothing (<= antennas).
+  std::size_t antenna_block = 5;
+  /// Subcarrier sub-block length for 2-D smoothing (<= subcarriers).
+  std::size_t subcarrier_block = 16;
+  /// Low threshold: a blocked direct path can sit 20+ dB below the
+  /// strongest reflection and must still make the signal subspace —
+  /// the delay rule exists precisely for those cases.
+  double eig_threshold = 0.01;
+  std::size_t theta_bins = 121;  // over [0, pi]
+  std::size_t tau_bins = 41;
+  double tau_max_s = 400e-9;  // 120 m of excess path
+};
+
+/// Power over the (theta, tau) grid.
+class JointSpectrum {
+ public:
+  JointSpectrum() = default;
+  JointSpectrum(std::size_t theta_bins, std::size_t tau_bins,
+                double tau_max_s);
+
+  std::size_t theta_bins() const { return nt_; }
+  std::size_t tau_bins() const { return ntau_; }
+  double theta_of(std::size_t i) const;  // [0, pi]
+  double tau_of(std::size_t j) const;
+
+  double& at(std::size_t i, std::size_t j) { return p_[i * ntau_ + j]; }
+  double at(std::size_t i, std::size_t j) const { return p_[i * ntau_ + j]; }
+  double max_value() const;
+
+  struct Peak {
+    double theta_rad = 0.0;  // mirrored like any linear-array bearing
+    double tau_s = 0.0;
+    double power = 0.0;
+  };
+
+  /// 2-D local maxima above `min_fraction` of the global max,
+  /// strongest first.
+  std::vector<Peak> find_peaks(double min_fraction = 0.1) const;
+
+  /// SpotFi's direct-path rule: among peaks within `power_floor` of the
+  /// strongest, the one with the SMALLEST delay is the direct path.
+  static Peak direct_path(const std::vector<Peak>& peaks,
+                          double power_floor = 0.3);
+
+ private:
+  std::size_t nt_ = 0, ntau_ = 0;
+  double tau_max_ = 0.0;
+  std::vector<double> p_;
+};
+
+class JointAoaTof {
+ public:
+  /// `row_elements` index a uniform linear row of `array`;
+  /// `subcarrier_spacing_hz` is the CSI bin spacing (312.5 kHz for
+  /// 802.11). CSI matrices passed to spectrum() must be
+  /// row_elements x subcarriers with subcarriers uniformly spaced.
+  JointAoaTof(const array::PlacedArray* array,
+              std::vector<std::size_t> row_elements, double lambda_m,
+              double subcarrier_spacing_hz, JointOptions opt = {});
+
+  /// 2-D MUSIC over the smoothed (antenna, subcarrier) covariance.
+  JointSpectrum spectrum(const linalg::CMatrix& csi) const;
+
+ private:
+  const array::PlacedArray* array_;
+  std::vector<std::size_t> elements_;
+  double lambda_;
+  double spacing_hz_;
+  JointOptions opt_;
+};
+
+}  // namespace arraytrack::aoa

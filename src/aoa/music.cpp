@@ -1,0 +1,149 @@
+#include "aoa/music.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aoa/covariance.h"
+
+namespace arraytrack::aoa {
+
+MusicEstimator::MusicEstimator(const array::PlacedArray* array,
+                               std::vector<std::size_t> linear_elements,
+                               double lambda_m, MusicOptions opt)
+    : array_(array),
+      elements_(std::move(linear_elements)),
+      lambda_(lambda_m),
+      opt_(opt) {
+  if (elements_.size() < 2)
+    throw std::invalid_argument("MusicEstimator: need at least two elements");
+  if (opt_.smoothing_groups == 0 || opt_.smoothing_groups >= elements_.size())
+    throw std::invalid_argument("MusicEstimator: invalid smoothing_groups");
+
+  const std::size_t ms = subarray_size();
+  const std::vector<std::size_t> sub(elements_.begin(),
+                                     elements_.begin() + std::ptrdiff_t(ms));
+  steering_table_.reserve(opt_.bins / 2 + 1);
+  for (std::size_t i = 0; i <= opt_.bins / 2; ++i) {
+    const double theta = kTwoPi * double(i) / double(opt_.bins);
+    steering_table_.push_back(
+        array_->steering_subset(theta, lambda_, sub).normalized());
+  }
+}
+
+std::size_t MusicEstimator::estimate_num_signals(
+    const std::vector<double>& eig) const {
+  if (opt_.fixed_num_signals > 0)
+    return std::min(opt_.fixed_num_signals, eig.size() - 1);
+  const double largest = eig.back();
+  std::size_t d = 0;
+  for (double v : eig)
+    if (v >= opt_.eig_threshold * largest) ++d;
+  // At least one signal, and keep at least one noise eigenvector.
+  if (d == 0) d = 1;
+  if (d >= eig.size()) d = eig.size() - 1;
+  return d;
+}
+
+AoaSpectrum MusicEstimator::spectrum(const linalg::CMatrix& snapshots) const {
+  if (snapshots.rows() != elements_.size())
+    throw std::invalid_argument("MusicEstimator: snapshot row mismatch");
+  return spectrum_from_covariance(sample_covariance(snapshots));
+}
+
+AoaSpectrum MusicEstimator::spectrum_from_covariance(
+    const linalg::CMatrix& r) const {
+  if (r.rows() != elements_.size() || r.cols() != elements_.size())
+    throw std::invalid_argument("MusicEstimator: covariance size mismatch");
+
+  linalg::CMatrix rs = spatial_smooth(r, opt_.smoothing_groups);
+  if (opt_.forward_backward) rs = forward_backward(rs);
+
+  const auto eig = linalg::eig_hermitian(rs);
+  const std::size_t ms = rs.rows();
+  const std::size_t d = estimate_num_signals(eig.eigenvalues);
+  const std::size_t noise_dim = ms - d;
+
+  // Noise subspace: eigenvectors of the smallest ms - d eigenvalues.
+  std::vector<linalg::CVector> en;
+  en.reserve(noise_dim);
+  for (std::size_t i = 0; i < noise_dim; ++i)
+    en.push_back(eig.eigenvectors.col(i));
+
+  // Steering vectors come from the precomputed table (the smoothed
+  // subarray geometry is fixed at construction).
+  AoaSpectrum spec(opt_.bins);
+  const std::size_t half = opt_.bins / 2;
+  for (std::size_t i = 0; i <= half; ++i) {
+    const auto& a = steering_table_[i];
+    double denom = 0.0;
+    for (const auto& e : en) denom += std::norm(e.dot(a));
+    const double p = 1.0 / std::max(denom, 1e-12);
+    spec[i] = p;
+    // Linear-array mirror: bearing -theta is indistinguishable.
+    spec[(opt_.bins - i) % opt_.bins] = p;
+  }
+  return spec;
+}
+
+GeneralMusic::GeneralMusic(const array::PlacedArray* array,
+                           std::vector<std::size_t> elements, double lambda_m,
+                           GeneralMusicOptions opt)
+    : array_(array),
+      elements_(std::move(elements)),
+      lambda_(lambda_m),
+      opt_(opt) {
+  if (elements_.size() < 2)
+    throw std::invalid_argument("GeneralMusic: need at least two elements");
+}
+
+AoaSpectrum GeneralMusic::spectrum(const linalg::CMatrix& snapshots) const {
+  if (snapshots.rows() != elements_.size())
+    throw std::invalid_argument("GeneralMusic: snapshot row mismatch");
+  return spectrum_from_covariance(sample_covariance(snapshots));
+}
+
+AoaSpectrum GeneralMusic::spectrum_from_covariance(
+    const linalg::CMatrix& r) const {
+  if (r.rows() != elements_.size())
+    throw std::invalid_argument("GeneralMusic: covariance size mismatch");
+  const auto eig = linalg::eig_hermitian(r);
+  const std::size_t m = elements_.size();
+
+  std::size_t d = opt_.fixed_num_signals;
+  if (d == 0) {
+    for (double v : eig.eigenvalues)
+      if (v >= opt_.eig_threshold * eig.eigenvalues.back()) ++d;
+  }
+  d = std::min(std::max<std::size_t>(d, 1), m - 1);
+  const std::size_t noise_dim = m - d;
+
+  AoaSpectrum spec(opt_.bins);
+  for (std::size_t i = 0; i < opt_.bins; ++i) {
+    const double theta = kTwoPi * double(i) / double(opt_.bins);
+    const auto a =
+        array_->steering_subset(theta, lambda_, elements_).normalized();
+    double denom = 0.0;
+    for (std::size_t n = 0; n < noise_dim; ++n)
+      denom += std::norm(eig.eigenvectors.col(n).dot(a));
+    spec[i] = 1.0 / std::max(denom, 1e-12);
+  }
+  return spec;
+}
+
+AoaSpectrum bartlett_spectrum(const array::PlacedArray& array,
+                              const std::vector<std::size_t>& elements,
+                              double lambda_m, const linalg::CMatrix& r,
+                              std::size_t bins) {
+  if (r.rows() != elements.size())
+    throw std::invalid_argument("bartlett_spectrum: covariance size mismatch");
+  AoaSpectrum spec(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double theta = kTwoPi * double(i) / double(bins);
+    const auto a =
+        array.steering_subset(theta, lambda_m, elements).normalized();
+    spec[i] = linalg::quadratic_form_real(a, r);
+  }
+  return spec;
+}
+
+}  // namespace arraytrack::aoa

@@ -1,0 +1,104 @@
+// MUSIC pseudospectrum estimation (paper 2.3.1 - 2.3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "aoa/spectrum.h"
+#include "array/placed_array.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+
+namespace arraytrack::aoa {
+
+struct MusicOptions {
+  /// Spatial smoothing group count NG; 2 is the paper's compromise
+  /// between direct-path retention and decorrelation (2.3.2, Fig. 7).
+  std::size_t smoothing_groups = 2;
+  /// An eigenvalue counts as "signal" when above this fraction of the
+  /// largest eigenvalue (the D-selection rule of 2.3.1). Too high and a
+  /// weak direct path lands in the "noise" subspace, which actively
+  /// nulls its bearing in the pseudospectrum.
+  double eig_threshold = 0.06;
+  /// Spectrum resolution over the full circle (720 = 0.5 degrees).
+  std::size_t bins = 720;
+  /// Forward-backward covariance averaging (ablation; off in the paper).
+  bool forward_backward = false;
+  /// Fixed signal count override; 0 = automatic via eig_threshold.
+  std::size_t fixed_num_signals = 0;
+};
+
+/// Computes mirrored 360-degree MUSIC spectra for a uniform linear
+/// subset of a placed array.
+class MusicEstimator {
+ public:
+  /// `linear_elements` are geometry indices forming a uniform linear
+  /// array, in row order; snapshot-matrix rows must match this order.
+  MusicEstimator(const array::PlacedArray* array,
+                 std::vector<std::size_t> linear_elements, double lambda_m,
+                 MusicOptions opt = {});
+
+  const MusicOptions& options() const { return opt_; }
+  MusicOptions& options() { return opt_; }
+
+  /// Spectrum from an M x N snapshot matrix.
+  AoaSpectrum spectrum(const linalg::CMatrix& snapshots) const;
+
+  /// Spectrum from a precomputed M x M covariance.
+  AoaSpectrum spectrum_from_covariance(const linalg::CMatrix& r) const;
+
+  /// Signal count chosen for a sorted-ascending eigenvalue list.
+  std::size_t estimate_num_signals(const std::vector<double>& eig) const;
+
+  std::size_t array_size() const { return elements_.size(); }
+  std::size_t subarray_size() const {
+    return elements_.size() - opt_.smoothing_groups + 1;
+  }
+
+ private:
+  const array::PlacedArray* array_;
+  std::vector<std::size_t> elements_;
+  double lambda_;
+  MusicOptions opt_;
+  /// Precomputed normalized subarray steering vectors, one per swept
+  /// bin over [0, pi] — the sweep dominates spectrum cost, and the
+  /// vectors depend only on (geometry, lambda, bins).
+  std::vector<linalg::CVector> steering_table_;
+};
+
+/// MUSIC for an arbitrary (non-linear) element set — circular arrays,
+/// the section-6 discussion alternative. No spatial smoothing is
+/// possible (the geometry is not shift-invariant), so coherent
+/// multipath hurts more than on the smoothed linear row; the upside is
+/// an unambiguous 360-degree spectrum with no mirror.
+struct GeneralMusicOptions {
+  double eig_threshold = 0.06;
+  std::size_t bins = 720;
+  std::size_t fixed_num_signals = 0;
+};
+
+class GeneralMusic {
+ public:
+  GeneralMusic(const array::PlacedArray* array,
+               std::vector<std::size_t> elements, double lambda_m,
+               GeneralMusicOptions opt = {});
+
+  AoaSpectrum spectrum(const linalg::CMatrix& snapshots) const;
+  AoaSpectrum spectrum_from_covariance(const linalg::CMatrix& r) const;
+
+ private:
+  const array::PlacedArray* array_;
+  std::vector<std::size_t> elements_;
+  double lambda_;
+  GeneralMusicOptions opt_;
+};
+
+/// Bartlett (conventional beamformer) spectrum over the full circle:
+/// P(theta) = a(theta)^H R a(theta). Far coarser than MUSIC (beamwidth
+/// limited) but robust; provided for estimator comparisons.
+AoaSpectrum bartlett_spectrum(const array::PlacedArray& array,
+                              const std::vector<std::size_t>& elements,
+                              double lambda_m, const linalg::CMatrix& r,
+                              std::size_t bins = 720);
+
+}  // namespace arraytrack::aoa

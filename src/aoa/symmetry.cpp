@@ -1,0 +1,97 @@
+#include "aoa/symmetry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::aoa {
+
+SymmetryResolver::SymmetryResolver(const array::PlacedArray* array,
+                                   std::vector<std::size_t> elements,
+                                   double lambda_m, SymmetryOptions opt)
+    : array_(array),
+      elements_(std::move(elements)),
+      lambda_(lambda_m),
+      opt_(opt) {
+  if (elements_.size() < 3)
+    throw std::invalid_argument("SymmetryResolver: need >= 3 elements");
+}
+
+double SymmetryResolver::probe_power(const linalg::CMatrix& r_extended,
+                                     double theta_rad) const {
+  if (r_extended.rows() != elements_.size())
+    throw std::invalid_argument("SymmetryResolver: covariance size mismatch");
+  const auto a =
+      array_->steering_subset(theta_rad, lambda_, elements_).normalized();
+  return linalg::quadratic_form_real(a, r_extended);
+}
+
+double SymmetryResolver::side_score_ratio(const linalg::CMatrix& r_extended,
+                                          const AoaSpectrum& spec) const {
+  // The mirrored spectrum has equal peaks at theta and -theta; the
+  // extended-array beamformer breaks the tie at those bearings.
+  double front = 0.0;
+  double back = 0.0;
+  for (const auto& peak : spec.find_peaks(opt_.peak_floor)) {
+    const double s = std::sin(peak.bearing_rad);
+    if (s == 0.0) continue;  // on-axis: mirror is itself
+    const double p = peak.power * probe_power(r_extended, peak.bearing_rad);
+    if (s > 0.0)
+      front += p;
+    else
+      back += p;
+  }
+  if (back <= 0.0) return front > 0.0 ? 1e9 : 1.0;
+  return front / back;
+}
+
+std::size_t SymmetryResolver::resolve_per_peak(
+    const linalg::CMatrix& r_extended, AoaSpectrum* spec) const {
+  const auto peaks = spec->find_peaks(opt_.peak_floor);
+  std::size_t resolved = 0;
+  std::vector<bool> done(peaks.size(), false);
+  for (std::size_t i = 0; i < peaks.size(); ++i) {
+    if (done[i]) continue;
+    const double theta = peaks[i].bearing_rad;
+    if (std::sin(theta) == 0.0) continue;
+    const double mirror = wrap_2pi(-theta);
+    // Find the partner peak (present in a mirrored spectrum; may have
+    // been merged away by weighting near the axis).
+    std::ptrdiff_t partner = -1;
+    for (std::size_t j = i + 1; j < peaks.size(); ++j) {
+      if (!done[j] &&
+          bearing_distance(peaks[j].bearing_rad, mirror) < deg2rad(3.0)) {
+        partner = std::ptrdiff_t(j);
+        break;
+      }
+    }
+    done[i] = true;
+    if (partner >= 0) done[std::size_t(partner)] = true;
+
+    const double p_here = probe_power(r_extended, theta);
+    const double p_mirror = probe_power(r_extended, mirror);
+    if (p_here >= opt_.min_confidence_ratio * p_mirror) {
+      spec->scale_lobe(mirror, opt_.suppression);
+      ++resolved;
+    } else if (p_mirror >= opt_.min_confidence_ratio * p_here) {
+      spec->scale_lobe(theta, opt_.suppression);
+      ++resolved;
+    }
+  }
+  return resolved;
+}
+
+Side SymmetryResolver::resolve(const linalg::CMatrix& r_extended,
+                               AoaSpectrum* spec) const {
+  const double ratio = side_score_ratio(r_extended, *spec);
+  if (ratio >= opt_.min_confidence_ratio) {
+    spec->scale_side(/*front=*/false, opt_.suppression);
+    return Side::kFront;
+  }
+  if (ratio <= 1.0 / opt_.min_confidence_ratio) {
+    spec->scale_side(/*front=*/true, opt_.suppression);
+    return Side::kBack;
+  }
+  return Side::kAmbiguous;
+}
+
+}  // namespace arraytrack::aoa

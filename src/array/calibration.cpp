@@ -1,0 +1,94 @@
+#include "array/calibration.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::array {
+
+RadioBank::RadioBank(std::size_t radios, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  offsets_.reserve(radios);
+  for (std::size_t i = 0; i < radios; ++i) offsets_.push_back(uang(rng));
+}
+
+cplx RadioBank::downconvert(std::size_t radio, cplx rf_sample) const {
+  return rf_sample * std::exp(kJ * offsets_[radio]);
+}
+
+linalg::CVector RadioBank::downconvert(const linalg::CVector& rf) const {
+  if (rf.size() != offsets_.size())
+    throw std::invalid_argument("RadioBank::downconvert: size mismatch");
+  linalg::CVector out(rf.size());
+  for (std::size_t i = 0; i < rf.size(); ++i) out[i] = downconvert(i, rf[i]);
+  return out;
+}
+
+CalibrationRig::CalibrationRig(const RadioBank* bank, Options opt,
+                               std::uint64_t seed)
+    : bank_(bank), opt_(opt), rng_(seed) {
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  phex1_ = opt_.external_path_imbalance_rad * u(rng_);
+  phex2_ = opt_.external_path_imbalance_rad * u(rng_);
+}
+
+std::vector<double> CalibrationRig::measure(bool swapped) {
+  std::normal_distribution<double> noise(0.0, opt_.measurement_noise_rad);
+  const auto& in = bank_->true_offsets();
+  // Radio 0 always listens through path 1; radio i through path 2
+  // (or exchanged when `swapped`). The tone itself has phase 0 at the
+  // splitter, so the i-th measured offset is the phase of radio i's
+  // output relative to radio 0's.
+  const double path_ref = swapped ? phex2_ : phex1_;
+  const double path_meas = swapped ? phex1_ : phex2_;
+  std::vector<double> out(bank_->size(), 0.0);
+  for (std::size_t i = 1; i < bank_->size(); ++i) {
+    const double ref_phase = path_ref + in[0];
+    const double meas_phase = path_meas + in[i];
+    double m = wrap_pi(meas_phase - ref_phase);
+    if (opt_.measurement_noise_rad > 0.0) m = wrap_pi(m + noise(rng_));
+    out[i] = m;
+  }
+  return out;
+}
+
+std::vector<double> CalibrationRig::calibrate() {
+  const auto pass1 = measure(/*swapped=*/false);
+  const auto pass2 = measure(/*swapped=*/true);
+  std::vector<double> offsets(bank_->size(), 0.0);
+  double imbalance = 0.0;
+  for (std::size_t i = 1; i < bank_->size(); ++i) {
+    // Equations 11 and 12 of the paper. The averages must be taken on
+    // the circle: convert to phasors before combining so that wrap
+    // boundaries do not corrupt the mean.
+    const cplx mean = 0.5 * (std::exp(kJ * pass1[i]) + std::exp(kJ * pass2[i]));
+    offsets[i] = std::arg(mean);
+    const cplx diff = std::exp(kJ * (pass2[i] - pass1[i]));
+    imbalance += 0.5 * std::arg(diff);
+  }
+  if (bank_->size() > 1) imbalance /= double(bank_->size() - 1);
+  estimated_imbalance_ = imbalance;
+  return offsets;
+}
+
+linalg::CVector PhaseCalibration::apply(const linalg::CVector& samples) const {
+  if (samples.size() != offsets_.size())
+    throw std::invalid_argument("PhaseCalibration::apply: size mismatch");
+  linalg::CVector out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    out[i] = samples[i] * std::exp(-kJ * offsets_[i]);
+  return out;
+}
+
+double PhaseCalibration::max_residual(const RadioBank& bank) const {
+  if (bank.size() != offsets_.size())
+    throw std::invalid_argument("PhaseCalibration::max_residual: size");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    const double truth = wrap_pi(bank.true_offsets()[i] - bank.true_offsets()[0]);
+    worst = std::max(worst, std::abs(wrap_pi(offsets_[i] - truth)));
+  }
+  return worst;
+}
+
+}  // namespace arraytrack::array

@@ -1,0 +1,103 @@
+// AP phase calibration (paper section 3, equations 9-12).
+//
+// Each radio front end's downconversion oscillator adds an unknown
+// phase offset; AoA is impossible until those are measured and removed.
+// The paper injects a continuous-wave tone from a USRP2 through SMA
+// splitters and cables ("external paths") whose own small imperfections
+// contaminate a single measurement; running the measurement twice with
+// the two external paths exchanged cancels the imperfection exactly:
+//   Phoff1 = (Phex2 + Phin2) - (Phex1 + Phin1)
+//   Phoff2 = (Phex1 + Phin2) - (Phex2 + Phin1)
+//   (Phoff1 + Phoff2)/2 = Phin2 - Phin1          (the wanted offset)
+//   (Phoff2 - Phoff1)/2 = Phex1 - Phex2          (the rig error)
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace arraytrack::array {
+
+/// Simulated bank of radio receivers with hidden LO phase offsets.
+/// Offsets are fixed at construction (one power cycle of the AP).
+class RadioBank {
+ public:
+  /// `radios` receivers with offsets drawn uniformly from [0, 2*pi).
+  RadioBank(std::size_t radios, std::uint64_t seed);
+
+  /// Exact hidden offsets (test oracle; a real AP cannot read these).
+  const std::vector<double>& true_offsets() const { return offsets_; }
+
+  std::size_t size() const { return offsets_.size(); }
+
+  /// Applies radio i's offset to a sample, as the downconverter does.
+  cplx downconvert(std::size_t radio, cplx rf_sample) const;
+
+  /// Applies the offsets to a whole per-radio sample vector.
+  linalg::CVector downconvert(const linalg::CVector& rf_samples) const;
+
+ private:
+  std::vector<double> offsets_;
+};
+
+/// The calibration fixture: a tone source and two external paths with
+/// small unknown phase imperfections, plus measurement phase noise.
+class CalibrationRig {
+ public:
+  struct Options {
+    double external_path_imbalance_rad = 0.15;  // |Phex1 - Phex2| scale
+    double measurement_noise_rad = 0.0;         // per-measurement jitter
+  };
+
+  CalibrationRig(const RadioBank* bank, Options opt, std::uint64_t seed);
+
+  /// One calibration pass over all radios relative to radio 0.
+  /// `swapped` exchanges the two external paths (the second pass of the
+  /// paper's scheme). Returns measured offsets Phoff[i] for each radio.
+  std::vector<double> measure(bool swapped);
+
+  /// Runs both passes and combines them per equations 11-12. The result
+  /// offsets satisfy offsets[0] == 0; apply with PhaseCalibration.
+  std::vector<double> calibrate();
+
+  /// The rig's hidden external-path imbalance (test oracle).
+  double true_imbalance() const { return phex1_ - phex2_; }
+
+  /// Imbalance estimate from the last calibrate() call, eq. 12.
+  double estimated_imbalance() const { return estimated_imbalance_; }
+
+ private:
+  const RadioBank* bank_;
+  Options opt_;
+  std::mt19937_64 rng_;
+  double phex1_;
+  double phex2_;
+  double estimated_imbalance_ = 0.0;
+};
+
+/// Applies measured calibration offsets to received per-radio samples.
+class PhaseCalibration {
+ public:
+  PhaseCalibration() = default;
+  explicit PhaseCalibration(std::vector<double> offsets)
+      : offsets_(std::move(offsets)) {}
+
+  bool empty() const { return offsets_.empty(); }
+  std::size_t size() const { return offsets_.size(); }
+  const std::vector<double>& offsets() const { return offsets_; }
+
+  /// Subtracts the measured offsets: y_i = x_i * exp(-j * offset_i).
+  linalg::CVector apply(const linalg::CVector& samples) const;
+
+  /// Worst-case residual between these offsets and a radio bank's true
+  /// offsets, after removing the common (radio-0-relative) reference.
+  double max_residual(const RadioBank& bank) const;
+
+ private:
+  std::vector<double> offsets_;
+};
+
+}  // namespace arraytrack::array

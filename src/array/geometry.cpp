@@ -1,0 +1,87 @@
+#include "array/geometry.h"
+
+#include <cmath>
+
+#include "linalg/types.h"
+
+namespace arraytrack::array {
+
+ArrayGeometry ArrayGeometry::uniform_linear(std::size_t elements,
+                                            double spacing_m) {
+  std::vector<geom::Vec2> offsets;
+  offsets.reserve(elements);
+  const double x0 = -0.5 * spacing_m * double(elements - 1);
+  for (std::size_t i = 0; i < elements; ++i)
+    offsets.push_back({x0 + spacing_m * double(i), 0.0});
+  return ArrayGeometry(std::move(offsets));
+}
+
+ArrayGeometry ArrayGeometry::rectangular(std::size_t columns,
+                                         double spacing_m, double row_gap_m) {
+  std::vector<geom::Vec2> offsets;
+  offsets.reserve(2 * columns);
+  const double x0 = -0.5 * spacing_m * double(columns - 1);
+  for (std::size_t i = 0; i < columns; ++i)
+    offsets.push_back({x0 + spacing_m * double(i), 0.0});
+  for (std::size_t i = 0; i < columns; ++i)
+    offsets.push_back({x0 + spacing_m * double(i), -row_gap_m});
+  return ArrayGeometry(std::move(offsets));
+}
+
+ArrayGeometry ArrayGeometry::circular(std::size_t elements, double radius_m) {
+  std::vector<geom::Vec2> offsets;
+  offsets.reserve(elements);
+  for (std::size_t i = 0; i < elements; ++i) {
+    const double ang = kTwoPi * double(i) / double(elements);
+    offsets.push_back({radius_m * std::cos(ang), radius_m * std::sin(ang)});
+  }
+  return ArrayGeometry(std::move(offsets));
+}
+
+ArrayGeometry ArrayGeometry::l_shaped(std::size_t columns,
+                                      std::size_t verticals,
+                                      double spacing_m) {
+  std::vector<geom::Vec2> offsets;
+  std::vector<double> z;
+  offsets.reserve(columns + verticals);
+  z.reserve(columns + verticals);
+  const double x0 = -0.5 * spacing_m * double(columns - 1);
+  for (std::size_t i = 0; i < columns; ++i) {
+    offsets.push_back({x0 + spacing_m * double(i), 0.0});
+    z.push_back(0.0);
+  }
+  for (std::size_t i = 0; i < verticals; ++i) {
+    offsets.push_back({0.0, 0.0});
+    z.push_back(spacing_m * double(i + 1));
+  }
+  return ArrayGeometry(std::move(offsets), std::move(z));
+}
+
+bool ArrayGeometry::has_vertical_extent() const {
+  for (double z : z_offsets_)
+    if (z != 0.0) return true;
+  return false;
+}
+
+ArrayGeometry ArrayGeometry::subset(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<geom::Vec2> offsets;
+  std::vector<double> z;
+  offsets.reserve(indices.size());
+  z.reserve(indices.size());
+  for (std::size_t i : indices) {
+    offsets.push_back(offsets_[i]);
+    z.push_back(z_offset(i));
+  }
+  return ArrayGeometry(std::move(offsets), std::move(z));
+}
+
+double ArrayGeometry::aperture_m() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < offsets_.size(); ++i)
+    for (std::size_t j = i + 1; j < offsets_.size(); ++j)
+      best = std::max(best, geom::distance(offsets_[i], offsets_[j]));
+  return best;
+}
+
+}  // namespace arraytrack::array

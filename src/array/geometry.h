@@ -1,0 +1,76 @@
+// Antenna array geometries (element layouts in the array-local frame).
+//
+// The prototype in the paper mounts 16 antennas in a rectangle (two
+// rows of eight at half-wavelength pitch, Fig. 11) and drives them from
+// eight radios through an antenna-select switch. The linear row is what
+// MUSIC sweeps; the off-row element provides the 360-degree symmetry
+// disambiguation of section 2.3.4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::array {
+
+class ArrayGeometry {
+ public:
+  ArrayGeometry() = default;
+  explicit ArrayGeometry(std::vector<geom::Vec2> offsets)
+      : offsets_(std::move(offsets)) {}
+  /// With explicit vertical offsets (meters above the mount height),
+  /// one per element; enables elevation estimation (3-D extension).
+  ArrayGeometry(std::vector<geom::Vec2> offsets, std::vector<double> z)
+      : offsets_(std::move(offsets)), z_offsets_(std::move(z)) {}
+
+  /// Uniform linear array along local +x, centered on the origin.
+  static ArrayGeometry uniform_linear(std::size_t elements,
+                                      double spacing_m);
+
+  /// Two parallel rows of `columns` elements (the paper's 16-antenna
+  /// rectangle): row 0 at local y=0, row 1 at y = -row_gap.
+  static ArrayGeometry rectangular(std::size_t columns, double spacing_m,
+                                   double row_gap_m);
+
+  /// Uniform circular array of `elements` at `radius_m`.
+  static ArrayGeometry circular(std::size_t elements, double radius_m);
+
+  /// L-shaped 3-D array: a horizontal row of `columns` elements along
+  /// local +x (z = 0) plus a vertical column of `verticals` elements
+  /// rising from the row's center — the paper's proposed
+  /// "vertically-oriented antenna array in conjunction with the
+  /// existing horizontally-oriented array" (section 4.3.1). The
+  /// vertical elements share the center's plan position and differ
+  /// only in z.
+  static ArrayGeometry l_shaped(std::size_t columns, std::size_t verticals,
+                                double spacing_m);
+
+  std::size_t size() const { return offsets_.size(); }
+  const std::vector<geom::Vec2>& offsets() const { return offsets_; }
+  const geom::Vec2& offset(std::size_t i) const { return offsets_[i]; }
+
+  /// Vertical offset of element i above the mount height (0 for flat
+  /// arrays, which carry no z offsets at all).
+  double z_offset(std::size_t i) const {
+    return z_offsets_.empty() ? 0.0 : z_offsets_[i];
+  }
+  bool has_vertical_extent() const;
+
+  /// Sub-geometry containing the given element indices (e.g. the first
+  /// row of the rectangle, or the 8+1 symmetry-removal set).
+  ArrayGeometry subset(const std::vector<std::size_t>& indices) const;
+
+  /// Largest pairwise element distance (aperture) in meters.
+  double aperture_m() const;
+
+ private:
+  std::vector<geom::Vec2> offsets_;
+  std::vector<double> z_offsets_;  // empty = flat array
+};
+
+/// ArrayTrack's physical constants: half-wavelength element pitch at
+/// 2.4 GHz is 6.13 cm (paper section 3).
+inline constexpr double kHalfWavelengthSpacingM = 0.0613;
+
+}  // namespace arraytrack::array

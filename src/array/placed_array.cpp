@@ -1,0 +1,74 @@
+#include "array/placed_array.h"
+
+#include <cmath>
+
+namespace arraytrack::array {
+
+std::vector<geom::Vec2> PlacedArray::world_positions() const {
+  std::vector<geom::Vec2> out;
+  out.reserve(geometry_.size());
+  for (const auto& off : geometry_.offsets())
+    out.push_back(position_ + off.rotated(orientation_));
+  return out;
+}
+
+geom::Vec2 PlacedArray::world_position(std::size_t element) const {
+  return position_ + geometry_.offset(element).rotated(orientation_);
+}
+
+linalg::CVector PlacedArray::steering(double theta_local_rad,
+                                      double lambda_m) const {
+  const geom::Vec2 u = geom::unit_from_angle(theta_local_rad);
+  linalg::CVector a(geometry_.size());
+  const double k = kTwoPi / lambda_m;
+  for (std::size_t m = 0; m < geometry_.size(); ++m)
+    a[m] = std::exp(kJ * (k * geometry_.offset(m).dot(u)));
+  return a;
+}
+
+linalg::CVector PlacedArray::steering_subset(
+    double theta_local_rad, double lambda_m,
+    std::span<const std::size_t> elements) const {
+  const geom::Vec2 u = geom::unit_from_angle(theta_local_rad);
+  linalg::CVector a(elements.size());
+  const double k = kTwoPi / lambda_m;
+  for (std::size_t i = 0; i < elements.size(); ++i)
+    a[i] = std::exp(kJ * (k * geometry_.offset(elements[i]).dot(u)));
+  return a;
+}
+
+linalg::CVector PlacedArray::steering3(double theta_local_rad,
+                                       double elevation_rad,
+                                       double lambda_m) const {
+  const geom::Vec2 u = geom::unit_from_angle(theta_local_rad);
+  const double ce = std::cos(elevation_rad);
+  const double se = std::sin(elevation_rad);
+  linalg::CVector a(geometry_.size());
+  const double k = kTwoPi / lambda_m;
+  for (std::size_t m = 0; m < geometry_.size(); ++m)
+    a[m] = std::exp(kJ * (k * (geometry_.offset(m).dot(u) * ce +
+                               geometry_.z_offset(m) * se)));
+  return a;
+}
+
+std::vector<double> PlacedArray::element_heights(double mount_height_m) const {
+  std::vector<double> out;
+  out.reserve(geometry_.size());
+  for (std::size_t m = 0; m < geometry_.size(); ++m)
+    out.push_back(mount_height_m + geometry_.z_offset(m));
+  return out;
+}
+
+double PlacedArray::world_to_local(double world_bearing_rad) const {
+  return wrap_pi(world_bearing_rad - orientation_);
+}
+
+double PlacedArray::local_to_world(double theta_local_rad) const {
+  return wrap_pi(theta_local_rad + orientation_);
+}
+
+double PlacedArray::bearing_to(const geom::Vec2& world_point) const {
+  return world_to_local((world_point - position_).angle());
+}
+
+}  // namespace arraytrack::array

@@ -1,0 +1,73 @@
+// An antenna array placed on the floorplan: geometry + pose, steering
+// vectors, and local/world bearing conversions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "array/geometry.h"
+#include "geom/vec2.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace arraytrack::array {
+
+/// Bearing conventions:
+///  * A *local* bearing theta is measured from the array's +x axis
+///    (the linear-array row direction), counter-clockwise, in radians.
+///    A linear array resolves theta only up to the y-axis mirror
+///    (theta vs -theta), which is the symmetry ambiguity of 2.3.4.
+///  * A *world* bearing is measured from the global +x axis.
+class PlacedArray {
+ public:
+  PlacedArray() = default;
+  PlacedArray(ArrayGeometry geometry, geom::Vec2 position,
+              double orientation_rad)
+      : geometry_(std::move(geometry)),
+        position_(position),
+        orientation_(orientation_rad) {}
+
+  const ArrayGeometry& geometry() const { return geometry_; }
+  const geom::Vec2& position() const { return position_; }
+  double orientation() const { return orientation_; }
+  std::size_t size() const { return geometry_.size(); }
+
+  /// World-frame position of each element.
+  std::vector<geom::Vec2> world_positions() const;
+  geom::Vec2 world_position(std::size_t element) const;
+
+  /// Steering vector a(theta) for a plane wave arriving from local
+  /// bearing theta: a_m = exp(+j * 2*pi/lambda * (offset_m . u(theta))).
+  /// Matches the channel's phase convention (phase = -2*pi*d/lambda):
+  /// elements closer to the source lead in phase.
+  linalg::CVector steering(double theta_local_rad, double lambda_m) const;
+
+  /// Steering vector restricted to a subset of elements.
+  linalg::CVector steering_subset(double theta_local_rad, double lambda_m,
+                                  std::span<const std::size_t> elements) const;
+
+  /// 3-D steering for an array with vertical extent: a plane wave from
+  /// local azimuth `theta` and elevation `elevation` (positive = from
+  /// above) gives
+  ///   a_m = exp(+j*2*pi/lambda * (offset_m . u(theta) * cos(el)
+  ///                               + z_m * sin(el))).
+  linalg::CVector steering3(double theta_local_rad, double elevation_rad,
+                            double lambda_m) const;
+
+  /// Absolute height of each element when the array reference is
+  /// mounted at `mount_height_m`.
+  std::vector<double> element_heights(double mount_height_m) const;
+
+  double world_to_local(double world_bearing_rad) const;
+  double local_to_world(double theta_local_rad) const;
+
+  /// Local bearing from the array center toward a world point.
+  double bearing_to(const geom::Vec2& world_point) const;
+
+ private:
+  ArrayGeometry geometry_;
+  geom::Vec2 position_;
+  double orientation_ = 0.0;
+};
+
+}  // namespace arraytrack::array

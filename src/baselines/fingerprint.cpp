@@ -1,0 +1,120 @@
+#include "baselines/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::baselines {
+
+void RssiFingerprintDb::add(geom::Vec2 position,
+                            std::vector<double> rssi_dbm) {
+  if (!entries_.empty() && rssi_dbm.size() != entries_.front().rssi_dbm.size())
+    throw std::invalid_argument("RssiFingerprintDb: AP count mismatch");
+  entries_.push_back({position, std::move(rssi_dbm)});
+}
+
+std::optional<geom::Vec2> RssiFingerprintDb::locate(
+    const std::vector<double>& rssi_dbm, std::size_t k) const {
+  if (entries_.empty()) return std::nullopt;
+  if (rssi_dbm.size() != entries_.front().rssi_dbm.size())
+    throw std::invalid_argument("RssiFingerprintDb::locate: AP count mismatch");
+
+  struct Scored {
+    double dist2;
+    std::size_t idx;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < rssi_dbm.size(); ++j) {
+      const double e = rssi_dbm[j] - entries_[i].rssi_dbm[j];
+      d2 += e * e;
+    }
+    scored.push_back({d2, i});
+  }
+  const std::size_t kk = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + std::ptrdiff_t(kk),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      return a.dist2 < b.dist2;
+                    });
+  geom::Vec2 acc{0.0, 0.0};
+  for (std::size_t i = 0; i < kk; ++i)
+    acc += entries_[scored[i].idx].position;
+  return acc / double(kk);
+}
+
+void HorusFingerprintDb::add(
+    geom::Vec2 position, const std::vector<std::vector<double>>& readings) {
+  if (readings.empty())
+    throw std::invalid_argument("HorusFingerprintDb: no readings");
+  const std::size_t aps = readings.front().size();
+  for (const auto& r : readings)
+    if (r.size() != aps)
+      throw std::invalid_argument("HorusFingerprintDb: ragged readings");
+  if (!cells_.empty() && aps != cells_.front().mean_dbm.size())
+    throw std::invalid_argument("HorusFingerprintDb: AP count mismatch");
+
+  Cell cell;
+  cell.position = position;
+  cell.mean_dbm.assign(aps, 0.0);
+  cell.var_db2.assign(aps, 0.0);
+  for (const auto& r : readings)
+    for (std::size_t j = 0; j < aps; ++j) cell.mean_dbm[j] += r[j];
+  for (std::size_t j = 0; j < aps; ++j)
+    cell.mean_dbm[j] /= double(readings.size());
+  for (const auto& r : readings)
+    for (std::size_t j = 0; j < aps; ++j) {
+      const double e = r[j] - cell.mean_dbm[j];
+      cell.var_db2[j] += e * e;
+    }
+  for (std::size_t j = 0; j < aps; ++j) {
+    cell.var_db2[j] /= double(readings.size());
+    // Quantization / sampling floor: whole-dB readings cannot support
+    // a variance below ~1/12 dB^2, and a zero variance would make the
+    // likelihood degenerate.
+    cell.var_db2[j] = std::max(cell.var_db2[j], 0.5);
+  }
+  cells_.push_back(std::move(cell));
+}
+
+std::optional<geom::Vec2> HorusFingerprintDb::locate(
+    const std::vector<double>& rssi_dbm, std::size_t k) const {
+  if (cells_.empty()) return std::nullopt;
+  if (rssi_dbm.size() != cells_.front().mean_dbm.size())
+    throw std::invalid_argument("HorusFingerprintDb::locate: AP count");
+
+  struct Scored {
+    double log_like;
+    std::size_t idx;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    double ll = 0.0;
+    for (std::size_t j = 0; j < rssi_dbm.size(); ++j) {
+      const double e = rssi_dbm[j] - cells_[i].mean_dbm[j];
+      ll += -0.5 * e * e / cells_[i].var_db2[j] -
+            0.5 * std::log(cells_[i].var_db2[j]);
+    }
+    scored.push_back({ll, i});
+  }
+  const std::size_t kk = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + std::ptrdiff_t(kk),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      return a.log_like > b.log_like;
+                    });
+  // Probability-weighted centroid over the top-k cells (normalize by
+  // the best log-likelihood for numeric safety).
+  const double top = scored.front().log_like;
+  geom::Vec2 acc{0.0, 0.0};
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < kk; ++i) {
+    const double w = std::exp(scored[i].log_like - top);
+    acc += cells_[scored[i].idx].position * w;
+    wsum += w;
+  }
+  return acc / wsum;
+}
+
+}  // namespace arraytrack::baselines

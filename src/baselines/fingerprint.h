@@ -1,0 +1,68 @@
+// RADAR-style RSSI fingerprinting baseline (Bahl & Padmanabhan 2000).
+//
+// Offline phase: record the per-AP RSS vector on a training grid.
+// Online phase: k-nearest-neighbors in signal space, averaging the
+// training positions of the k best matches. Requires the expensive
+// site survey ArrayTrack exists to avoid; included as the map-building
+// comparison point.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::baselines {
+
+class RssiFingerprintDb {
+ public:
+  struct Entry {
+    geom::Vec2 position;
+    std::vector<double> rssi_dbm;  // one reading per AP, fixed order
+  };
+
+  /// Adds a survey point; every entry must carry the same AP count.
+  void add(geom::Vec2 position, std::vector<double> rssi_dbm);
+
+  std::size_t size() const { return entries_.size(); }
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+
+  /// kNN match in signal space (Euclidean distance over dB vectors).
+  std::optional<geom::Vec2> locate(const std::vector<double>& rssi_dbm,
+                                   std::size_t k = 3) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Horus-style probabilistic fingerprinting (Youssef & Agrawala 2005):
+/// the offline survey stores a per-cell Gaussian RSS model (mean and
+/// variance per AP, from repeated readings); online, the location is
+/// the survey cell maximizing the joint Gaussian likelihood, refined
+/// by a probability-weighted centroid over the top cells. Reaches
+/// ~0.6 m in the paper's related-work discussion, at the cost of a
+/// heavy calibration effort ArrayTrack avoids.
+class HorusFingerprintDb {
+ public:
+  /// Adds one survey location with several RSS readings per AP:
+  /// `readings[k][j]` is the k-th reading of AP j.
+  void add(geom::Vec2 position,
+           const std::vector<std::vector<double>>& readings);
+
+  std::size_t size() const { return cells_.size(); }
+
+  /// Maximum-likelihood match with weighted-centroid refinement over
+  /// the `k` most likely cells.
+  std::optional<geom::Vec2> locate(const std::vector<double>& rssi_dbm,
+                                   std::size_t k = 3) const;
+
+ private:
+  struct Cell {
+    geom::Vec2 position;
+    std::vector<double> mean_dbm;
+    std::vector<double> var_db2;
+  };
+  std::vector<Cell> cells_;
+};
+
+}  // namespace arraytrack::baselines

@@ -1,0 +1,34 @@
+#include "baselines/phase_aoa.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::baselines {
+
+std::optional<double> phase_difference_bearing(cplx x1, cplx x2) {
+  if (std::abs(x1) == 0.0 || std::abs(x2) == 0.0) return std::nullopt;
+  // Our steering convention: element at +x/2 leads by pi*cos(theta)
+  // relative to the element at -x/2 for arrival bearing theta from the
+  // array axis, so delta = angle(x2) - angle(x1) = pi*cos(theta).
+  const double delta = wrap_pi(std::arg(x2) - std::arg(x1));
+  const double c = delta / kPi;
+  if (c < -1.0 || c > 1.0) return std::nullopt;
+  return std::acos(c);
+}
+
+std::optional<double> phase_difference_bearing(
+    const linalg::CMatrix& snapshots) {
+  if (snapshots.rows() < 2 || snapshots.cols() == 0)
+    throw std::invalid_argument("phase_difference_bearing: need 2 rows");
+  // Average the cross-correlation over snapshots, then take its phase:
+  // more robust than averaging per-sample angles across wraps.
+  cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < snapshots.cols(); ++k)
+    acc += snapshots(1, k) * std::conj(snapshots(0, k));
+  if (std::abs(acc) == 0.0) return std::nullopt;
+  const double c = std::arg(acc) / kPi;
+  if (c < -1.0 || c > 1.0) return std::nullopt;
+  return std::acos(c);
+}
+
+}  // namespace arraytrack::baselines

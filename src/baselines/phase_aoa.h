@@ -1,0 +1,25 @@
+// Two-antenna phase-difference AoA (the paper's equation 1).
+//
+// The free-space primer baseline: theta = arcsin((ph2 - ph1)/pi) for a
+// half-wavelength pair. Breaks down badly under multipath — exactly the
+// motivation for MUSIC — so it serves as the simplest comparison point.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace arraytrack::baselines {
+
+/// Bearing estimate from one snapshot at two antennas spaced
+/// lambda/2 apart along the local +x axis. Returns the local bearing
+/// measured from the array axis, in [0, pi] (front half only; a pair
+/// has the same mirror ambiguity as a full linear array), or nullopt
+/// when the phase difference is out of the arcsin domain (pure noise).
+std::optional<double> phase_difference_bearing(cplx x1, cplx x2);
+
+/// Averaged estimate over an M x N snapshot matrix, using rows 0 and 1.
+std::optional<double> phase_difference_bearing(const linalg::CMatrix& snapshots);
+
+}  // namespace arraytrack::baselines

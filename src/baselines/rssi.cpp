@@ -1,0 +1,55 @@
+#include "baselines/rssi.h"
+
+#include <cmath>
+#include <limits>
+
+namespace arraytrack::baselines {
+
+double LogDistanceModel::predict_dbm(double distance_m) const {
+  const double d = std::max(distance_m, 0.1);
+  return p0_dbm - 10.0 * exponent * std::log10(d);
+}
+
+double LogDistanceModel::invert_distance_m(double rssi_dbm) const {
+  return std::pow(10.0, (p0_dbm - rssi_dbm) / (10.0 * exponent));
+}
+
+std::optional<geom::Vec2> rssi_trilaterate(
+    const std::vector<RssiReading>& readings, const LogDistanceModel& model,
+    const geom::Rect& bounds, double grid_step_m) {
+  if (readings.size() < 3) return std::nullopt;
+  double best_cost = std::numeric_limits<double>::infinity();
+  geom::Vec2 best;
+  for (double y = bounds.min.y; y <= bounds.max.y; y += grid_step_m) {
+    for (double x = bounds.min.x; x <= bounds.max.x; x += grid_step_m) {
+      const geom::Vec2 p{x, y};
+      double cost = 0.0;
+      for (const auto& r : readings) {
+        const double pred = model.predict_dbm(geom::distance(p, r.ap_position));
+        const double e = pred - r.rssi_dbm;
+        cost += e * e;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = p;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<geom::Vec2> rssi_weighted_centroid(
+    const std::vector<RssiReading>& readings) {
+  if (readings.empty()) return std::nullopt;
+  double wsum = 0.0;
+  geom::Vec2 acc{0.0, 0.0};
+  for (const auto& r : readings) {
+    const double w = std::pow(10.0, r.rssi_dbm / 20.0);
+    acc += r.ap_position * w;
+    wsum += w;
+  }
+  if (wsum == 0.0) return std::nullopt;
+  return acc / wsum;
+}
+
+}  // namespace arraytrack::baselines

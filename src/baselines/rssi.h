@@ -1,0 +1,43 @@
+// RSSI-based localization baselines (related-work comparisons).
+//
+// Model-based trilateration fits a log-distance path loss model to the
+// per-AP received powers and grid-searches the position minimizing the
+// distance residual (the TIX / Lim et al. family, meter-scale accuracy).
+// Weighted centroid is the crudest useful estimator. Both consume only
+// whole-dB RSS readings, matching what commodity hardware exposes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::baselines {
+
+struct RssiReading {
+  geom::Vec2 ap_position;
+  double rssi_dbm = 0.0;  // quantized to whole dB by the caller
+};
+
+struct LogDistanceModel {
+  /// Power at the reference distance (1 m), dBm.
+  double p0_dbm = -30.0;
+  /// Path loss exponent; 2 free space, 3-4 cluttered indoors.
+  double exponent = 3.0;
+
+  double predict_dbm(double distance_m) const;
+  double invert_distance_m(double rssi_dbm) const;
+};
+
+/// Grid-searched trilateration: position minimizing the sum of squared
+/// differences between measured and model-predicted RSS.
+std::optional<geom::Vec2> rssi_trilaterate(const std::vector<RssiReading>& readings,
+                                           const LogDistanceModel& model,
+                                           const geom::Rect& bounds,
+                                           double grid_step_m = 0.25);
+
+/// Weighted centroid of AP positions, weights = linearized RSS.
+std::optional<geom::Vec2> rssi_weighted_centroid(
+    const std::vector<RssiReading>& readings);
+
+}  // namespace arraytrack::baselines

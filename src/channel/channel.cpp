@@ -1,0 +1,290 @@
+#include "channel/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arraytrack::channel {
+namespace {
+
+// FNV-1a over the reflecting wall sequence: gives each distinct path
+// its own deterministic scatter field.
+std::uint64_t path_key(const geom::RayPath& path, std::uint64_t seed,
+                       std::uint64_t salt) {
+  std::uint64_t h = 1469598103934665603ull ^ seed ^ (salt * 0x9e3779b97f4a7c15ull);
+  for (std::size_t w : path.wall_ids) {
+    h ^= w + 1;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Spatial correlation length of the rough-surface scatter fields: a
+// 5 cm transmitter move substantially decorrelates a reflected path's
+// phase and bearing (paper Table 1: ~79% of reflections shift by more
+// than 5 degrees) while the direct path is untouched.
+constexpr double kScatterCorrelationM = 0.05;
+
+double polarization_loss_db(double mismatch_deg) {
+  const double c = std::abs(std::cos(deg2rad(mismatch_deg)));
+  if (c < 1e-9) return 20.0;
+  return std::min(20.0, -20.0 * std::log10(c));
+}
+
+}  // namespace
+
+double PathComponent::amplitude_at(double distance_m,
+                                   const ChannelConfig& cfg) const {
+  const double d = std::max(distance_m, 0.5);
+  const double fspl_db =
+      20.0 * std::log10(4.0 * kPi * d / cfg.wavelength_m());
+  const double rx_dbm = cfg.tx_power_dbm - fspl_db - total_loss_db;
+  return std::pow(10.0, rx_dbm / 20.0);
+}
+
+MultipathChannel::MultipathChannel(const geom::Floorplan* plan,
+                                   ChannelConfig cfg, std::uint64_t seed)
+    : plan_(plan), cfg_(cfg), seed_(seed) {}
+
+double MultipathChannel::path_roughness(const geom::RayPath& path) const {
+  if (path.wall_ids.empty()) return 0.0;
+  double r = 0.0;
+  for (std::size_t w : path.wall_ids)
+    r += geom::scatter_roughness(plan_->walls()[w].material);
+  return cfg_.scatter_scale * r / double(path.wall_ids.size());
+}
+
+double MultipathChannel::path_phase_jitter(const geom::RayPath& path,
+                                           const geom::Vec2& tx) const {
+  const double rough = path_roughness(path);
+  if (rough == 0.0) return 0.0;
+  const SpatialField field(path_key(path, seed_, 1), kScatterCorrelationM);
+  return rough * kPi * field.value(tx);
+}
+
+double MultipathChannel::path_bearing_jitter(const geom::RayPath& path,
+                                             const geom::Vec2& tx) const {
+  const double rough = path_roughness(path);
+  if (rough == 0.0) return 0.0;
+  const SpatialField field(path_key(path, seed_, 2), kScatterCorrelationM);
+  return rough * deg2rad(12.0) * field.value(tx);
+}
+
+double MultipathChannel::path_amplitude_jitter_db(const geom::RayPath& path,
+                                                  const geom::Vec2& tx) const {
+  const double rough = path_roughness(path);
+  if (rough == 0.0) return 0.0;
+  // Small-scale fading of the specular reflection off a rough surface:
+  // a few centimeters of motion can swing the coherent reflection by
+  // several dB, making reflection peaks appear and vanish (the
+  // "peak vanishes" case of the paper's Table 1 methodology).
+  const SpatialField field(path_key(path, seed_, 3), kScatterCorrelationM);
+  return rough * 5.0 * field.value(tx);
+}
+
+std::vector<PathComponent> MultipathChannel::components(
+    const geom::Vec2& tx, const geom::Vec2& rx) const {
+  geom::PathFinderOptions opt;
+  opt.max_order = cfg_.max_reflection_order;
+  const auto rays = geom::find_paths(*plan_, tx, rx, opt);
+
+  const double pol_db = polarization_loss_db(cfg_.polarization_mismatch_deg);
+  const double dh = cfg_.ap_height_m - cfg_.client_height_m;
+
+  std::vector<PathComponent> out;
+  out.reserve(rays.size());
+  for (const auto& ray : rays) {
+    PathComponent pc;
+    pc.order = ray.order();
+    pc.total_loss_db = ray.loss_db + pol_db;
+    // Rough surfaces divert specular energy into diffuse scatter: the
+    // coherent (specular) reflection weakens by ~6 dB at roughness 1,
+    // plus a position-dependent fading term.
+    pc.total_loss_db += 6.0 * path_roughness(ray) * double(ray.order());
+    pc.total_loss_db += path_amplitude_jitter_db(ray, tx);
+    pc.length_m = ray.length_m;
+
+    // Virtual (image) source: reflect the transmitter across each wall
+    // in bounce order; the 2-D distance from the result to any nearby
+    // antenna equals that antenna's exact path length.
+    geom::Vec2 src = tx;
+    for (std::size_t w : ray.wall_ids)
+      src = geom::reflect_across_line(src, plan_->walls()[w].a,
+                                      plan_->walls()[w].b);
+
+    // Rough-surface bearing jitter: rotate the image source about the
+    // receiver. The direct path has no jitter.
+    const double bearing_jitter = path_bearing_jitter(ray, tx);
+    if (bearing_jitter != 0.0) src = rx + (src - rx).rotated(bearing_jitter);
+
+    pc.virtual_source = src;
+    pc.phase_jitter_rad = path_phase_jitter(ray, tx);
+    pc.aoa_rad = (src - rx).angle();
+    out.push_back(pc);
+  }
+
+  // Sort strongest-first at the receiver reference (3-D distance).
+  auto amplitude_of = [&](const PathComponent& pc) {
+    const double d = std::hypot(geom::distance(pc.virtual_source, rx), dh);
+    return pc.amplitude_at(d, cfg_);
+  };
+  std::sort(out.begin(), out.end(),
+            [&](const PathComponent& a, const PathComponent& b) {
+              return amplitude_of(a) > amplitude_of(b);
+            });
+
+  // Prune the weak tail: relative power cutoff, then component count.
+  if (!out.empty() && cfg_.relative_cutoff_db > 0.0) {
+    const double min_amp =
+        amplitude_of(out.front()) *
+        std::pow(10.0, -cfg_.relative_cutoff_db / 20.0);
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const PathComponent& pc) {
+                               return amplitude_of(pc) < min_amp;
+                             }),
+              out.end());
+  }
+  if (cfg_.max_paths > 0 && out.size() > cfg_.max_paths)
+    out.resize(cfg_.max_paths);
+  return out;
+}
+
+ChannelResponse MultipathChannel::response(
+    const geom::Vec2& tx, const geom::Vec2& rx_ref,
+    std::span<const geom::Vec2> antennas,
+    std::span<const double> antenna_heights_m) const {
+  ChannelResponse resp;
+  resp.paths = components(tx, rx_ref);
+  resp.gains = linalg::CVector(antennas.size());
+
+  const double lambda = cfg_.wavelength_m();
+  auto dh_of = [&](std::size_t m) {
+    return antenna_heights_m.empty()
+               ? cfg_.ap_height_m - cfg_.client_height_m
+               : antenna_heights_m[m] - cfg_.client_height_m;
+  };
+
+  double direct_power = 0.0;
+  for (const auto& pc : resp.paths) {
+    for (std::size_t m = 0; m < antennas.size(); ++m) {
+      const double d2 = geom::distance(pc.virtual_source, antennas[m]);
+      const double d3 = std::hypot(d2, dh_of(m));
+      const double amp = pc.amplitude_at(d3, cfg_);
+      const double phase = -kTwoPi * d3 / lambda + pc.phase_jitter_rad;
+      resp.gains[m] += amp * std::exp(kJ * phase);
+      if (pc.direct() && m == 0) direct_power = amp * amp;
+    }
+  }
+
+  const double total =
+      resp.gains.squared_norm() / std::max<std::size_t>(antennas.size(), 1);
+  resp.total_power_dbm =
+      total > 0.0 ? dsp::linear_to_db(total) : -300.0;
+  resp.direct_power_dbm =
+      direct_power > 0.0 ? dsp::linear_to_db(direct_power) : -300.0;
+  return resp;
+}
+
+PathResponse MultipathChannel::path_response(
+    const geom::Vec2& tx, const geom::Vec2& rx_ref,
+    std::span<const geom::Vec2> antennas,
+    std::span<const double> antenna_heights_m) const {
+  PathResponse resp;
+  resp.paths = components(tx, rx_ref);
+  resp.gains = linalg::CMatrix(resp.paths.size(), antennas.size());
+  resp.delays.resize(resp.paths.size(), 0);
+
+  const double lambda = cfg_.wavelength_m();
+  const double dh = cfg_.ap_height_m - cfg_.client_height_m;
+  auto dh_of = [&](std::size_t m) {
+    return antenna_heights_m.empty()
+               ? dh
+               : antenna_heights_m[m] - cfg_.client_height_m;
+  };
+  const double samples_per_meter = cfg_.sample_rate_hz / kSpeedOfLight;
+
+  double min_delay = 1e300;
+  std::vector<double> raw_delay(resp.paths.size(), 0.0);
+  for (std::size_t p = 0; p < resp.paths.size(); ++p) {
+    const auto& pc = resp.paths[p];
+    const double d_ref =
+        std::hypot(geom::distance(pc.virtual_source, rx_ref), dh);
+    raw_delay[p] = d_ref * samples_per_meter;
+    min_delay = std::min(min_delay, raw_delay[p]);
+    for (std::size_t m = 0; m < antennas.size(); ++m) {
+      const double d3 = std::hypot(
+          geom::distance(pc.virtual_source, antennas[m]), dh_of(m));
+      const double amp = pc.amplitude_at(d3, cfg_);
+      const double phase = -kTwoPi * d3 / lambda + pc.phase_jitter_rad;
+      resp.gains(p, m) = amp * std::exp(kJ * phase);
+    }
+  }
+  double total = 0.0;
+  resp.delays_s.resize(resp.paths.size(), 0.0);
+  for (std::size_t p = 0; p < resp.paths.size(); ++p) {
+    resp.delays[p] = std::size_t(std::llround(raw_delay[p] - min_delay));
+    resp.delays_s[p] = (raw_delay[p] - min_delay) / cfg_.sample_rate_hz;
+    for (std::size_t m = 0; m < antennas.size(); ++m)
+      total += std::norm(resp.gains(p, m));
+  }
+  if (!antennas.empty()) total /= double(antennas.size());
+  resp.total_power_dbm = total > 0.0 ? dsp::linear_to_db(total) : -300.0;
+  return resp;
+}
+
+std::vector<std::vector<cplx>> MultipathChannel::apply(
+    const std::vector<cplx>& waveform, const geom::Vec2& tx,
+    const geom::Vec2& rx_ref, std::span<const geom::Vec2> antennas) const {
+  const auto paths = components(tx, rx_ref);
+  const double lambda = cfg_.wavelength_m();
+  const double dh = cfg_.ap_height_m - cfg_.client_height_m;
+  const double samples_per_meter = cfg_.sample_rate_hz / kSpeedOfLight;
+
+  // Delays relative to the earliest arrival across all antennas/paths.
+  double min_delay = 1e300;
+  double max_delay = 0.0;
+  for (const auto& pc : paths) {
+    for (const auto& ant : antennas) {
+      const double d3 = std::hypot(geom::distance(pc.virtual_source, ant), dh);
+      const double delay = d3 * samples_per_meter;
+      min_delay = std::min(min_delay, delay);
+      max_delay = std::max(max_delay, delay);
+    }
+  }
+  if (paths.empty()) min_delay = max_delay = 0.0;
+
+  const std::size_t extra = std::size_t(std::ceil(max_delay - min_delay)) + 2;
+  std::vector<std::vector<cplx>> out(
+      antennas.size(), std::vector<cplx>(waveform.size() + extra, cplx{}));
+
+  for (const auto& pc : paths) {
+    for (std::size_t m = 0; m < antennas.size(); ++m) {
+      const double d3 =
+          std::hypot(geom::distance(pc.virtual_source, antennas[m]), dh);
+      const double amp = pc.amplitude_at(d3, cfg_);
+      const double phase = -kTwoPi * d3 / lambda + pc.phase_jitter_rad;
+      const cplx gain = amp * std::exp(kJ * phase);
+
+      const double delay = d3 * samples_per_meter - min_delay;
+      const std::size_t k = std::size_t(delay);
+      const double f = delay - double(k);
+      // Linear-interpolation fractional delay.
+      for (std::size_t n = 0; n < waveform.size(); ++n) {
+        out[m][n + k] += gain * (1.0 - f) * waveform[n];
+        out[m][n + k + 1] += gain * f * waveform[n];
+      }
+    }
+  }
+  return out;
+}
+
+double MultipathChannel::snr_db(const geom::Vec2& tx, const geom::Vec2& rx_ref,
+                                std::span<const geom::Vec2> antennas) const {
+  const auto resp = response(tx, rx_ref, antennas);
+  return resp.total_power_dbm - cfg_.noise_floor_dbm;
+}
+
+double MultipathChannel::noise_power_mw() const {
+  return std::pow(10.0, cfg_.noise_floor_dbm / 10.0);
+}
+
+}  // namespace arraytrack::channel

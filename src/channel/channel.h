@@ -1,0 +1,172 @@
+// Indoor multipath RF channel model.
+//
+// Substitutes for the paper's physical 2.4 GHz office environment.
+// Paths are discovered geometrically (image method over the floorplan),
+// then each path is treated as a spherical wave radiating from its
+// final image point, which makes per-antenna amplitude and phase exact
+// rather than plane-wave approximations. Rough reflecting surfaces add
+// position-sensitive phase/bearing jitter to reflected paths only,
+// reproducing the direct-path-stable / reflections-twitchy behaviour
+// ArrayTrack's multipath suppression relies on (paper Table 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "channel/spatial_field.h"
+#include "dsp/noise.h"
+#include "geom/floorplan.h"
+#include "geom/paths.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace arraytrack::channel {
+
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+struct ChannelConfig {
+  double carrier_freq_hz = 2.437e9;  // WiFi channel 6
+  double sample_rate_hz = 40e6;      // ArrayTrack AP sampling rate
+
+  /// Client transmit power; with kNoiseFloorDbm this sets received SNR.
+  double tx_power_dbm = 15.0;
+  double noise_floor_dbm = -95.0;
+
+  /// Maximum specular reflection order simulated.
+  int max_reflection_order = 2;
+
+  /// Keep only the strongest `max_paths` components per link (0 = all).
+  /// An M-antenna array resolves only a handful of dominant arrivals;
+  /// the long tail of weak specular images behaves as extra noise and
+  /// is dropped, like a real channel's diffuse remainder below the
+  /// estimator's eigenvalue threshold.
+  std::size_t max_paths = 8;
+  /// Drop components more than this many dB below the strongest one.
+  double relative_cutoff_db = 30.0;
+
+  /// Client / AP antenna heights; a nonzero difference applies the
+  /// Appendix A elevation correction (3-D distances) to every path.
+  double client_height_m = 1.5;
+  double ap_height_m = 1.5;
+
+  /// Polarization mismatch between client and AP antennas, degrees.
+  /// 0 = aligned; 45 deg costs ~3 dB, 90 deg is capped at 20 dB as the
+  /// paper describes for linearly polarized antennas.
+  double polarization_mismatch_deg = 0.0;
+
+  /// Scaling of rough-surface jitter. 1.0 = calibrated default;
+  /// 0.0 disables scatter (ideal mirror walls).
+  double scatter_scale = 1.0;
+
+  double wavelength_m() const { return kSpeedOfLight / carrier_freq_hz; }
+};
+
+/// One resolved propagation path from a transmitter to the neighborhood
+/// of a receiver array.
+struct PathComponent {
+  /// Image-source position: per-antenna distance is the 2-D distance to
+  /// this point (already includes all bounces), with bearing jitter
+  /// applied by rotating the source about the receiver reference.
+  geom::Vec2 virtual_source;
+  double total_loss_db = 0.0;  // material + polarization (not free space)
+  double length_m = 0.0;       // path length to the rx reference point
+  double aoa_rad = 0.0;        // arrival azimuth at rx reference, global frame
+  double phase_jitter_rad = 0.0;
+  int order = 0;               // 0 = direct
+  bool direct() const { return order == 0; }
+
+  /// Received amplitude (linear, sqrt-mW) at 2-D distance d_m from the
+  /// virtual source, given carrier wavelength and tx power.
+  double amplitude_at(double distance_m, const ChannelConfig& cfg) const;
+};
+
+/// Per-antenna noiseless channel response plus summary statistics.
+struct ChannelResponse {
+  linalg::CVector gains;        // complex gain per rx antenna
+  std::vector<PathComponent> paths;
+  double direct_power_dbm = -300.0;   // strongest direct-path antenna power
+  double total_power_dbm = -300.0;    // combined response power (mean over antennas)
+};
+
+/// Per-path structure of the channel toward an antenna set: complex
+/// gain of each (path, antenna) pair plus each path's arrival delay in
+/// whole samples relative to the earliest path. Snapshot-level
+/// simulation needs this because a wideband transmit sequence makes
+/// paths with different delays *decorrelated* across snapshots — the
+/// property that lets spatially smoothed MUSIC resolve them.
+struct PathResponse {
+  linalg::CMatrix gains;             // rows = paths, cols = antennas
+  std::vector<std::size_t> delays;   // per path, samples, min == 0
+  /// Exact excess delay per path in seconds (min == 0); the continuous
+  /// quantity behind `delays`, needed by CSI synthesis and joint
+  /// angle-delay estimation.
+  std::vector<double> delays_s;
+  std::vector<PathComponent> paths;
+  double total_power_dbm = -300.0;   // like ChannelResponse
+};
+
+class MultipathChannel {
+ public:
+  /// `plan` must outlive the channel. `seed` fixes the scatter fields.
+  MultipathChannel(const geom::Floorplan* plan, ChannelConfig cfg,
+                   std::uint64_t seed = 7);
+
+  const ChannelConfig& config() const { return cfg_; }
+  ChannelConfig& config() { return cfg_; }
+  const geom::Floorplan& plan() const { return *plan_; }
+
+  /// Resolved paths from `tx` toward the receiver reference point `rx`.
+  /// Sorted by descending received power at the reference point.
+  std::vector<PathComponent> components(const geom::Vec2& tx,
+                                        const geom::Vec2& rx) const;
+
+  /// Narrowband complex gain at each antenna position for a client at
+  /// `tx`. `rx_ref` is the array reference (for path discovery and
+  /// jitter rotation); `antennas` are the element positions.
+  /// `antenna_heights_m` optionally gives each element its own height
+  /// (vertical arrays, 3-D extension); empty means all elements sit at
+  /// cfg.ap_height_m.
+  ChannelResponse response(const geom::Vec2& tx, const geom::Vec2& rx_ref,
+                           std::span<const geom::Vec2> antennas,
+                           std::span<const double> antenna_heights_m = {}) const;
+
+  /// Per-path gains and sample delays for a client at `tx` toward the
+  /// given antennas; see PathResponse.
+  PathResponse path_response(const geom::Vec2& tx, const geom::Vec2& rx_ref,
+                             std::span<const geom::Vec2> antennas,
+                             std::span<const double> antenna_heights_m = {}) const;
+
+  /// Wideband application: convolves `waveform` (sampled at
+  /// cfg.sample_rate_hz) through the channel to each antenna, applying
+  /// per-path integer+fractional sample delays relative to the shortest
+  /// path. Output rows = antennas, each `waveform.size() + max_delay`
+  /// samples, noiseless.
+  std::vector<std::vector<cplx>> apply(
+      const std::vector<cplx>& waveform, const geom::Vec2& tx,
+      const geom::Vec2& rx_ref, std::span<const geom::Vec2> antennas) const;
+
+  /// Mean received SNR (dB) over the given antennas for a client at tx.
+  double snr_db(const geom::Vec2& tx, const geom::Vec2& rx_ref,
+                std::span<const geom::Vec2> antennas) const;
+
+  /// Noise power in linear mW units matching amplitude_at's scale.
+  double noise_power_mw() const;
+
+ private:
+  // Deterministic jitter fields for a reflected path, keyed by the
+  // reflecting wall sequence.
+  double path_phase_jitter(const geom::RayPath& path,
+                           const geom::Vec2& tx) const;
+  double path_bearing_jitter(const geom::RayPath& path,
+                             const geom::Vec2& tx) const;
+  double path_amplitude_jitter_db(const geom::RayPath& path,
+                                  const geom::Vec2& tx) const;
+  double path_roughness(const geom::RayPath& path) const;
+
+  const geom::Floorplan* plan_;
+  ChannelConfig cfg_;
+  std::uint64_t seed_;
+};
+
+}  // namespace arraytrack::channel

@@ -1,0 +1,37 @@
+#include "channel/spatial_field.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "linalg/types.h"
+
+namespace arraytrack::channel {
+
+SpatialField::SpatialField(std::uint64_t seed, double correlation_length_m) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uangle(0.0, kTwoPi);
+  std::uniform_real_distribution<double> umag(0.6, 1.4);
+  const double k0 = kTwoPi / correlation_length_m;
+  double energy = 0.0;
+  for (int i = 0; i < kNumWaves; ++i) {
+    const double dir = uangle(rng);
+    const double mag = k0 * umag(rng);
+    kx_[i] = mag * std::cos(dir);
+    ky_[i] = mag * std::sin(dir);
+    phase_[i] = uangle(rng);
+    amp_[i] = umag(rng);
+    energy += amp_[i] * amp_[i];
+  }
+  const double norm = std::sqrt(2.0 / energy);
+  for (int i = 0; i < kNumWaves; ++i) amp_[i] *= norm;
+}
+
+double SpatialField::value(const geom::Vec2& pos) const {
+  double v = 0.0;
+  for (int i = 0; i < kNumWaves; ++i)
+    v += amp_[i] * std::sin(kx_[i] * pos.x + ky_[i] * pos.y + phase_[i]);
+  return std::clamp(v, -2.0, 2.0);
+}
+
+}  // namespace arraytrack::channel

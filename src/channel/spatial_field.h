@@ -1,0 +1,36 @@
+// Deterministic pseudo-random scalar fields over the floorplan.
+//
+// Rough surfaces (cubicle panels, cluttered walls) make a reflected
+// path's phase and bearing twitch when the transmitter moves a few
+// centimeters, while the direct path stays put — the phenomenon behind
+// the paper's Table 1 and its multipath suppression algorithm. We model
+// that with smooth random fields sampled at the transmitter position:
+// short correlation length, deterministic in (seed, position) so
+// repeated evaluations are consistent.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::channel {
+
+class SpatialField {
+ public:
+  /// `correlation_length_m` sets how far the transmitter must move for
+  /// the field value to decorrelate (~0.1 m reproduces the paper's
+  /// 5 cm-motion reflection instability).
+  SpatialField(std::uint64_t seed, double correlation_length_m);
+
+  /// Field value at `pos`, zero-mean, unit-ish variance, in [-2, 2].
+  double value(const geom::Vec2& pos) const;
+
+ private:
+  static constexpr int kNumWaves = 12;
+  double kx_[kNumWaves];
+  double ky_[kNumWaves];
+  double phase_[kNumWaves];
+  double amp_[kNumWaves];
+};
+
+}  // namespace arraytrack::channel

@@ -1,0 +1,37 @@
+#include "core/arraytrack.h"
+
+#include "array/geometry.h"
+
+namespace arraytrack::core {
+
+System::System(const geom::Floorplan* plan, SystemConfig cfg)
+    : plan_(plan), cfg_(cfg), channel_(plan, cfg.channel, cfg.seed) {
+  server_ = std::make_unique<ArrayTrackServer>(
+      plan_->bounds().expanded(cfg_.search_margin_m), cfg_.server);
+}
+
+int System::add_ap(geom::Vec2 position, double orientation_rad) {
+  // In-row pitch is the paper's half wavelength (6.13 cm). The second
+  // (diversity) row sits a quarter wavelength behind the first: the
+  // front/back phase difference of an off-row element is pi*sin(theta),
+  // which keeps the 2.3.4 side decision well-posed at every bearing —
+  // a half-wavelength gap would make it degenerate toward broadside.
+  const double spacing = channel_.config().wavelength_m() / 2.0;
+  auto geometry = array::ArrayGeometry::rectangular(cfg_.ap.radios, spacing,
+                                                    spacing / 2.0);
+  array::PlacedArray placed(std::move(geometry), position, orientation_rad);
+
+  phy::ApConfig ap_cfg = cfg_.ap;
+  const int id = int(aps_.size());
+  aps_.push_back(std::make_unique<phy::AccessPointFrontEnd>(
+      id, std::move(placed), &channel_, ap_cfg));
+  if (cfg_.auto_calibrate) aps_.back()->run_calibration();
+  server_->register_ap(aps_.back().get());
+  return id;
+}
+
+void System::transmit(int client_id, geom::Vec2 position, double time_s) {
+  for (auto& ap : aps_) ap->capture_snapshot(position, time_s, client_id);
+}
+
+}  // namespace arraytrack::core

@@ -1,0 +1,80 @@
+// Public facade for the ArrayTrack system.
+//
+// Wires together the channel simulator, AP front ends, and the central
+// server behind one object. Typical use:
+//
+//   geom::Floorplan plan = ...;
+//   core::System sys(&plan);
+//   sys.add_ap({1.0, 2.0}, /*orientation=*/0.0);
+//   sys.add_ap({20.0, 2.0}, kPi / 2);
+//   sys.transmit(/*client_id=*/0, {10.0, 5.0}, /*time_s=*/0.0);
+//   sys.transmit(0, {10.02, 5.03}, 0.03);   // small motion between frames
+//   auto fix = sys.locate(0, 0.05);
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channel/channel.h"
+#include "core/server.h"
+#include "geom/floorplan.h"
+#include "phy/frontend.h"
+
+namespace arraytrack::core {
+
+struct SystemConfig {
+  channel::ChannelConfig channel;
+  phy::ApConfig ap;
+  ServerOptions server;
+  /// Run the two-pass phase calibration automatically on each new AP.
+  bool auto_calibrate = true;
+  /// Margin added around the floorplan bounds for the search grid.
+  double search_margin_m = 0.0;
+  std::uint64_t seed = 7;
+};
+
+class System {
+ public:
+  /// `plan` must outlive the system.
+  explicit System(const geom::Floorplan* plan, SystemConfig cfg = {});
+
+  const SystemConfig& config() const { return cfg_; }
+  channel::MultipathChannel& channel() { return channel_; }
+  const channel::MultipathChannel& channel() const { return channel_; }
+  ArrayTrackServer& server() { return *server_; }
+  const ArrayTrackServer& server() const { return *server_; }
+
+  /// Adds a 16-antenna (2 x radios) rectangular-array AP at the given
+  /// pose, registers it with the server, and (by default) calibrates
+  /// it. Returns the AP id.
+  int add_ap(geom::Vec2 position, double orientation_rad);
+
+  std::size_t num_aps() const { return aps_.size(); }
+  phy::AccessPointFrontEnd& ap(int id) { return *aps_.at(std::size_t(id)); }
+  const phy::AccessPointFrontEnd& ap(int id) const {
+    return *aps_.at(std::size_t(id));
+  }
+
+  /// Simulates a client frame transmission: every AP hears it (fast
+  /// snapshot path) and buffers a capture.
+  void transmit(int client_id, geom::Vec2 position, double time_s);
+
+  /// Location estimate from the frames buffered in the last 100 ms.
+  std::optional<LocationEstimate> locate(int client_id, double now_s) const {
+    return server_->locate(client_id, now_s);
+  }
+
+  std::optional<Heatmap> heatmap(int client_id, double now_s) const {
+    return server_->heatmap(client_id, now_s);
+  }
+
+ private:
+  const geom::Floorplan* plan_;
+  SystemConfig cfg_;
+  channel::MultipathChannel channel_;
+  std::unique_ptr<ArrayTrackServer> server_;
+  std::vector<std::unique_ptr<phy::AccessPointFrontEnd>> aps_;
+};
+
+}  // namespace arraytrack::core

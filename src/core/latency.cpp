@@ -1,0 +1,27 @@
+#include "core/latency.h"
+
+#include <sstream>
+
+namespace arraytrack::core {
+
+std::string LatencyReport::to_string() const {
+  std::ostringstream os;
+  os << "Td(detect)=" << detection_s * 1e6 << " us, "
+     << "Tt(serialize)=" << serialization_s * 1e3 << " ms, "
+     << "Tl(bus)=" << bus_s * 1e3 << " ms, "
+     << "Tp(process)=" << processing_s * 1e3 << " ms, "
+     << "total(excl bus)=" << total_excl_bus_s() * 1e3 << " ms";
+  return os.str();
+}
+
+LatencyReport make_latency_report(const LatencyModel& model,
+                                  double measured_processing_s) {
+  LatencyReport r;
+  r.detection_s = model.detection_s;
+  r.serialization_s = model.serialization_s();
+  r.bus_s = model.bus_latency_s;
+  r.processing_s = measured_processing_s;
+  return r;
+}
+
+}  // namespace arraytrack::core

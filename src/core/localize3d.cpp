@@ -1,0 +1,187 @@
+#include "core/localize3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "aoa/covariance.h"
+#include "aoa/symmetry.h"
+
+namespace arraytrack::core {
+
+double Ap3dSpectrum::likelihood_toward(const geom::Vec2& xy, double z,
+                                       double floor) const {
+  const double world = (xy - ap_position).angle();
+  const double az = wrap_2pi(world - orientation_rad);
+  const double dist = geom::distance(xy, ap_position);
+  const double el = std::atan2(z - mount_height_m, std::max(dist, 0.01));
+  const double p_az = std::max(azimuth.value_at(az), floor);
+  const double p_el = std::max(elevation.value_at(el), floor);
+  return p_az * p_el;
+}
+
+array::ArrayGeometry make_3d_ap_geometry(double wavelength_m) {
+  const double s = wavelength_m / 2.0;
+  std::vector<geom::Vec2> offsets;
+  std::vector<double> z;
+  const double x0 = -0.5 * s * 7.0;
+  for (int i = 0; i < 8; ++i) {
+    offsets.push_back({x0 + s * double(i), 0.0});
+    z.push_back(0.0);
+  }
+  // Vertical column, a quarter wavelength behind the row so the column
+  // elements double as front/back (symmetry) discriminators.
+  for (int i = 0; i < 4; ++i) {
+    offsets.push_back({0.0, -wavelength_m / 4.0});
+    z.push_back(s * double(i + 1));
+  }
+  return array::ArrayGeometry(std::move(offsets), std::move(z));
+}
+
+Ap3dProcessor::Ap3dProcessor(const phy::AccessPointFrontEnd* ap,
+                             Pipeline3dOptions opt)
+    : ap_(ap), opt_(opt) {
+  const std::size_t need = opt_.row_elements + opt_.column_elements;
+  if (ap_->capture_elements().size() < need)
+    throw std::invalid_argument(
+        "Ap3dProcessor: capture smaller than row + column");
+  opt_.azimuth_music.smoothing_groups = std::max<std::size_t>(
+      1, std::min(opt_.azimuth_music.smoothing_groups,
+                  opt_.row_elements / 2));
+  opt_.elevation_music.smoothing_groups = std::max<std::size_t>(
+      1, std::min(opt_.elevation_music.smoothing_groups,
+                  opt_.column_elements / 2));
+}
+
+Ap3dSpectrum Ap3dProcessor::process(const phy::FrameCapture& frame) const {
+  const linalg::CMatrix samples = ap_->calibrated_samples(frame);
+  const double lambda = ap_->channel().config().wavelength_m();
+  const std::size_t rows = opt_.row_elements;
+  const std::size_t cols = opt_.column_elements;
+
+  Ap3dSpectrum out;
+  out.ap_position = ap_->array().position();
+  out.orientation_rad = ap_->array().orientation();
+  out.mount_height_m = ap_->channel().config().ap_height_m;
+
+  // Azimuth: MUSIC over the horizontal row.
+  std::vector<std::size_t> row_elements(rows);
+  for (std::size_t i = 0; i < rows; ++i) row_elements[i] = frame.element_ids[i];
+  aoa::MusicEstimator music(&ap_->array(), row_elements, lambda,
+                            opt_.azimuth_music);
+  out.azimuth = music.spectrum(samples.block(0, 0, rows, samples.cols()));
+  if (opt_.geometry_weighting) out.azimuth.apply_geometry_weighting();
+  if (opt_.symmetry_removal) {
+    std::vector<std::size_t> all(frame.element_ids.begin(),
+                                 frame.element_ids.end());
+    aoa::SymmetryOptions sym;
+    sym.suppression = opt_.symmetry_suppression;
+    aoa::SymmetryResolver resolver(&ap_->array(), all, lambda, sym);
+    resolver.resolve_per_peak(aoa::sample_covariance(samples), &out.azimuth);
+  }
+  if (opt_.bearing_sigma_deg > 0.0)
+    out.azimuth.convolve_gaussian(deg2rad(opt_.bearing_sigma_deg));
+  out.azimuth.normalize();
+
+  // Elevation: MUSIC over the vertical column.
+  std::vector<std::size_t> col_elements(cols);
+  linalg::CMatrix col_samples(cols, samples.cols());
+  for (std::size_t i = 0; i < cols; ++i) {
+    col_elements[i] = frame.element_ids[rows + i];
+    col_samples.set_row(i, samples.row(rows + i));
+  }
+  aoa::ElevationMusic elev(&ap_->array(), col_elements, lambda,
+                           opt_.elevation_music);
+  out.elevation = elev.spectrum(col_samples);
+  out.elevation.normalize();
+  return out;
+}
+
+Localizer3d::Localizer3d(geom::Rect bounds, Localizer3dOptions opt)
+    : bounds_(bounds), opt_(opt) {}
+
+double Localizer3d::likelihood(const std::vector<Ap3dSpectrum>& aps,
+                               const geom::Vec2& xy, double z) const {
+  double l = 1.0;
+  for (const auto& ap : aps) l *= ap.likelihood_toward(xy, z, opt_.floor);
+  return l;
+}
+
+Location3dEstimate Localizer3d::hill_climb(
+    const std::vector<Ap3dSpectrum>& aps, geom::Vec2 xy, double z) const {
+  double best = likelihood(aps, xy, z);
+  double step = opt_.hill_climb_step_m;
+  std::size_t iters = 0;
+  while (step >= opt_.hill_climb_min_step_m &&
+         iters < opt_.hill_climb_max_iters) {
+    ++iters;
+    bool improved = false;
+    const geom::Vec2 moves[4] = {{xy.x + step, xy.y},
+                                 {xy.x - step, xy.y},
+                                 {xy.x, xy.y + step},
+                                 {xy.x, xy.y - step}};
+    for (const auto& m : moves) {
+      if (!bounds_.contains(m)) continue;
+      const double l = likelihood(aps, m, z);
+      if (l > best) {
+        best = l;
+        xy = m;
+        improved = true;
+      }
+    }
+    for (double dz : {step, -step}) {
+      const double zz = std::clamp(z + dz, opt_.z_min_m, opt_.z_max_m);
+      const double l = likelihood(aps, xy, zz);
+      if (l > best) {
+        best = l;
+        z = zz;
+        improved = true;
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  return {xy, z, best};
+}
+
+std::optional<Location3dEstimate> Localizer3d::locate(
+    const std::vector<Ap3dSpectrum>& aps) const {
+  if (aps.empty()) return std::nullopt;
+
+  struct Cell {
+    double value;
+    geom::Vec2 xy;
+    double z;
+  };
+  std::vector<Cell> cells;
+  for (double z = opt_.z_min_m; z <= opt_.z_max_m + 1e-9; z += opt_.z_step_m)
+    for (double y = bounds_.min.y + opt_.grid_step_m / 2; y < bounds_.max.y;
+         y += opt_.grid_step_m)
+      for (double x = bounds_.min.x + opt_.grid_step_m / 2; x < bounds_.max.x;
+           x += opt_.grid_step_m)
+        cells.push_back({likelihood(aps, {x, y}, z), {x, y}, z});
+
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.value > b.value; });
+
+  std::vector<Cell> starts;
+  for (const auto& c : cells) {
+    if (starts.size() >= opt_.hill_climb_starts) break;
+    bool close = false;
+    for (const auto& s : starts)
+      if (geom::distance(s.xy, c.xy) < 3.0 * opt_.grid_step_m &&
+          std::abs(s.z - c.z) < 2.0 * opt_.z_step_m)
+        close = true;
+    if (!close) starts.push_back(c);
+  }
+
+  std::optional<Location3dEstimate> best;
+  for (const auto& s : starts) {
+    const auto e = hill_climb(aps, s.xy, s.z);
+    if (!best || e.likelihood > best->likelihood) best = e;
+  }
+  if (!best && !cells.empty())
+    best = Location3dEstimate{cells[0].xy, cells[0].z, cells[0].value};
+  return best;
+}
+
+}  // namespace arraytrack::core

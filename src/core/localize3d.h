@@ -1,0 +1,103 @@
+// Three-dimensional localization (the paper's 4.3.1 future work,
+// implemented): each AP carries the standard horizontal row plus a
+// vertical antenna column; azimuth and elevation spectra are fused
+// over an (x, y, z) grid, eliminating the height-difference bearing
+// bias of Appendix A by estimating height directly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "aoa/elevation.h"
+#include "aoa/music.h"
+#include "aoa/spectrum.h"
+#include "core/pipeline.h"
+#include "geom/vec2.h"
+#include "phy/frontend.h"
+
+namespace arraytrack::core {
+
+/// One AP's processed 3-D observation: azimuth spectrum (full circle,
+/// from the horizontal row) plus elevation spectrum (from the vertical
+/// column), tagged with the AP pose and mount height.
+struct Ap3dSpectrum {
+  geom::Vec2 ap_position;
+  double orientation_rad = 0.0;
+  double mount_height_m = 0.0;
+  aoa::AoaSpectrum azimuth;
+  aoa::ElevationSpectrum elevation;
+
+  /// Joint likelihood of a client at plan position `xy`, height `z`.
+  double likelihood_toward(const geom::Vec2& xy, double z,
+                           double floor) const;
+};
+
+struct Pipeline3dOptions {
+  /// Number of leading geometry elements forming the horizontal row.
+  std::size_t row_elements = 8;
+  /// Number of trailing geometry elements forming the vertical column.
+  std::size_t column_elements = 4;
+  aoa::MusicOptions azimuth_music{.smoothing_groups = 4};
+  aoa::ElevationMusicOptions elevation_music;
+  bool geometry_weighting = true;
+  bool symmetry_removal = true;
+  double symmetry_suppression = 0.01;
+  double bearing_sigma_deg = 2.0;
+};
+
+/// Processes L-array frame captures into Ap3dSpectrum observations.
+class Ap3dProcessor {
+ public:
+  Ap3dProcessor(const phy::AccessPointFrontEnd* ap,
+                Pipeline3dOptions opt = {});
+
+  Ap3dSpectrum process(const phy::FrameCapture& frame) const;
+
+ private:
+  const phy::AccessPointFrontEnd* ap_;
+  Pipeline3dOptions opt_;
+};
+
+struct Localizer3dOptions {
+  double grid_step_m = 0.25;
+  double z_min_m = 0.0;
+  double z_max_m = 2.2;
+  double z_step_m = 0.2;
+  double floor = 0.05;
+  std::size_t hill_climb_starts = 3;
+  double hill_climb_step_m = 0.1;
+  double hill_climb_min_step_m = 0.005;
+  std::size_t hill_climb_max_iters = 200;
+};
+
+struct Location3dEstimate {
+  geom::Vec2 position;
+  double height_m = 0.0;
+  double likelihood = 0.0;
+};
+
+class Localizer3d {
+ public:
+  Localizer3d(geom::Rect bounds, Localizer3dOptions opt = {});
+
+  double likelihood(const std::vector<Ap3dSpectrum>& aps,
+                    const geom::Vec2& xy, double z) const;
+
+  std::optional<Location3dEstimate> locate(
+      const std::vector<Ap3dSpectrum>& aps) const;
+
+ private:
+  Location3dEstimate hill_climb(const std::vector<Ap3dSpectrum>& aps,
+                                geom::Vec2 xy, double z) const;
+
+  geom::Rect bounds_;
+  Localizer3dOptions opt_;
+};
+
+/// The standard 3-D AP geometry: an 8-element half-wavelength row plus
+/// a 4-element vertical column mounted a quarter wavelength behind the
+/// row (so the column also provides front/back disambiguation).
+array::ArrayGeometry make_3d_ap_geometry(double wavelength_m);
+
+}  // namespace arraytrack::core

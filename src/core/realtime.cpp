@@ -1,0 +1,117 @@
+#include "core/realtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+
+namespace arraytrack::core {
+
+double RealtimeReport::latency_percentile(double p) const {
+  if (fixes.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(fixes.size());
+  for (const auto& f : fixes) lat.push_back(f.latency_s);
+  std::sort(lat.begin(), lat.end());
+  const double rank = (p / 100.0) * double(lat.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, lat.size() - 1);
+  const double frac = rank - double(lo);
+  return (1.0 - frac) * lat[lo] + frac * lat[hi];
+}
+
+double RealtimeReport::median_error_m() const {
+  if (fixes.empty()) return 0.0;
+  std::vector<double> e;
+  e.reserve(fixes.size());
+  for (const auto& f : fixes) e.push_back(f.error_m);
+  std::sort(e.begin(), e.end());
+  return e[e.size() / 2];
+}
+
+RealtimeSimulator::RealtimeSimulator(System* system, RealtimeOptions opt)
+    : system_(system), opt_(opt) {}
+
+RealtimeReport RealtimeSimulator::run(
+    const std::vector<FrameEvent>& schedule) {
+  RealtimeReport report;
+  report.frames_in = schedule.size();
+  if (schedule.empty()) return report;
+  report.duration_s = schedule.back().time_s - schedule.front().time_s;
+
+  struct Job {
+    double arrival_s;     // when the AoA record reaches the server
+    double frame_time_s;  // newest frame folded into this job
+    int client_id;
+    geom::Vec2 truth;
+  };
+
+  // Per-frame transport delay: detection completes Td after the
+  // preamble begins; the samples then serialize over the link and
+  // cross the bus.
+  const double transport = opt_.latency.detection_s +
+                           opt_.latency.serialization_s() +
+                           opt_.latency.bus_latency_s;
+
+  std::deque<Job> queue;
+  double server_free_s = 0.0;
+
+  auto process_ready_jobs = [&](double now_s) {
+    // A job leaves the queue only when the server has actually reached
+    // it in simulated time; a busy server leaves later jobs queued so
+    // newer frames can still coalesce into them.
+    while (!queue.empty() &&
+           std::max(server_free_s, queue.front().arrival_s) <= now_s) {
+      const Job job = queue.front();
+      queue.pop_front();
+      const double start = std::max(server_free_s, job.arrival_s);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto fix = system_->locate(job.client_id, job.frame_time_s + 1e-4);
+      const double tp =
+          opt_.processing_scale *
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      server_free_s = start + tp;
+
+      if (fix) {
+        FixRecord rec;
+        rec.client_id = job.client_id;
+        rec.frame_time_s = job.frame_time_s;
+        rec.ready_time_s = server_free_s;
+        rec.latency_s = server_free_s - job.frame_time_s;
+        rec.position = fix->position;
+        rec.error_m = geom::distance(fix->position, job.truth);
+        report.fixes.push_back(rec);
+      }
+    }
+  };
+
+  for (const auto& ev : schedule) {
+    process_ready_jobs(ev.time_s);
+    system_->transmit(ev.client_id, ev.position, ev.time_s);
+
+    // Coalesce with a queued (not yet started) job for this client.
+    bool coalesced = false;
+    if (opt_.coalesce_per_client) {
+      for (auto& job : queue) {
+        if (job.client_id == ev.client_id) {
+          job.frame_time_s = ev.time_s;
+          job.truth = ev.position;
+          job.arrival_s = ev.time_s + transport;
+          ++report.jobs_coalesced;
+          coalesced = true;
+          break;
+        }
+      }
+    }
+    if (!coalesced)
+      queue.push_back({ev.time_s + transport, ev.time_s, ev.client_id,
+                       ev.position});
+  }
+  // Drain everything after the last frame.
+  process_ready_jobs(schedule.back().time_s + transport + 3600.0);
+  return report;
+}
+
+}  // namespace arraytrack::core

@@ -1,0 +1,77 @@
+#include "core/server.h"
+
+#include <algorithm>
+
+namespace arraytrack::core {
+
+ArrayTrackServer::ArrayTrackServer(geom::Rect bounds, ServerOptions opt)
+    : opt_(opt), localizer_(bounds, opt.localizer) {}
+
+void ArrayTrackServer::register_ap(const phy::AccessPointFrontEnd* ap) {
+  Entry e;
+  e.ap = ap;
+  e.processor = std::make_unique<ApProcessor>(ap, opt_.pipeline);
+  aps_.push_back(std::move(e));
+}
+
+void ArrayTrackServer::set_pipeline(const PipelineOptions& pipeline) {
+  opt_.pipeline = pipeline;
+  for (auto& entry : aps_)
+    entry.processor = std::make_unique<ApProcessor>(entry.ap, pipeline);
+}
+
+std::optional<LocationEstimate> ArrayTrackServer::locate_tracked(
+    int client_id, double now_s) {
+  auto fix = locate(client_id, now_s);
+  if (!fix) return std::nullopt;
+  auto& tracker = trackers_[client_id];
+  fix->position = tracker.update(fix->position, now_s);
+  return fix;
+}
+
+std::vector<ApSpectrum> ArrayTrackServer::client_spectra(int client_id,
+                                                         double now_s) const {
+  std::vector<ApSpectrum> out;
+  for (const auto& entry : aps_) {
+    auto frames = entry.ap->buffer().recent_from(
+        client_id, now_s, opt_.suppression.max_group_spacing_s);
+    if (frames.empty()) continue;
+
+    // Use at most max_group of the newest frames (paper: two to three).
+    const std::size_t use =
+        std::min(frames.size(), opt_.suppression.max_group);
+    std::vector<aoa::AoaSpectrum> group;
+    group.reserve(use);
+    for (std::size_t i = frames.size() - use; i < frames.size(); ++i)
+      group.push_back(entry.processor->process(frames[i]));
+
+    aoa::AoaSpectrum fused =
+        opt_.multipath_suppression
+            ? suppress_multipath(group, opt_.suppression)
+            : group.front();
+    fused.normalize();
+
+    ApSpectrum tagged;
+    tagged.ap_position = entry.ap->array().position();
+    tagged.orientation_rad = entry.ap->array().orientation();
+    tagged.spectrum = std::move(fused);
+    out.push_back(std::move(tagged));
+  }
+  return out;
+}
+
+std::optional<LocationEstimate> ArrayTrackServer::locate(int client_id,
+                                                         double now_s) const {
+  const auto spectra = client_spectra(client_id, now_s);
+  if (spectra.empty()) return std::nullopt;
+  return localizer_.locate(spectra);
+}
+
+std::optional<Heatmap> ArrayTrackServer::heatmap(int client_id,
+                                                 double now_s) const {
+  const auto spectra = client_spectra(client_id, now_s);
+  if (spectra.empty()) return std::nullopt;
+  return localizer_.heatmap(spectra);
+}
+
+}  // namespace arraytrack::core

@@ -1,0 +1,86 @@
+// The central ArrayTrack server (Fig. 1, right side).
+//
+// Pulls per-frame snapshots from every registered AP's circular buffer,
+// runs the per-AP spectrum pipeline, groups recent frames for multipath
+// suppression, and synthesizes all APs' spectra into a location.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/suppression.h"
+#include "core/synthesis.h"
+#include "core/tracker.h"
+#include "phy/frontend.h"
+
+namespace arraytrack::core {
+
+struct ServerOptions {
+  PipelineOptions pipeline;
+  SuppressionOptions suppression;
+  LocalizerOptions localizer;
+  /// Master switch for the 2.4 suppression step (off reproduces the
+  /// paper's "unoptimized" curves when pipeline toggles are also off).
+  bool multipath_suppression = true;
+};
+
+class ArrayTrackServer {
+ public:
+  ArrayTrackServer(geom::Rect bounds, ServerOptions opt = {});
+
+  const ServerOptions& options() const { return opt_; }
+  const Localizer& localizer() const { return localizer_; }
+
+  /// Replaces the pipeline options and rebuilds every registered AP's
+  /// processor (the processors bake steering tables at construction,
+  /// so mutating options in place would silently do nothing).
+  void set_pipeline(const PipelineOptions& pipeline);
+
+  /// Toggles the 2.4 suppression step.
+  void set_multipath_suppression(bool on) { opt_.multipath_suppression = on; }
+
+  /// Registers an AP; the front end must outlive the server.
+  void register_ap(const phy::AccessPointFrontEnd* ap);
+  std::size_t num_aps() const { return aps_.size(); }
+
+  /// Per-AP fused spectrum for a client: processes the frames the AP
+  /// heard from `client_id` within the suppression window ending at
+  /// `now_s` and applies multipath suppression across them. Returns
+  /// one tagged spectrum per AP that heard the client.
+  std::vector<ApSpectrum> client_spectra(int client_id, double now_s) const;
+
+  /// End-to-end location estimate (equation 8 + hill climbing).
+  std::optional<LocationEstimate> locate(int client_id, double now_s) const;
+
+  /// The likelihood heatmap for a client (Fig. 14).
+  std::optional<Heatmap> heatmap(int client_id, double now_s) const;
+
+  /// Location directly from caller-supplied spectra (used by benches
+  /// that construct spectra out of band).
+  std::optional<LocationEstimate> locate_from_spectra(
+      const std::vector<ApSpectrum>& spectra) const {
+    return localizer_.locate(spectra);
+  }
+
+  /// Like locate(), but smoothed through a per-client constant-velocity
+  /// Kalman tracker with outlier gating — the trajectory the paper's
+  /// AR/retail applications consume. Falls back to the raw fix for a
+  /// client's first observation.
+  std::optional<LocationEstimate> locate_tracked(int client_id, double now_s);
+
+ private:
+  struct Entry {
+    const phy::AccessPointFrontEnd* ap;
+    std::unique_ptr<ApProcessor> processor;
+  };
+
+  ServerOptions opt_;
+  Localizer localizer_;
+  std::vector<Entry> aps_;
+  std::map<int, LocationTracker> trackers_;
+};
+
+}  // namespace arraytrack::core

@@ -1,0 +1,33 @@
+#include "core/sic.h"
+
+namespace arraytrack::core {
+
+aoa::AoaSpectrum sic_cancel(const aoa::AoaSpectrum& first,
+                            aoa::AoaSpectrum contaminated,
+                            const SicOptions& opt) {
+  const auto first_peaks = first.find_peaks(opt.peak_floor);
+  for (const auto& p : first_peaks) {
+    // Only cancel where the contaminated spectrum actually has a
+    // matching lobe; removing at an arbitrary bearing would carve holes
+    // in the second packet's own peaks.
+    for (const auto& q : contaminated.find_peaks(opt.peak_floor)) {
+      if (aoa::bearing_distance(p.bearing_rad, q.bearing_rad) <=
+          opt.match_tolerance_rad) {
+        contaminated.remove_lobe(q.bearing_rad);
+        break;
+      }
+    }
+  }
+  contaminated.normalize();
+  return contaminated;
+}
+
+double preamble_collision_probability(std::size_t packet_bytes,
+                                      double bitrate_bps, double preamble_s) {
+  const double airtime_s = double(packet_bytes) * 8.0 / bitrate_bps;
+  if (airtime_s <= 0.0) return 1.0;
+  const double p = preamble_s / airtime_s;
+  return p > 1.0 ? 1.0 : p;
+}
+
+}  // namespace arraytrack::core

@@ -1,0 +1,37 @@
+// Successive interference cancellation for packet collisions
+// (paper 4.3.5).
+//
+// When two packets collide but their preambles do not overlap,
+// ArrayTrack detects both and computes an AoA spectrum for each. The
+// second spectrum is contaminated by the first packet's body, so its
+// peaks contain BOTH transmitters' bearings; removing the peaks already
+// attributed to the first packet recovers the second packet's AoA.
+#pragma once
+
+#include "aoa/spectrum.h"
+
+namespace arraytrack::core {
+
+struct SicOptions {
+  /// Peaks of the first spectrum within this tolerance of a peak in the
+  /// second are cancelled.
+  double match_tolerance_rad = deg2rad(5.0);
+  /// Ignore first-spectrum peaks below this fraction of its maximum.
+  double peak_floor = 0.08;
+};
+
+/// Removes from `contaminated` every lobe that matches a peak of
+/// `first` (the earlier packet's clean spectrum). Returns the cleaned,
+/// re-normalized spectrum for the second packet.
+aoa::AoaSpectrum sic_cancel(const aoa::AoaSpectrum& first,
+                            aoa::AoaSpectrum contaminated,
+                            const SicOptions& opt = {});
+
+/// Probability that two preambles overlap when two packets of
+/// `packet_bytes` collide (the paper's 0.6% for 1000-byte packets):
+/// preamble_airtime / packet_airtime, both at `bitrate_bps`.
+double preamble_collision_probability(std::size_t packet_bytes,
+                                      double bitrate_bps,
+                                      double preamble_s = 16e-6);
+
+}  // namespace arraytrack::core

@@ -1,0 +1,85 @@
+#include "core/suppression.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arraytrack::core {
+
+namespace {
+
+// Total power of `candidate`'s peaks that pair (within tolerance) with
+// a peak in EVERY other spectrum of the group.
+double paired_power(const std::vector<aoa::AoaSpectrum>& group,
+                    std::size_t candidate, std::size_t use,
+                    const SuppressionOptions& opt,
+                    std::vector<bool>* paired_out = nullptr) {
+  const auto peaks = group[candidate].find_peaks(opt.peak_floor);
+  if (paired_out) paired_out->assign(peaks.size(), false);
+  double total = 0.0;
+  for (std::size_t p = 0; p < peaks.size(); ++p) {
+    bool everywhere = true;
+    for (std::size_t i = 0; i < use && everywhere; ++i) {
+      if (i == candidate) continue;
+      bool found = false;
+      for (const auto& other : group[i].find_peaks(opt.peak_floor)) {
+        if (aoa::bearing_distance(peaks[p].bearing_rad, other.bearing_rad) <=
+            opt.match_tolerance_rad) {
+          found = true;
+          break;
+        }
+      }
+      everywhere = found;
+    }
+    if (everywhere) {
+      total += peaks[p].power;
+      if (paired_out) (*paired_out)[p] = true;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+aoa::AoaSpectrum suppress_multipath(const std::vector<aoa::AoaSpectrum>& group,
+                                    const SuppressionOptions& opt) {
+  if (group.empty())
+    throw std::invalid_argument("suppress_multipath: empty group");
+
+  if (group.size() < opt.min_group) return group.front();
+
+  const std::size_t use =
+      std::min(group.size(), std::max(opt.max_group, opt.min_group));
+
+  // Fig. 8 step 2 says "arbitrarily choose one AoA spectrum as the
+  // primary"; we exploit that freedom and pick the spectrum whose peaks
+  // pair best with the rest of the group — a frame caught in a deep
+  // coherent fade has displaced peaks that pair with nothing, and
+  // choosing it as primary would erase the direct path.
+  std::size_t best = 0;
+  double best_power = -1.0;
+  for (std::size_t c = 0; c < use; ++c) {
+    const double p = paired_power(group, c, use, opt);
+    if (p > best_power) {
+      best_power = p;
+      best = c;
+    }
+  }
+
+  aoa::AoaSpectrum primary = group[best];
+  const auto peaks = primary.find_peaks(opt.peak_floor);
+  std::vector<bool> paired;
+  paired_power(group, best, use, opt, &paired);
+
+  // If nothing pairs (every frame disagrees with every other), keep the
+  // primary untouched: a multipath-rich spectrum still localizes better
+  // than an empty one.
+  bool any = false;
+  for (bool b : paired) any |= b;
+  if (!any) return primary;
+
+  for (std::size_t p = 0; p < peaks.size(); ++p)
+    if (!paired[p]) primary.remove_lobe(peaks[p].bearing_rad);
+  return primary;
+}
+
+}  // namespace arraytrack::core

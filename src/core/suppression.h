@@ -1,0 +1,37 @@
+// Multipath suppression (paper 2.4, Fig. 8).
+//
+// Reflection-path peaks twitch when the transmitter moves a few
+// centimeters; the direct-path peak holds still (Table 1). Grouping the
+// AoA spectra of two or three frames received within 100 ms and
+// deleting primary-spectrum peaks that have no stable partner in the
+// others therefore removes predominantly reflection peaks.
+#pragma once
+
+#include <vector>
+
+#include "aoa/spectrum.h"
+
+namespace arraytrack::core {
+
+struct SuppressionOptions {
+  /// Frames farther apart than this are never grouped (paper: 100 ms).
+  double max_group_spacing_s = 0.100;
+  /// A peak "pairs" with another spectrum's peak within this tolerance
+  /// (paper: 5 degrees).
+  double match_tolerance_rad = deg2rad(5.0);
+  /// Group size bounds (paper: two to three spectra).
+  std::size_t min_group = 2;
+  std::size_t max_group = 3;
+  /// Ignore peaks weaker than this fraction of the spectrum maximum.
+  double peak_floor = 0.08;
+};
+
+/// Applies the suppression algorithm to a group of spectra from frames
+/// already verified to be close in time. The first spectrum is the
+/// primary; peaks without a partner in EVERY other spectrum are erased.
+/// A group smaller than min_group passes the primary through unchanged
+/// (step 1 of Fig. 8).
+aoa::AoaSpectrum suppress_multipath(const std::vector<aoa::AoaSpectrum>& group,
+                                    const SuppressionOptions& opt = {});
+
+}  // namespace arraytrack::core

@@ -1,0 +1,163 @@
+#include "core/synthesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+namespace arraytrack::core {
+
+double ApSpectrum::likelihood_toward(const geom::Vec2& x, double floor) const {
+  const double world_bearing = (x - ap_position).angle();
+  const double local = wrap_2pi(world_bearing - orientation_rad);
+  return std::max(spectrum.value_at(local), floor);
+}
+
+geom::Vec2 Heatmap::cell_center(std::size_t ix, std::size_t iy) const {
+  const double sx = bounds.width() / double(nx);
+  const double sy = bounds.height() / double(ny);
+  return {bounds.min.x + (double(ix) + 0.5) * sx,
+          bounds.min.y + (double(iy) + 0.5) * sy};
+}
+
+double Heatmap::max_value() const {
+  return cells.empty() ? 0.0 : *std::max_element(cells.begin(), cells.end());
+}
+
+std::string Heatmap::to_ascii(std::size_t width) const {
+  static const char kShades[] = " .:-=+*#%@";
+  if (cells.empty() || nx == 0 || ny == 0) return "";
+  const std::size_t height =
+      std::max<std::size_t>(1, width * ny / (nx * 2));  // chars ~2:1 aspect
+  const double top = max_value();
+  std::ostringstream os;
+  for (std::size_t r = 0; r < height; ++r) {
+    // Top row shows max y.
+    const std::size_t iy = (height - 1 - r) * ny / height;
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t ix = c * nx / width;
+      const double v = top > 0.0 ? at(ix, iy) / top : 0.0;
+      const int shade = std::min(9, int(v * 9.999));
+      os << kShades[shade];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Localizer::Localizer(geom::Rect bounds, LocalizerOptions opt)
+    : bounds_(bounds), opt_(opt) {}
+
+double Localizer::likelihood(const std::vector<ApSpectrum>& aps,
+                             const geom::Vec2& x) const {
+  double l = 1.0;
+  for (const auto& ap : aps) l *= ap.likelihood_toward(x, opt_.floor);
+  return l;
+}
+
+Heatmap Localizer::heatmap(const std::vector<ApSpectrum>& aps) const {
+  Heatmap map;
+  map.bounds = bounds_;
+  map.nx = std::max<std::size_t>(1, std::size_t(bounds_.width() / opt_.grid_step_m));
+  map.ny = std::max<std::size_t>(1, std::size_t(bounds_.height() / opt_.grid_step_m));
+  map.cells.assign(map.nx * map.ny, 0.0);
+
+  std::size_t workers = opt_.threads;
+  if (workers == 0)
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<std::size_t>(workers, map.ny);
+
+  auto run_rows = [&](std::size_t y0, std::size_t y1) {
+    for (std::size_t iy = y0; iy < y1; ++iy)
+      for (std::size_t ix = 0; ix < map.nx; ++ix)
+        map.cells[iy * map.nx + ix] =
+            likelihood(aps, map.cell_center(ix, iy));
+  };
+
+  if (workers <= 1) {
+    run_rows(0, map.ny);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (map.ny + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t y0 = w * chunk;
+      const std::size_t y1 = std::min(map.ny, y0 + chunk);
+      if (y0 < y1) pool.emplace_back(run_rows, y0, y1);
+    }
+    for (auto& t : pool) t.join();
+  }
+  return map;
+}
+
+LocationEstimate Localizer::hill_climb(const std::vector<ApSpectrum>& aps,
+                                       geom::Vec2 start) const {
+  geom::Vec2 pos = start;
+  double best = likelihood(aps, pos);
+  double step = opt_.hill_climb_step_m;
+  std::size_t iters = 0;
+  while (step >= opt_.hill_climb_min_step_m &&
+         iters < opt_.hill_climb_max_iters) {
+    ++iters;
+    const geom::Vec2 candidates[4] = {{pos.x + step, pos.y},
+                                      {pos.x - step, pos.y},
+                                      {pos.x, pos.y + step},
+                                      {pos.x, pos.y - step}};
+    bool improved = false;
+    for (const auto& c : candidates) {
+      if (!bounds_.contains(c)) continue;
+      const double l = likelihood(aps, c);
+      if (l > best) {
+        best = l;
+        pos = c;
+        improved = true;
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  return {pos, best};
+}
+
+std::optional<LocationEstimate> Localizer::locate(
+    const std::vector<ApSpectrum>& aps) const {
+  if (aps.empty()) return std::nullopt;
+  const Heatmap map = heatmap(aps);
+
+  // Top-K grid cells, separated so the starts are not adjacent cells of
+  // the same mode.
+  struct Cell {
+    double value;
+    std::size_t ix, iy;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(map.cells.size());
+  for (std::size_t iy = 0; iy < map.ny; ++iy)
+    for (std::size_t ix = 0; ix < map.nx; ++ix)
+      cells.push_back({map.at(ix, iy), ix, iy});
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.value > b.value; });
+
+  std::vector<geom::Vec2> starts;
+  for (const auto& c : cells) {
+    if (starts.size() >= opt_.hill_climb_starts) break;
+    const geom::Vec2 p = map.cell_center(c.ix, c.iy);
+    bool close = false;
+    for (const auto& s : starts)
+      if (geom::distance(s, p) < 3.0 * opt_.grid_step_m) close = true;
+    if (!close) starts.push_back(p);
+  }
+
+  std::optional<LocationEstimate> best;
+  for (const auto& s : starts) {
+    const LocationEstimate e = hill_climb(aps, s);
+    if (!best || e.likelihood > best->likelihood) best = e;
+  }
+  if (!best && !cells.empty()) {
+    // hill_climb_starts == 0: grid-only mode (latency ablation).
+    const geom::Vec2 p = map.cell_center(cells[0].ix, cells[0].iy);
+    best = LocationEstimate{p, cells[0].value};
+  }
+  return best;
+}
+
+}  // namespace arraytrack::core

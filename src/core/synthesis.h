@@ -1,0 +1,87 @@
+// AoA spectra synthesis: combining per-AP spectra into a position
+// (paper 2.5). Likelihood of the client at x is the product of every
+// AP's spectrum evaluated at the bearing from that AP to x; searched on
+// a 10 cm grid, then refined with hill climbing from the top grid cells.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "aoa/spectrum.h"
+#include "geom/vec2.h"
+
+namespace arraytrack::core {
+
+/// A processed spectrum together with the pose of the AP that made it.
+struct ApSpectrum {
+  geom::Vec2 ap_position;
+  double orientation_rad = 0.0;
+  aoa::AoaSpectrum spectrum;
+
+  /// Spectrum value at the bearing from this AP toward world point x.
+  double likelihood_toward(const geom::Vec2& x, double floor) const;
+};
+
+struct LocalizerOptions {
+  double grid_step_m = 0.10;         // paper: 10 cm x 10 cm grid
+  std::size_t hill_climb_starts = 3; // paper: top three grid positions
+  double hill_climb_step_m = 0.05;
+  double hill_climb_min_step_m = 0.001;
+  std::size_t hill_climb_max_iters = 200;
+  /// Per-AP likelihood floor: keeps one blocked or wrong-sided AP from
+  /// zeroing the whole product (the paper's synthesis works because a
+  /// disagreeing AP only weakens a location, it does not veto it).
+  double floor = 0.05;
+  /// Worker threads for the grid evaluation; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+struct LocationEstimate {
+  geom::Vec2 position;
+  double likelihood = 0.0;
+};
+
+/// Dense likelihood map over the search bounds (paper Fig. 14).
+struct Heatmap {
+  geom::Rect bounds;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::vector<double> cells;  // row-major, y-major rows
+
+  double at(std::size_t ix, std::size_t iy) const {
+    return cells[iy * nx + ix];
+  }
+  geom::Vec2 cell_center(std::size_t ix, std::size_t iy) const;
+  double max_value() const;
+  /// ASCII rendering (top row = max y), for benches and examples.
+  std::string to_ascii(std::size_t width = 72) const;
+};
+
+class Localizer {
+ public:
+  explicit Localizer(geom::Rect bounds, LocalizerOptions opt = {});
+
+  const geom::Rect& bounds() const { return bounds_; }
+  const LocalizerOptions& options() const { return opt_; }
+
+  /// L(x) = prod_i P_i(theta_i(x)); equation 8.
+  double likelihood(const std::vector<ApSpectrum>& aps,
+                    const geom::Vec2& x) const;
+
+  Heatmap heatmap(const std::vector<ApSpectrum>& aps) const;
+
+  /// Full pipeline: grid search, then hill climbing from the top
+  /// `hill_climb_starts` cells. Empty input yields nullopt.
+  std::optional<LocationEstimate> locate(
+      const std::vector<ApSpectrum>& aps) const;
+
+ private:
+  LocationEstimate hill_climb(const std::vector<ApSpectrum>& aps,
+                              geom::Vec2 start) const;
+
+  geom::Rect bounds_;
+  LocalizerOptions opt_;
+};
+
+}  // namespace arraytrack::core

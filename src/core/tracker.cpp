@@ -1,0 +1,132 @@
+#include "core/tracker.h"
+
+#include <cmath>
+
+namespace arraytrack::core {
+namespace {
+
+inline double& at(std::array<double, 16>& m, int r, int c) {
+  return m[std::size_t(r * 4 + c)];
+}
+inline double at(const std::array<double, 16>& m, int r, int c) {
+  return m[std::size_t(r * 4 + c)];
+}
+
+}  // namespace
+
+LocationTracker::LocationTracker(TrackerOptions opt) : opt_(opt) {}
+
+void LocationTracker::reset() {
+  initialized_ = false;
+  last_rejected_ = false;
+  state_ = {};
+  cov_ = {};
+}
+
+void LocationTracker::propagate(double dt) {
+  // x' = x + v*dt (constant velocity); F = [I, dt*I; 0, I].
+  state_[0] += state_[2] * dt;
+  state_[1] += state_[3] * dt;
+
+  // P' = F P F^T + Q, with Q the white-acceleration model.
+  std::array<double, 16> p = cov_;
+  // F P: row 0 += dt * row 2; row 1 += dt * row 3.
+  for (int c = 0; c < 4; ++c) {
+    at(p, 0, c) += dt * at(p, 2, c);
+    at(p, 1, c) += dt * at(p, 3, c);
+  }
+  // (F P) F^T: col 0 += dt * col 2; col 1 += dt * col 3.
+  for (int r = 0; r < 4; ++r) {
+    at(p, r, 0) += dt * at(p, r, 2);
+    at(p, r, 1) += dt * at(p, r, 3);
+  }
+  const double q = opt_.accel_noise * opt_.accel_noise;
+  const double dt2 = dt * dt;
+  const double q_pp = q * dt2 * dt2 / 4.0;
+  const double q_pv = q * dt2 * dt / 2.0;
+  const double q_vv = q * dt2;
+  at(p, 0, 0) += q_pp;
+  at(p, 1, 1) += q_pp;
+  at(p, 2, 2) += q_vv;
+  at(p, 3, 3) += q_vv;
+  at(p, 0, 2) += q_pv;
+  at(p, 2, 0) += q_pv;
+  at(p, 1, 3) += q_pv;
+  at(p, 3, 1) += q_pv;
+  cov_ = p;
+}
+
+geom::Vec2 LocationTracker::predict(double time_s) const {
+  const double dt = time_s - last_time_;
+  return {state_[0] + state_[2] * dt, state_[1] + state_[3] * dt};
+}
+
+geom::Vec2 LocationTracker::update(const geom::Vec2& fix, double time_s) {
+  last_rejected_ = false;
+  const double r = opt_.fix_noise_m * opt_.fix_noise_m;
+
+  if (!initialized_ || time_s - last_time_ > opt_.max_coast_s ||
+      time_s < last_time_) {
+    initialized_ = true;
+    last_time_ = time_s;
+    state_ = {fix.x, fix.y, 0.0, 0.0};
+    cov_ = {};
+    at(cov_, 0, 0) = r;
+    at(cov_, 1, 1) = r;
+    at(cov_, 2, 2) = 4.0;  // unknown velocity, ~2 m/s std
+    at(cov_, 3, 3) = 4.0;
+    return fix;
+  }
+
+  propagate(time_s - last_time_);
+  last_time_ = time_s;
+
+  // Innovation and its covariance S = H P H^T + R (H selects x, y; the
+  // position block of P is diagonal-ish but keep the full 2x2).
+  const double ix = fix.x - state_[0];
+  const double iy = fix.y - state_[1];
+  const double s00 = at(cov_, 0, 0) + r;
+  const double s01 = at(cov_, 0, 1);
+  const double s11 = at(cov_, 1, 1) + r;
+  const double det = s00 * s11 - s01 * s01;
+  if (det <= 0.0) {
+    // Degenerate covariance; trust the fix outright.
+    state_[0] = fix.x;
+    state_[1] = fix.y;
+    return fix;
+  }
+  const double inv00 = s11 / det;
+  const double inv01 = -s01 / det;
+  const double inv11 = s00 / det;
+
+  const double maha2 =
+      ix * (inv00 * ix + inv01 * iy) + iy * (inv01 * ix + inv11 * iy);
+  if (maha2 > opt_.gate * opt_.gate) {
+    last_rejected_ = true;
+    return position();  // coast on the prediction
+  }
+
+  // Kalman gain K = P H^T S^{-1} (4x2), columns for x and y residuals.
+  for (int rrow = 0; rrow < 4; ++rrow) {
+    const double p0 = at(cov_, rrow, 0);
+    const double p1 = at(cov_, rrow, 1);
+    const double k0 = p0 * inv00 + p1 * inv01;
+    const double k1 = p0 * inv01 + p1 * inv11;
+    state_[std::size_t(rrow)] += k0 * ix + k1 * iy;
+  }
+
+  // Joseph-free covariance update: P = (I - K H) P computed column-wise.
+  std::array<double, 16> p = cov_;
+  for (int rrow = 0; rrow < 4; ++rrow) {
+    const double p0 = at(cov_, rrow, 0);
+    const double p1 = at(cov_, rrow, 1);
+    const double k0 = p0 * inv00 + p1 * inv01;
+    const double k1 = p0 * inv01 + p1 * inv11;
+    for (int c = 0; c < 4; ++c)
+      at(p, rrow, c) -= k0 * at(cov_, 0, c) + k1 * at(cov_, 1, c);
+  }
+  cov_ = p;
+  return position();
+}
+
+}  // namespace arraytrack::core

@@ -1,0 +1,69 @@
+// Trajectory tracking over per-frame location fixes.
+//
+// ArrayTrack produces an independent location estimate per frame group
+// (~10 per second at the paper's refresh interval). The applications
+// the paper motivates — AR navigation, retail analytics — want a
+// smooth trajectory, not independent fixes: occasional multipath
+// outliers (a wrong-ghost fix several meters away) should be rejected
+// and the path between fixes interpolated. This module implements a
+// constant-velocity Kalman filter with Mahalanobis outlier gating.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::core {
+
+struct TrackerOptions {
+  /// Process noise: white acceleration standard deviation (m/s^2).
+  /// Walking users maneuver at ~1 m/s^2.
+  double accel_noise = 1.0;
+  /// Fix measurement noise standard deviation (m). ArrayTrack's
+  /// per-fix error is a few tens of centimeters.
+  double fix_noise_m = 0.5;
+  /// Reject fixes whose Mahalanobis distance from the prediction
+  /// exceeds this (sqrt of the chi-square gate).
+  double gate = 3.5;
+  /// After this long without an accepted fix, reinitialize on the next
+  /// one instead of trusting a stale velocity estimate.
+  double max_coast_s = 2.0;
+};
+
+class LocationTracker {
+ public:
+  explicit LocationTracker(TrackerOptions opt = {});
+
+  /// Drops all state; the next fix reinitializes the track.
+  void reset();
+
+  bool initialized() const { return initialized_; }
+
+  /// Feeds one location fix. Returns the filtered position, or the
+  /// predicted position when the fix was gated out as an outlier.
+  geom::Vec2 update(const geom::Vec2& fix, double time_s);
+
+  /// True if the most recent update() rejected its fix.
+  bool last_rejected() const { return last_rejected_; }
+
+  /// Extrapolated position at a (later) time; requires initialized().
+  geom::Vec2 predict(double time_s) const;
+
+  geom::Vec2 position() const { return {state_[0], state_[1]}; }
+  geom::Vec2 velocity() const { return {state_[2], state_[3]}; }
+  double last_update_s() const { return last_time_; }
+
+ private:
+  void propagate(double dt);
+
+  TrackerOptions opt_;
+  bool initialized_ = false;
+  bool last_rejected_ = false;
+  double last_time_ = 0.0;
+  // State [x, y, vx, vy] and covariance, row-major 4x4.
+  std::array<double, 4> state_{};
+  std::array<double, 16> cov_{};
+};
+
+}  // namespace arraytrack::core

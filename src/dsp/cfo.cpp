@@ -1,0 +1,39 @@
+#include "dsp/cfo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::dsp {
+
+std::vector<cplx> apply_cfo(const std::vector<cplx>& x, double df_hz,
+                            double sample_rate_hz, double initial_phase) {
+  std::vector<cplx> out(x.size());
+  const double step = kTwoPi * df_hz / sample_rate_hz;
+  for (std::size_t n = 0; n < x.size(); ++n)
+    out[n] = x[n] * std::exp(kJ * (initial_phase + step * double(n)));
+  return out;
+}
+
+double estimate_cfo(const std::vector<cplx>& x, std::size_t offset,
+                    std::size_t period, std::size_t span,
+                    double sample_rate_hz) {
+  if (period == 0) throw std::invalid_argument("estimate_cfo: period == 0");
+  if (offset + span + period > x.size())
+    throw std::invalid_argument("estimate_cfo: window exceeds stream");
+  cplx p{0.0, 0.0};
+  for (std::size_t k = 0; k < span; ++k)
+    p += std::conj(x[offset + k]) * x[offset + k + period];
+  // angle(P) = 2*pi * df * period / fs.
+  return std::arg(p) * sample_rate_hz / (kTwoPi * double(period));
+}
+
+std::vector<cplx> correct_cfo(const std::vector<cplx>& x, double df_hz,
+                              double sample_rate_hz) {
+  return apply_cfo(x, -df_hz, sample_rate_hz);
+}
+
+double ppm_to_hz(double ppm, double carrier_hz) {
+  return ppm * 1e-6 * carrier_hz;
+}
+
+}  // namespace arraytrack::dsp

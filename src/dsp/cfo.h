@@ -1,0 +1,44 @@
+// Carrier frequency offset (CFO) estimation and correction.
+//
+// A client's oscillator is off by up to +-20 ppm (+-48.7 kHz at
+// 2.437 GHz), rotating the received constellation. Two facts matter
+// for ArrayTrack:
+//  * CFO is common-mode across the AP's antennas, so the spatial
+//    covariance Rxx — and therefore every AoA spectrum — is unaffected.
+//    (dsp_cfo_test verifies this invariance.)
+//  * The Schmidl-Cox autocorrelation P(d) over repeated training
+//    symbols carries the CFO in its phase: angle(P) = 2*pi*df*Tsym,
+//    which is the classic estimator implemented here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace arraytrack::dsp {
+
+/// Applies a frequency offset `df_hz` to a sample stream at
+/// `sample_rate_hz` (what the client's oscillator does to the signal).
+std::vector<cplx> apply_cfo(const std::vector<cplx>& x, double df_hz,
+                            double sample_rate_hz, double initial_phase = 0.0);
+
+/// Schmidl-Cox CFO estimator over a repeated-symbol section starting at
+/// `offset`: correlates each sample with its copy `period` samples
+/// later across `span` samples. Unambiguous range is
+/// +-sample_rate / (2 * period) — +-625 kHz for the 16-sample short
+/// training symbol at 20 Msps base rate (32 samples at 40 Msps).
+///
+/// Returns the estimated offset in Hz.
+double estimate_cfo(const std::vector<cplx>& x, std::size_t offset,
+                    std::size_t period, std::size_t span,
+                    double sample_rate_hz);
+
+/// Removes an estimated offset: y[n] = x[n] * exp(-j*2*pi*df*n/fs).
+std::vector<cplx> correct_cfo(const std::vector<cplx>& x, double df_hz,
+                              double sample_rate_hz);
+
+/// Parts-per-million helper: df = ppm * 1e-6 * carrier.
+double ppm_to_hz(double ppm, double carrier_hz);
+
+}  // namespace arraytrack::dsp

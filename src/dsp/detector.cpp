@@ -1,0 +1,130 @@
+#include "dsp/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::dsp {
+
+SchmidlCoxDetector::SchmidlCoxDetector(std::size_t period, double threshold)
+    : period_(period), threshold_(threshold) {
+  if (period_ == 0) throw std::invalid_argument("SchmidlCox: period == 0");
+}
+
+std::vector<double> SchmidlCoxDetector::metric(
+    const std::vector<cplx>& stream) const {
+  const std::size_t l = period_;
+  if (stream.size() < 2 * l) return {};
+  const std::size_t n = stream.size() - 2 * l + 1;
+  std::vector<double> m(n, 0.0);
+
+  // Sliding P(d) = sum_{k<L} conj(r[d+k]) r[d+k+L] and
+  // R(d) = sum_{k<L} |r[d+k+L]|^2, updated incrementally.
+  cplx p{0.0, 0.0};
+  double r = 0.0;
+  for (std::size_t k = 0; k < l; ++k) {
+    p += std::conj(stream[k]) * stream[k + l];
+    r += std::norm(stream[k + l]);
+  }
+  for (std::size_t d = 0;; ++d) {
+    m[d] = r > 0.0 ? std::norm(p) / (r * r) : 0.0;
+    if (d + 1 >= n) break;
+    p -= std::conj(stream[d]) * stream[d + l];
+    p += std::conj(stream[d + l]) * stream[d + 2 * l];
+    r -= std::norm(stream[d + l]);
+    r += std::norm(stream[d + 2 * l]);
+  }
+  return m;
+}
+
+std::optional<Detection> SchmidlCoxDetector::detect(
+    const std::vector<cplx>& stream, std::size_t from) const {
+  const auto m = metric(stream);
+  // Require the metric to stay above threshold for half an STS period:
+  // single-sample excursions from noise are not a plateau.
+  const std::size_t hold = std::max<std::size_t>(1, period_ / 2);
+  std::size_t run = 0;
+  for (std::size_t d = from; d < m.size(); ++d) {
+    if (m[d] >= threshold_) {
+      if (++run >= hold) {
+        const std::size_t start = d + 1 - run;
+        return Detection{start, std::min(m[start], 1.0)};
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+MatchedFilterDetector::MatchedFilterDetector(std::vector<cplx> reference,
+                                             double threshold)
+    : reference_(std::move(reference)), threshold_(threshold) {
+  if (reference_.empty())
+    throw std::invalid_argument("MatchedFilter: empty reference");
+  ref_energy_ = 0.0;
+  for (const auto& s : reference_) ref_energy_ += std::norm(s);
+}
+
+std::vector<double> MatchedFilterDetector::correlation(
+    const std::vector<cplx>& stream) const {
+  if (stream.size() < reference_.size()) return {};
+  const std::size_t n = stream.size() - reference_.size() + 1;
+  std::vector<double> out(n, 0.0);
+
+  // Window energy, maintained incrementally for normalization.
+  double win_energy = 0.0;
+  for (std::size_t k = 0; k < reference_.size(); ++k)
+    win_energy += std::norm(stream[k]);
+
+  for (std::size_t d = 0; d < n; ++d) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < reference_.size(); ++k)
+      acc += std::conj(reference_[k]) * stream[d + k];
+    const double denom = std::sqrt(ref_energy_ * std::max(win_energy, 1e-30));
+    out[d] = std::abs(acc) / denom;
+    if (d + 1 < n) {
+      win_energy -= std::norm(stream[d]);
+      win_energy += std::norm(stream[d + reference_.size()]);
+    }
+  }
+  return out;
+}
+
+std::optional<Detection> MatchedFilterDetector::detect(
+    const std::vector<cplx>& stream, std::size_t from) const {
+  const auto c = correlation(stream);
+  // Find the first local maximum above threshold, then refine to the
+  // best value within one reference length (the true alignment peak).
+  for (std::size_t d = from; d < c.size(); ++d) {
+    if (c[d] < threshold_) continue;
+    std::size_t best = d;
+    const std::size_t end = std::min(c.size(), d + reference_.size());
+    for (std::size_t k = d; k < end; ++k)
+      if (c[k] > c[best]) best = k;
+    return Detection{best, std::min(c[best], 1.0)};
+  }
+  return std::nullopt;
+}
+
+std::vector<Detection> MatchedFilterDetector::detect_all(
+    const std::vector<cplx>& stream, std::size_t min_separation) const {
+  const auto c = correlation(stream);
+  std::vector<Detection> out;
+  std::size_t d = 0;
+  while (d < c.size()) {
+    if (c[d] >= threshold_) {
+      std::size_t best = d;
+      const std::size_t end = std::min(c.size(), d + reference_.size());
+      for (std::size_t k = d; k < end; ++k)
+        if (c[k] > c[best]) best = k;
+      out.push_back(Detection{best, std::min(c[best], 1.0)});
+      d = best + std::max<std::size_t>(min_separation, 1);
+    } else {
+      ++d;
+    }
+  }
+  return out;
+}
+
+}  // namespace arraytrack::dsp

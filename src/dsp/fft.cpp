@@ -1,0 +1,88 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::dsp {
+namespace {
+
+// In-place iterative radix-2 Cooley-Tukey. sign = -1 forward, +1 inverse.
+void fft_radix2(std::vector<cplx>& a, int sign) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * kTwoPi / double(len);
+    const cplx wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Direct O(n^2) DFT for non-power-of-two sizes.
+std::vector<cplx> dft_direct(const std::vector<cplx>& x, int sign) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t m = 0; m < n; ++m) {
+      const double ang = sign * kTwoPi * double(k) * double(m) / double(n);
+      acc += x[m] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::vector<cplx> fft(const std::vector<cplx>& x) {
+  if (x.empty()) return {};
+  if (!is_power_of_two(x.size())) return dft_direct(x, -1);
+  std::vector<cplx> a = x;
+  fft_radix2(a, -1);
+  return a;
+}
+
+std::vector<cplx> ifft(const std::vector<cplx>& x) {
+  if (x.empty()) return {};
+  std::vector<cplx> a;
+  if (!is_power_of_two(x.size())) {
+    a = dft_direct(x, +1);
+  } else {
+    a = x;
+    fft_radix2(a, +1);
+  }
+  const double inv = 1.0 / double(a.size());
+  for (auto& v : a) v *= inv;
+  return a;
+}
+
+std::vector<cplx> circular_xcorr(const std::vector<cplx>& a,
+                                 const std::vector<cplx>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("circular_xcorr: size mismatch");
+  // Correlation theorem: with ifft carrying the 1/N factor,
+  // c[d] = sum_n conj(a[n]) b[n+d] = ifft( conj(fft(a)) .* fft(b) )[d].
+  auto fa = fft(a);
+  auto fb = fft(b);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] = std::conj(fa[i]) * fb[i];
+  return ifft(fa);
+}
+
+}  // namespace arraytrack::dsp

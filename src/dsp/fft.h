@@ -1,0 +1,29 @@
+// Discrete Fourier transforms.
+//
+// The OFDM preamble synthesis path needs 64/128-point IFFTs; tests and
+// benches use a few other sizes. Power-of-two lengths use iterative
+// radix-2 Cooley-Tukey; other lengths fall back to a direct DFT (all
+// our non-power-of-two uses are tiny).
+#pragma once
+
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace arraytrack::dsp {
+
+/// Forward DFT: X[k] = sum_n x[n] * exp(-j*2*pi*k*n/N). No scaling.
+std::vector<cplx> fft(const std::vector<cplx>& x);
+
+/// Inverse DFT with 1/N scaling, so ifft(fft(x)) == x.
+std::vector<cplx> ifft(const std::vector<cplx>& x);
+
+/// True if n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Circular cross-correlation via frequency domain:
+/// c[d] = sum_n conj(a[n]) * b[(n + d) mod N]. Sizes must match.
+std::vector<cplx> circular_xcorr(const std::vector<cplx>& a,
+                                 const std::vector<cplx>& b);
+
+}  // namespace arraytrack::dsp

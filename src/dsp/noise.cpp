@@ -1,0 +1,37 @@
+#include "dsp/noise.h"
+
+#include <cmath>
+
+namespace arraytrack::dsp {
+
+double mean_power(const std::vector<cplx>& x) {
+  if (x.empty()) return 0.0;
+  double p = 0.0;
+  for (const auto& s : x) p += std::norm(s);
+  return p / double(x.size());
+}
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+cplx AwgnSource::sample(double power) {
+  const double sigma = std::sqrt(power / 2.0);
+  return cplx{sigma * gauss_(rng_), sigma * gauss_(rng_)};
+}
+
+void AwgnSource::add_noise(std::vector<cplx>& signal, double snr_db) {
+  double sig_power = mean_power(signal);
+  if (sig_power == 0.0) sig_power = 1.0;
+  const double noise_power = sig_power / db_to_linear(snr_db);
+  for (auto& s : signal) s += sample(noise_power);
+}
+
+std::vector<cplx> AwgnSource::generate(std::size_t n, double power) {
+  std::vector<cplx> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(power));
+  return out;
+}
+
+}  // namespace arraytrack::dsp

@@ -1,0 +1,40 @@
+// Complex AWGN generation and SNR bookkeeping.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace arraytrack::dsp {
+
+/// Average power (mean |x|^2) of a sample vector; 0 for empty input.
+double mean_power(const std::vector<cplx>& x);
+
+double db_to_linear(double db);
+double linear_to_db(double linear);
+
+/// Circularly-symmetric complex Gaussian noise source.
+class AwgnSource {
+ public:
+  explicit AwgnSource(std::uint64_t seed) : rng_(seed) {}
+
+  /// One noise sample with total variance `power` (power/2 per I/Q rail).
+  cplx sample(double power);
+
+  /// Adds noise in place such that mean_power(signal)/noise_power equals
+  /// snr_db. A zero-power signal gets unit-power-referenced noise so a
+  /// "silent" capture still contains a noise floor.
+  void add_noise(std::vector<cplx>& signal, double snr_db);
+
+  /// Noise vector of length n with the given per-sample power.
+  std::vector<cplx> generate(std::size_t n, double power);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+  std::normal_distribution<double> gauss_{0.0, 1.0};
+};
+
+}  // namespace arraytrack::dsp

@@ -1,0 +1,133 @@
+#include "dsp/preamble.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace arraytrack::dsp {
+namespace {
+
+// 802.11a/g short training sequence, frequency domain, subcarriers
+// -26..+26 (53 entries, DC in the middle), scaled by sqrt(13/6).
+std::vector<cplx> sts_freq() {
+  const double a = std::sqrt(13.0 / 6.0);
+  const cplx p{a, a}, m{-a, -a}, z{0.0, 0.0};
+  return {z, z, p, z, z, z, m, z, z, z, p, z, z, z, m, z, z, z,
+          m, z, z, z, p, z, z, z, z, z, z, z, m, z, z, z, m, z,
+          z, z, p, z, z, z, p, z, z, z, p, z, z, z, p, z, z};
+}
+
+// 802.11a/g long training sequence, frequency domain, subcarriers
+// -26..+26 (DC = 0).
+std::vector<cplx> lts_freq() {
+  const auto v = [](double r) { return cplx{r, 0.0}; };
+  const std::vector<double> seq = {
+      1,  1,  -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1,
+      1,  -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  0,  1,
+      -1, -1, 1,  1,  -1, 1,  -1, 1,  -1, -1, -1, -1, -1, 1,
+      1,  -1, -1, 1,  -1, 1,  -1, 1,  1,  1,  1};
+  std::vector<cplx> out;
+  out.reserve(seq.size());
+  for (double r : seq) out.push_back(v(r));
+  return out;
+}
+
+// Builds one time-domain period of length 64*oversample from a
+// -26..+26 subcarrier map using an IFFT of size 64*oversample (upper
+// bins zero => ideal band-limited oversampling).
+std::vector<cplx> synth_period(const std::vector<cplx>& freq53,
+                               std::size_t oversample) {
+  const std::size_t nfft = 64 * oversample;
+  std::vector<cplx> bins(nfft, cplx{0.0, 0.0});
+  // freq53[i] corresponds to subcarrier k = i - 26.
+  for (std::size_t i = 0; i < freq53.size(); ++i) {
+    const int k = int(i) - 26;
+    if (k == 0) {
+      bins[0] = freq53[i];
+    } else if (k > 0) {
+      bins[std::size_t(k)] = freq53[i];
+    } else {
+      bins[std::size_t(int(nfft) + k)] = freq53[i];
+    }
+  }
+  auto time = ifft(bins);
+  // ifft carries 1/N; rescale so oversampling does not change amplitude.
+  for (auto& s : time) s *= double(nfft);
+  return time;
+}
+
+void scale_to_unit_power(std::vector<cplx>& x) {
+  double p = 0.0;
+  for (const auto& s : x) p += std::norm(s);
+  if (p == 0.0) return;
+  const double g = std::sqrt(double(x.size()) / p);
+  for (auto& s : x) s *= g;
+}
+
+}  // namespace
+
+PreambleGenerator::PreambleGenerator(std::size_t oversample)
+    : oversample_(oversample) {
+  if (!is_power_of_two(oversample))
+    throw std::invalid_argument("PreambleGenerator: oversample must be 2^k");
+
+  // The STS has period 16 at base rate: the 64-sample synthesis repeats
+  // 4x, so take the first 16*oversample samples.
+  auto sts64 = synth_period(sts_freq(), oversample_);
+  sts_.assign(sts64.begin(),
+              sts64.begin() + std::ptrdiff_t(sts_period()));
+  lts_ = synth_period(lts_freq(), oversample_);
+
+  sts_section_.clear();
+  for (std::size_t r = 0; r < PreambleTiming::kNumSts; ++r)
+    sts_section_.insert(sts_section_.end(), sts_.begin(), sts_.end());
+
+  preamble_ = sts_section_;
+  // Guard interval: cyclic prefix = last 32*oversample samples of LTS.
+  const std::size_t gi = PreambleTiming::kGuard * oversample_;
+  preamble_.insert(preamble_.end(), lts_.end() - std::ptrdiff_t(gi),
+                   lts_.end());
+  for (std::size_t r = 0; r < PreambleTiming::kNumLts; ++r)
+    preamble_.insert(preamble_.end(), lts_.begin(), lts_.end());
+
+  // Normalize the whole preamble (and the views used by detectors) to
+  // unit average power so SNR settings are well defined.
+  double p = 0.0;
+  for (const auto& s : preamble_) p += std::norm(s);
+  const double g = std::sqrt(double(preamble_.size()) / p);
+  for (auto& s : preamble_) s *= g;
+  for (auto& s : sts_) s *= g;
+  for (auto& s : lts_) s *= g;
+  for (auto& s : sts_section_) s *= g;
+
+  // FFT(long_symbol())[bin(k)] == g * nfft * L_k for the synthesis
+  // above, so storing that product makes "received spectrum divided by
+  // lts_frequency_symbol" return the channel gain directly.
+  lts_freq_ = lts_freq();
+  for (auto& s : lts_freq_) s *= g * double(64 * oversample_);
+}
+
+cplx PreambleGenerator::lts_frequency_symbol(int k) const {
+  if (k < -26 || k > 26) return cplx{0.0, 0.0};
+  return lts_freq_[std::size_t(k + 26)];
+}
+
+std::vector<cplx> PreambleGenerator::frame(std::size_t body_samples,
+                                           unsigned seed) const {
+  std::vector<cplx> out = preamble_;
+  out.reserve(out.size() + body_samples);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> bit(0, 1);
+  const double amp = 1.0 / std::sqrt(2.0);
+  std::vector<cplx> body;
+  body.reserve(body_samples);
+  for (std::size_t i = 0; i < body_samples; ++i)
+    body.push_back(cplx{bit(rng) ? amp : -amp, bit(rng) ? amp : -amp});
+  scale_to_unit_power(body);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace arraytrack::dsp

@@ -1,0 +1,91 @@
+// 802.11 OFDM PLCP preamble synthesis (Fig. 2 of the paper).
+//
+// The preamble is ten identical short training symbols (0.8 us each),
+// a guard interval, and two identical long training symbols (3.2 us
+// each): 16 us total. ArrayTrack's packet detector triggers on the
+// short symbols and its diversity-synthesis switch toggles antennas
+// between the two long symbols, so we synthesize the exact standard
+// sequences rather than a stand-in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace arraytrack::dsp {
+
+/// 802.11 OFDM timing constants at the base 20 Msps rate.
+struct PreambleTiming {
+  static constexpr std::size_t kBaseRateHz = 20'000'000;
+  static constexpr std::size_t kStsPeriod = 16;    // samples per short symbol
+  static constexpr std::size_t kNumSts = 10;       // s0..s9
+  static constexpr std::size_t kGuard = 32;        // GI before the LTS pair
+  static constexpr std::size_t kLtsPeriod = 64;    // samples per long symbol
+  static constexpr std::size_t kNumLts = 2;        // S0, S1
+  static constexpr std::size_t kTotal =
+      kNumSts * kStsPeriod + kGuard + kNumLts * kLtsPeriod;  // 320 = 16 us
+};
+
+/// Synthesizes the standard preamble at an integer oversampling of the
+/// 20 Msps base rate. ArrayTrack APs sample at 40 Msps (oversample=2).
+class PreambleGenerator {
+ public:
+  /// `oversample` must be a power of two >= 1.
+  explicit PreambleGenerator(std::size_t oversample = 2);
+
+  std::size_t oversample() const { return oversample_; }
+  double sample_rate_hz() const {
+    return double(PreambleTiming::kBaseRateHz) * double(oversample_);
+  }
+
+  /// Samples per short training symbol at this rate.
+  std::size_t sts_period() const {
+    return PreambleTiming::kStsPeriod * oversample_;
+  }
+  /// Samples per long training symbol at this rate.
+  std::size_t lts_period() const {
+    return PreambleTiming::kLtsPeriod * oversample_;
+  }
+
+  /// Offset of long training symbol S0 / S1 within the preamble.
+  std::size_t lts0_offset() const {
+    return (PreambleTiming::kNumSts * PreambleTiming::kStsPeriod +
+            PreambleTiming::kGuard) *
+           oversample_;
+  }
+  std::size_t lts1_offset() const { return lts0_offset() + lts_period(); }
+
+  /// One period of the short training symbol (16 base samples).
+  const std::vector<cplx>& short_symbol() const { return sts_; }
+
+  /// One period of the long training symbol (64 base samples).
+  const std::vector<cplx>& long_symbol() const { return lts_; }
+
+  /// The section of the preamble containing all ten short symbols.
+  const std::vector<cplx>& short_section() const { return sts_section_; }
+
+  /// The full 16 us preamble (10 STS + GI + 2 LTS), unit average power.
+  const std::vector<cplx>& preamble() const { return preamble_; }
+
+  /// Frequency-domain long-training symbol for subcarrier k
+  /// (-26..26); 0 for unused bins including DC. Includes the
+  /// generator's power-normalization scale, so dividing a received LTS
+  /// spectrum by it yields CSI in the same units as the time samples.
+  cplx lts_frequency_symbol(int k) const;
+
+  /// Preamble followed by `body_samples` of pseudo-random QPSK "body"
+  /// (deterministic per `seed`); handy for collision experiments where
+  /// a second packet's preamble lands on the first packet's body.
+  std::vector<cplx> frame(std::size_t body_samples, unsigned seed = 1) const;
+
+ private:
+  std::size_t oversample_;
+  std::vector<cplx> sts_;          // one STS period
+  std::vector<cplx> lts_;          // one LTS period
+  std::vector<cplx> sts_section_;  // ten STS periods
+  std::vector<cplx> preamble_;     // full preamble
+  std::vector<cplx> lts_freq_;     // scaled LTS bins, index = k + 26
+};
+
+}  // namespace arraytrack::dsp

@@ -1,0 +1,109 @@
+#include "geom/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arraytrack::geom {
+namespace {
+
+// Endpoint guard: a ray leaving a reflection point on a wall should not
+// be counted as "crossing" that wall due to floating point contact.
+constexpr double kEndpointEps = 1e-6;
+
+}  // namespace
+
+double reflection_loss_db(Material m) {
+  switch (m) {
+    case Material::kConcrete: return 4.0;
+    case Material::kBrick: return 5.0;
+    case Material::kDrywall: return 7.0;
+    case Material::kGlass: return 5.0;
+    case Material::kMetal: return 1.0;
+    case Material::kWood: return 8.0;
+    case Material::kCubicle: return 11.0;
+  }
+  return 7.0;
+}
+
+double transmission_loss_db(Material m) {
+  switch (m) {
+    case Material::kConcrete: return 12.0;
+    case Material::kBrick: return 10.0;
+    case Material::kDrywall: return 3.0;
+    case Material::kGlass: return 2.0;
+    case Material::kMetal: return 26.0;
+    case Material::kWood: return 5.0;
+    case Material::kCubicle: return 1.5;
+  }
+  return 3.0;
+}
+
+double scatter_roughness(Material m) {
+  switch (m) {
+    case Material::kConcrete: return 0.5;
+    case Material::kBrick: return 0.6;
+    case Material::kDrywall: return 0.4;
+    case Material::kGlass: return 0.15;
+    case Material::kMetal: return 0.2;
+    case Material::kWood: return 0.45;
+    case Material::kCubicle: return 0.8;
+  }
+  return 0.4;
+}
+
+std::string material_name(Material m) {
+  switch (m) {
+    case Material::kConcrete: return "concrete";
+    case Material::kBrick: return "brick";
+    case Material::kDrywall: return "drywall";
+    case Material::kGlass: return "glass";
+    case Material::kMetal: return "metal";
+    case Material::kWood: return "wood";
+    case Material::kCubicle: return "cubicle";
+  }
+  return "unknown";
+}
+
+double Floorplan::obstruction_loss_db(
+    const Vec2& from, const Vec2& to,
+    const std::vector<std::size_t>& skip_walls) const {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    if (std::find(skip_walls.begin(), skip_walls.end(), i) != skip_walls.end())
+      continue;
+    double t = 0.0, u = 0.0;
+    if (segment_intersect(from, to, walls_[i].a, walls_[i].b, &t, &u,
+                          nullptr)) {
+      // Ignore grazing contact at the segment's endpoints (reflection
+      // points sit exactly on their wall).
+      if (t > kEndpointEps && t < 1.0 - kEndpointEps)
+        loss += transmission_loss_db(walls_[i].material);
+    }
+  }
+  for (const auto& p : pillars_) {
+    if (point_segment_distance(p.center, from, to) < p.radius) {
+      // A pillar containing an endpoint does not block that endpoint's
+      // own transmission (antenna mounted on the pillar face).
+      if (distance(p.center, from) > p.radius &&
+          distance(p.center, to) > p.radius)
+        loss += p.loss_db;
+    }
+  }
+  return loss;
+}
+
+int Floorplan::pillars_crossed(const Vec2& from, const Vec2& to) const {
+  int n = 0;
+  for (const auto& p : pillars_) {
+    if (point_segment_distance(p.center, from, to) < p.radius &&
+        distance(p.center, from) > p.radius && distance(p.center, to) > p.radius)
+      ++n;
+  }
+  return n;
+}
+
+bool Floorplan::line_of_sight(const Vec2& from, const Vec2& to) const {
+  return obstruction_loss_db(from, to) == 0.0;
+}
+
+}  // namespace arraytrack::geom

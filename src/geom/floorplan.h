@@ -1,0 +1,93 @@
+// Floorplan model: walls and pillars with RF material properties.
+//
+// This is the substrate standing in for the paper's physical office
+// building (Fig. 12). Walls reflect (specular, with a per-material
+// reflection loss) and attenuate signals passing through them; pillars
+// (the concrete columns the paper hides clients behind) only attenuate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::geom {
+
+/// Material presets with representative 2.4 GHz losses.
+enum class Material {
+  kConcrete,   // strong attenuator, good reflector
+  kBrick,      // strong attenuator
+  kDrywall,    // weak attenuator, moderate reflector
+  kGlass,      // weak attenuator, strong reflector
+  kMetal,      // near-total attenuator, excellent reflector
+  kWood,       // moderate attenuator
+  kCubicle,    // fabric/thin panel: small attenuation, diffuse reflector
+};
+
+/// Reflection loss (dB lost on a specular bounce) for a material.
+double reflection_loss_db(Material m);
+/// Transmission loss (dB lost passing through one wall) for a material.
+double transmission_loss_db(Material m);
+/// Diffuse scatter strength in [0,1]: how rough the surface is. Rough
+/// surfaces make reflected-path phase/bearing jittery under small
+/// transmitter motion (the effect behind the paper's Table 1).
+double scatter_roughness(Material m);
+std::string material_name(Material m);
+
+struct Wall {
+  Vec2 a;
+  Vec2 b;
+  Material material = Material::kDrywall;
+
+  Vec2 direction() const { return (b - a).normalized(); }
+  double length() const { return distance(a, b); }
+};
+
+/// Cylindrical obstruction (concrete pillar). Blocks/attenuates rays
+/// passing within `radius` of `center`; does not reflect.
+struct Pillar {
+  Vec2 center;
+  double radius = 0.3;
+  /// Effective attenuation per pillar. A 30-70 cm concrete column
+  /// blocks the geometric ray but diffraction around it limits the net
+  /// loss to under ~10 dB — consistent with the paper's Fig. 17, where
+  /// the direct path stays among the top-three peaks behind two
+  /// pillars.
+  double loss_db = 9.0;
+};
+
+class Floorplan {
+ public:
+  Floorplan() = default;
+  explicit Floorplan(Rect bounds) : bounds_(bounds) {}
+
+  void add_wall(Wall w) { walls_.push_back(w); }
+  void add_wall(Vec2 a, Vec2 b, Material m) { walls_.push_back({a, b, m}); }
+  void add_pillar(Pillar p) { pillars_.push_back(p); }
+
+  const std::vector<Wall>& walls() const { return walls_; }
+  const std::vector<Pillar>& pillars() const { return pillars_; }
+  const Rect& bounds() const { return bounds_; }
+  void set_bounds(Rect r) { bounds_ = r; }
+
+  /// Total through-wall + through-pillar attenuation (dB) along the
+  /// open segment (from, to). Walls whose index appears in
+  /// `skip_walls` are ignored (used for the reflecting wall itself,
+  /// which the ray touches rather than crosses).
+  double obstruction_loss_db(const Vec2& from, const Vec2& to,
+                             const std::vector<std::size_t>& skip_walls = {}) const;
+
+  /// Number of pillars whose cylinder the open segment passes through.
+  int pillars_crossed(const Vec2& from, const Vec2& to) const;
+
+  /// True if no wall or pillar obstructs the segment at all.
+  bool line_of_sight(const Vec2& from, const Vec2& to) const;
+
+ private:
+  Rect bounds_{{0.0, 0.0}, {0.0, 0.0}};
+  std::vector<Wall> walls_;
+  std::vector<Pillar> pillars_;
+};
+
+}  // namespace arraytrack::geom

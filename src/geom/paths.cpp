@@ -1,0 +1,116 @@
+#include "geom/paths.h"
+
+#include <cmath>
+
+namespace arraytrack::geom {
+namespace {
+
+double polyline_length(const std::vector<Vec2>& pts) {
+  double len = 0.0;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i)
+    len += distance(pts[i], pts[i + 1]);
+  return len;
+}
+
+// Finds the single-bounce path tx -> (point on wall w) -> rx, if the
+// specular geometry is valid (the image line actually crosses the wall
+// segment). Returns true and fills `hit` on success.
+bool specular_point(const Wall& w, const Vec2& tx, const Vec2& rx, Vec2* hit) {
+  const Vec2 image = reflect_across_line(tx, w.a, w.b);
+  double u = 0.0;
+  Vec2 p;
+  if (!segment_intersect(image, rx, w.a, w.b, nullptr, &u, &p)) return false;
+  // Reject bounces at the extreme ends of a wall; physically those are
+  // edges/corners, not specular reflectors.
+  if (u < 1e-3 || u > 1.0 - 1e-3) return false;
+  // Degenerate: tx or rx on the wall line makes the "reflection" a
+  // grazing ray with zero extra length.
+  if (distance(p, tx) < 1e-9 || distance(p, rx) < 1e-9) return false;
+  *hit = p;
+  return true;
+}
+
+}  // namespace
+
+Vec2 RayPath::arrival_direction() const {
+  const std::size_t n = points.size();
+  return (points[n - 1] - points[n - 2]).normalized();
+}
+
+Vec2 RayPath::departure_direction() const {
+  return (points[1] - points[0]).normalized();
+}
+
+std::vector<RayPath> find_paths(const Floorplan& plan, const Vec2& tx,
+                                const Vec2& rx, const PathFinderOptions& opt) {
+  std::vector<RayPath> paths;
+  const auto& walls = plan.walls();
+
+  if (opt.include_direct) {
+    RayPath direct;
+    direct.points = {tx, rx};
+    direct.length_m = distance(tx, rx);
+    direct.loss_db = plan.obstruction_loss_db(tx, rx);
+    paths.push_back(std::move(direct));
+  }
+
+  if (opt.max_order >= 1) {
+    for (std::size_t wi = 0; wi < walls.size(); ++wi) {
+      Vec2 p;
+      if (!specular_point(walls[wi], tx, rx, &p)) continue;
+      RayPath path;
+      path.points = {tx, p, rx};
+      path.wall_ids = {wi};
+      path.length_m = polyline_length(path.points);
+      path.loss_db = reflection_loss_db(walls[wi].material) +
+                     plan.obstruction_loss_db(tx, p, {wi}) +
+                     plan.obstruction_loss_db(p, rx, {wi});
+      if (path.loss_db <= opt.max_excess_loss_db)
+        paths.push_back(std::move(path));
+    }
+  }
+
+  if (opt.max_order >= 2) {
+    for (std::size_t w1 = 0; w1 < walls.size(); ++w1) {
+      // First image of the transmitter across wall w1.
+      const Vec2 img1 = reflect_across_line(tx, walls[w1].a, walls[w1].b);
+      for (std::size_t w2 = 0; w2 < walls.size(); ++w2) {
+        if (w1 == w2) continue;
+        const Vec2 img2 =
+            reflect_across_line(img1, walls[w2].a, walls[w2].b);
+        // Work backwards: the ray into rx appears to come from img2.
+        double u2 = 0.0;
+        Vec2 p2;
+        if (!segment_intersect(img2, rx, walls[w2].a, walls[w2].b, nullptr,
+                               &u2, &p2))
+          continue;
+        if (u2 < 1e-3 || u2 > 1.0 - 1e-3) continue;
+        // The leg into p2 appears to come from img1.
+        double u1 = 0.0;
+        Vec2 p1;
+        if (!segment_intersect(img1, p2, walls[w1].a, walls[w1].b, nullptr,
+                               &u1, &p1))
+          continue;
+        if (u1 < 1e-3 || u1 > 1.0 - 1e-3) continue;
+        if (distance(p1, tx) < 1e-9 || distance(p1, p2) < 1e-9 ||
+            distance(p2, rx) < 1e-9)
+          continue;
+
+        RayPath path;
+        path.points = {tx, p1, p2, rx};
+        path.wall_ids = {w1, w2};
+        path.length_m = polyline_length(path.points);
+        path.loss_db = reflection_loss_db(walls[w1].material) +
+                       reflection_loss_db(walls[w2].material) +
+                       plan.obstruction_loss_db(tx, p1, {w1}) +
+                       plan.obstruction_loss_db(p1, p2, {w1, w2}) +
+                       plan.obstruction_loss_db(p2, rx, {w2});
+        if (path.loss_db <= opt.max_excess_loss_db)
+          paths.push_back(std::move(path));
+      }
+    }
+  }
+  return paths;
+}
+
+}  // namespace arraytrack::geom

@@ -1,0 +1,54 @@
+// Specular multipath discovery via the image method.
+//
+// Enumerates the propagation paths between a transmitter and receiver
+// on a floorplan: the direct path plus first- and second-order wall
+// reflections. Each path carries its geometric length, the accumulated
+// material losses, and the identities of the reflecting walls (the
+// channel model uses those for diffuse-scatter jitter).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/floorplan.h"
+#include "geom/vec2.h"
+
+namespace arraytrack::geom {
+
+struct RayPath {
+  /// tx, reflection points in order, rx.
+  std::vector<Vec2> points;
+  /// Indices into Floorplan::walls() of the reflecting walls, in bounce
+  /// order. Empty for the direct path.
+  std::vector<std::size_t> wall_ids;
+  /// Total geometric length in meters.
+  double length_m = 0.0;
+  /// Reflection + through-obstruction loss in dB (excludes free-space
+  /// path loss, which the channel model derives from length_m).
+  double loss_db = 0.0;
+
+  bool is_direct() const { return wall_ids.empty(); }
+  int order() const { return int(wall_ids.size()); }
+
+  /// Unit direction of arrival at the receiver (pointing from the last
+  /// bounce — or the transmitter — toward the receiver).
+  Vec2 arrival_direction() const;
+  /// Unit direction of departure at the transmitter.
+  Vec2 departure_direction() const;
+};
+
+struct PathFinderOptions {
+  int max_order = 2;          // 0 = direct only, 1 = +single bounce, ...
+  double max_excess_loss_db = 40.0;  // drop paths lossier than this
+  bool include_direct = true;
+};
+
+/// Enumerates propagation paths from `tx` to `rx`. The direct path is
+/// always reported when `include_direct` (even if heavily obstructed;
+/// the channel decides whether its power is detectable). Reflected
+/// paths that exceed `max_excess_loss_db` of material loss are pruned.
+std::vector<RayPath> find_paths(const Floorplan& plan, const Vec2& tx,
+                                const Vec2& rx,
+                                const PathFinderOptions& opt = {});
+
+}  // namespace arraytrack::geom

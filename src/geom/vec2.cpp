@@ -1,0 +1,49 @@
+#include "geom/vec2.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace arraytrack::geom {
+
+std::string Vec2::to_string() const {
+  std::ostringstream os;
+  os << "(" << x << ", " << y << ")";
+  return os.str();
+}
+
+double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+Vec2 unit_from_angle(double rad) { return {std::cos(rad), std::sin(rad)}; }
+
+bool segment_intersect(const Vec2& a0, const Vec2& a1, const Vec2& b0,
+                       const Vec2& b1, double* t, double* u, Vec2* point) {
+  const Vec2 r = a1 - a0;
+  const Vec2 s = b1 - b0;
+  const double denom = r.cross(s);
+  if (std::abs(denom) < 1e-15) return false;  // parallel or degenerate
+  const Vec2 qp = b0 - a0;
+  const double tt = qp.cross(s) / denom;
+  const double uu = qp.cross(r) / denom;
+  if (tt < 0.0 || tt > 1.0 || uu < 0.0 || uu > 1.0) return false;
+  if (t) *t = tt;
+  if (u) *u = uu;
+  if (point) *point = a0 + r * tt;
+  return true;
+}
+
+Vec2 reflect_across_line(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 d = (b - a).normalized();
+  const Vec2 ap = p - a;
+  const Vec2 proj = a + d * ap.dot(d);
+  return proj * 2.0 - p;
+}
+
+double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.squared_norm();
+  if (len2 == 0.0) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+}  // namespace arraytrack::geom

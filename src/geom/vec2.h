@@ -1,0 +1,96 @@
+// 2-D vector math for floorplan geometry.
+//
+// ArrayTrack localizes in the horizontal plane (the paper's appendix A
+// shows client/AP height differences contribute only 1-4% bearing
+// error; our channel model applies that correction analytically), so
+// all geometry here is planar.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace arraytrack::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2() = default;
+  Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives turn direction.
+  double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  double squared_norm() const { return x * x + y * y; }
+
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{0.0, 0.0};
+  }
+  /// Counter-clockwise perpendicular.
+  Vec2 perp() const { return {-y, x}; }
+
+  /// Angle of this vector from the +x axis, in radians (-pi, pi].
+  double angle() const { return std::atan2(y, x); }
+
+  Vec2 rotated(double rad) const {
+    const double c = std::cos(rad), s = std::sin(rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  std::string to_string() const;
+};
+
+inline Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+double distance(const Vec2& a, const Vec2& b);
+
+/// Unit vector at `rad` radians from the +x axis.
+Vec2 unit_from_angle(double rad);
+
+/// Axis-aligned rectangle, used for floorplan bounds and search grids.
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  bool contains(const Vec2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  Vec2 center() const { return (min + max) * 0.5; }
+  Rect expanded(double margin) const {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+};
+
+/// Parametric segment intersection. Returns true if segments [a0,a1]
+/// and [b0,b1] intersect; fills `t` (position along a) and `u` (along
+/// b), both in [0,1], and the intersection point.
+bool segment_intersect(const Vec2& a0, const Vec2& a1, const Vec2& b0,
+                       const Vec2& b1, double* t, double* u, Vec2* point);
+
+/// Reflects point `p` across the infinite line through `a` and `b`.
+Vec2 reflect_across_line(const Vec2& p, const Vec2& a, const Vec2& b);
+
+/// Distance from point `p` to segment [a,b].
+double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b);
+
+}  // namespace arraytrack::geom

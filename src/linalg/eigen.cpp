@@ -1,0 +1,115 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace arraytrack::linalg {
+namespace {
+
+// One complex Jacobi rotation zeroing A(p,q). A is updated in place as
+// G^H * A * G and the rotation is accumulated into V as V * G, where G
+// is the identity except G(p,p)=c, G(q,q)=c, G(p,q)=s*phase,
+// G(q,p)=-s*conj(phase), with phase = A(p,q)/|A(p,q)|.
+void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
+  const cplx apq = a(p, q);
+  const double g = std::abs(apq);
+  if (g == 0.0) return;
+
+  const cplx phase = apq / g;
+  const double app = a(p, p).real();
+  const double aqq = a(q, q).real();
+
+  // Choose t = tan(rotation) as the smaller-magnitude root of
+  // t^2 + 2*theta*t - 1 = 0 with theta = (aqq - app) / (2|apq|).
+  const double theta = (aqq - app) / (2.0 * g);
+  const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+  const double c = 1.0 / std::sqrt(t * t + 1.0);
+  const double s = t * c;
+
+  const std::size_t n = a.rows();
+
+  // Column update: B = A * G touches only columns p and q.
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx akp = a(k, p);
+    const cplx akq = a(k, q);
+    a(k, p) = c * akp - s * std::conj(phase) * akq;
+    a(k, q) = s * phase * akp + c * akq;
+  }
+  // Row update: A' = G^H * B touches only rows p and q.
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx apk = a(p, k);
+    const cplx aqk = a(q, k);
+    a(p, k) = c * apk - s * phase * aqk;
+    a(q, k) = s * std::conj(phase) * apk + c * aqk;
+  }
+  // Clean up the rotationally-zeroed pair exactly; Jacobi convergence
+  // proofs assume these entries vanish rather than hold roundoff dust.
+  a(p, q) = cplx{0.0, 0.0};
+  a(q, p) = cplx{0.0, 0.0};
+  a(p, p) = cplx{a(p, p).real(), 0.0};
+  a(q, q) = cplx{a(q, q).real(), 0.0};
+
+  // Accumulate eigenvectors: V = V * G.
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx vkp = v(k, p);
+    const cplx vkq = v(k, q);
+    v(k, p) = c * vkp - s * std::conj(phase) * vkq;
+    v(k, q) = s * phase * vkp + c * vkq;
+  }
+}
+
+}  // namespace
+
+EigenResult eig_hermitian(const CMatrix& input, double hermitian_tol) {
+  if (input.rows() != input.cols())
+    throw std::invalid_argument("eig_hermitian: matrix must be square");
+  const std::size_t n = input.rows();
+
+  const double scale = std::max(input.frobenius_norm(), 1e-300);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c)
+      if (std::abs(input(r, c) - std::conj(input(c, r))) >
+          hermitian_tol * scale)
+        throw std::invalid_argument("eig_hermitian: matrix is not Hermitian");
+
+  // Symmetrize to scrub floating-point asymmetry from covariance sums.
+  CMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      a(r, c) = 0.5 * (input(r, c) + std::conj(input(c, r)));
+
+  CMatrix v = CMatrix::identity(n);
+
+  constexpr int kMaxSweeps = 100;
+  const double tol = 1e-14 * scale;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += std::abs(a(p, q));
+    if (off <= tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q)
+        if (std::abs(a(p, q)) > tol / double(n * n)) rotate(a, v, p, q);
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i).real() < a(j, j).real();
+  });
+
+  EigenResult result;
+  result.eigenvalues.reserve(n);
+  result.eigenvectors = CMatrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.eigenvalues.push_back(a(order[i], order[i]).real());
+    result.eigenvectors.set_col(i, v.col(order[i]));
+  }
+  return result;
+}
+
+}  // namespace arraytrack::linalg

@@ -1,0 +1,30 @@
+// Hermitian eigendecomposition via cyclic complex Jacobi rotations.
+//
+// MUSIC needs the full eigensystem of the MxM antenna covariance matrix
+// (M <= 16 in ArrayTrack). Jacobi is simple, unconditionally stable for
+// Hermitian input, and at this size within a small factor of optimal.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace arraytrack::linalg {
+
+/// Result of eig_hermitian. Eigenvalues are real (Hermitian input) and
+/// sorted ascending; eigenvectors.col(i) is the unit eigenvector for
+/// eigenvalues[i]. Satisfies A * V = V * diag(eigenvalues) and V^H V = I.
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  CMatrix eigenvectors;
+};
+
+/// Eigendecomposition of a Hermitian matrix.
+///
+/// The input is symmetrized first (covariance estimates carry tiny
+/// asymmetries from floating-point accumulation). Throws
+/// std::invalid_argument if the matrix is not square or is grossly
+/// non-Hermitian (relative asymmetry above `hermitian_tol`).
+EigenResult eig_hermitian(const CMatrix& a, double hermitian_tol = 1e-6);
+
+}  // namespace arraytrack::linalg

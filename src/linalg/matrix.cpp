@@ -1,0 +1,240 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace arraytrack::linalg {
+
+CVector& CVector::operator+=(const CVector& rhs) {
+  assert(size() == rhs.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+CVector& CVector::operator-=(const CVector& rhs) {
+  assert(size() == rhs.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+CVector& CVector::operator*=(cplx s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+cplx CVector::dot(const CVector& rhs) const {
+  assert(size() == rhs.size());
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < size(); ++i)
+    acc += std::conj(data_[i]) * rhs.data_[i];
+  return acc;
+}
+
+double CVector::squared_norm() const {
+  double acc = 0.0;
+  for (const auto& v : data_) acc += std::norm(v);
+  return acc;
+}
+
+double CVector::norm() const { return std::sqrt(squared_norm()); }
+
+CVector CVector::normalized() const {
+  const double n = norm();
+  if (n == 0.0) return *this;
+  CVector out = *this;
+  out *= cplx{1.0 / n, 0.0};
+  return out;
+}
+
+CVector CVector::conj() const {
+  CVector out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = std::conj(data_[i]);
+  return out;
+}
+
+std::string CVector::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (i) os << ", ";
+    os << data_[i].real() << (data_[i].imag() < 0 ? "-" : "+")
+       << std::abs(data_[i].imag()) << "j";
+  }
+  os << "]";
+  return os.str();
+}
+
+CMatrix::CMatrix(std::initializer_list<std::initializer_list<cplx>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    assert(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cplx{1.0, 0.0};
+  return m;
+}
+
+CMatrix CMatrix::diagonal(std::span<const double> diag) {
+  CMatrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = cplx{diag[i], 0.0};
+  return m;
+}
+
+CMatrix CMatrix::outer(const CVector& v, const CVector& w) {
+  CMatrix m(v.size(), w.size());
+  for (std::size_t r = 0; r < v.size(); ++r)
+    for (std::size_t c = 0; c < w.size(); ++c)
+      m(r, c) = v[r] * std::conj(w[c]);
+  return m;
+}
+
+CMatrix& CMatrix::operator+=(const CMatrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator-=(const CMatrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator*=(cplx s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+CMatrix CMatrix::operator*(const CMatrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  CMatrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(r, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+CVector CMatrix::operator*(const CVector& rhs) const {
+  assert(cols_ == rhs.size());
+  CVector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * rhs[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+CMatrix CMatrix::transpose() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+cplx CMatrix::trace() const {
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < std::min(rows_, cols_); ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+double CMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (const auto& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+double CMatrix::off_diagonal_norm() const {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (r != c) acc += std::abs((*this)(r, c));
+  return acc;
+}
+
+double CMatrix::max_abs_diff(const CMatrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  return m;
+}
+
+CMatrix CMatrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                       std::size_t nc) const {
+  assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+  CMatrix out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c) out(r, c) = (*this)(r0 + r, c0 + c);
+  return out;
+}
+
+CVector CMatrix::row(std::size_t r) const {
+  CVector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+CVector CMatrix::col(std::size_t c) const {
+  CVector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void CMatrix::set_row(std::size_t r, const CVector& v) {
+  assert(v.size() == cols_);
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void CMatrix::set_col(std::size_t c, const CVector& v) {
+  assert(v.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+bool CMatrix::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - std::conj((*this)(c, r))) > tol) return false;
+  return true;
+}
+
+std::string CMatrix::to_string() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx v = (*this)(r, c);
+      os << (c ? ", " : "") << v.real() << (v.imag() < 0 ? "-" : "+")
+         << std::abs(v.imag()) << "j";
+    }
+    os << (r + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+double quadratic_form_real(const CVector& v, const CMatrix& m) {
+  const cplx q = v.dot(m * v);
+  assert(std::abs(q.imag()) <= 1e-6 * (1.0 + std::abs(q.real())));
+  return q.real();
+}
+
+}  // namespace arraytrack::linalg

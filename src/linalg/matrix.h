@@ -1,0 +1,162 @@
+// Dense complex vector and matrix types.
+//
+// ArrayTrack's heaviest numerical kernel is MUSIC on an MxM antenna
+// covariance matrix with M <= 16, so this module favours clarity and
+// exact semantics over blocking/SIMD tricks. Storage is row-major,
+// owned by a std::vector (RAII, value semantics).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace arraytrack::linalg {
+
+class CMatrix;
+
+/// Dense complex column vector.
+class CVector {
+ public:
+  CVector() = default;
+  explicit CVector(std::size_t n) : data_(n, cplx{0.0, 0.0}) {}
+  CVector(std::initializer_list<cplx> init) : data_(init) {}
+  explicit CVector(std::vector<cplx> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  cplx& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  const cplx& operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  std::span<const cplx> span() const { return data_; }
+  std::span<cplx> span() { return data_; }
+
+  const std::vector<cplx>& data() const { return data_; }
+
+  CVector& operator+=(const CVector& rhs);
+  CVector& operator-=(const CVector& rhs);
+  CVector& operator*=(cplx s);
+
+  friend CVector operator+(CVector lhs, const CVector& rhs) { return lhs += rhs; }
+  friend CVector operator-(CVector lhs, const CVector& rhs) { return lhs -= rhs; }
+  friend CVector operator*(CVector lhs, cplx s) { return lhs *= s; }
+  friend CVector operator*(cplx s, CVector rhs) { return rhs *= s; }
+
+  /// Hermitian inner product <this, rhs> = sum conj(this_i) * rhs_i.
+  cplx dot(const CVector& rhs) const;
+
+  /// Euclidean norm.
+  double norm() const;
+
+  /// Sum of |x_i|^2 (signal power over the vector).
+  double squared_norm() const;
+
+  /// Returns this vector scaled to unit norm (zero vector stays zero).
+  CVector normalized() const;
+
+  /// Elementwise complex conjugate.
+  CVector conj() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<cplx> data_;
+};
+
+/// Dense complex matrix, row-major.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  /// Construct from nested initializer list: CMatrix{{a,b},{c,d}}.
+  CMatrix(std::initializer_list<std::initializer_list<cplx>> init);
+
+  static CMatrix identity(std::size_t n);
+
+  /// n x n matrix with `diag` on the diagonal.
+  static CMatrix diagonal(std::span<const double> diag);
+
+  /// Rank-1 outer product v * w^H.
+  static CMatrix outer(const CVector& v, const CVector& w);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  CMatrix& operator+=(const CMatrix& rhs);
+  CMatrix& operator-=(const CMatrix& rhs);
+  CMatrix& operator*=(cplx s);
+
+  friend CMatrix operator+(CMatrix lhs, const CMatrix& rhs) { return lhs += rhs; }
+  friend CMatrix operator-(CMatrix lhs, const CMatrix& rhs) { return lhs -= rhs; }
+  friend CMatrix operator*(CMatrix lhs, cplx s) { return lhs *= s; }
+  friend CMatrix operator*(cplx s, CMatrix rhs) { return rhs *= s; }
+
+  CMatrix operator*(const CMatrix& rhs) const;
+  CVector operator*(const CVector& rhs) const;
+
+  /// Conjugate transpose A^H.
+  CMatrix hermitian() const;
+
+  /// Plain transpose A^T (no conjugation).
+  CMatrix transpose() const;
+
+  cplx trace() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Sum of |a_ij| over all off-diagonal entries; Jacobi convergence metric.
+  double off_diagonal_norm() const;
+
+  /// Max |a_ij - b_ij|; convenience for tests.
+  double max_abs_diff(const CMatrix& other) const;
+
+  /// Contiguous submatrix [r0, r0+nr) x [c0, c0+nc).
+  CMatrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+                std::size_t nc) const;
+
+  CVector row(std::size_t r) const;
+  CVector col(std::size_t c) const;
+
+  void set_row(std::size_t r, const CVector& v);
+  void set_col(std::size_t c, const CVector& v);
+
+  /// True if max |a_ij - conj(a_ji)| <= tol.
+  bool is_hermitian(double tol = 1e-9) const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// v^H * M * v as a real number (asserts the imaginary residue is tiny;
+/// valid for Hermitian M). Used for power projections.
+double quadratic_form_real(const CVector& v, const CMatrix& m);
+
+}  // namespace arraytrack::linalg

@@ -1,0 +1,19 @@
+#include "linalg/types.h"
+
+#include <cmath>
+
+namespace arraytrack {
+
+double wrap_2pi(double rad) {
+  double w = std::fmod(rad, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+double wrap_pi(double rad) {
+  double w = wrap_2pi(rad);
+  if (w > kPi) w -= kTwoPi;
+  return w;
+}
+
+}  // namespace arraytrack

@@ -1,0 +1,31 @@
+// Fundamental scalar types shared across the ArrayTrack library.
+#pragma once
+
+#include <complex>
+#include <numbers>
+
+namespace arraytrack {
+
+/// Complex baseband sample / matrix scalar. All signal processing in
+/// ArrayTrack operates on complex doubles: AoA information lives in
+/// inter-antenna phase, so we keep full double precision end to end.
+using cplx = std::complex<double>;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Imaginary unit, for readable phasor arithmetic: std::exp(kJ * phi).
+inline constexpr cplx kJ{0.0, 1.0};
+
+/// Degrees <-> radians. Bearings in the public API are degrees
+/// (matching the paper's figures); all internal math uses radians.
+inline constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to [0, 2*pi).
+double wrap_2pi(double rad);
+
+/// Wrap an angle to (-pi, pi].
+double wrap_pi(double rad);
+
+}  // namespace arraytrack

@@ -1,0 +1,83 @@
+#include "phy/csi.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace arraytrack::phy {
+
+std::vector<int> standard_subcarriers() {
+  std::vector<int> out;
+  out.reserve(52);
+  for (int k = -26; k <= 26; ++k)
+    if (k != 0) out.push_back(k);
+  return out;
+}
+
+CsiCapture synthesize_csi(const channel::PathResponse& paths,
+                          double subcarrier_spacing_hz,
+                          const std::vector<int>& subcarriers,
+                          double noise_power_mw, dsp::AwgnSource* noise) {
+  const std::size_t antennas = paths.gains.cols();
+  const std::size_t bins = subcarriers.size();
+
+  CsiCapture csi;
+  csi.h = linalg::CMatrix(antennas, bins);
+  csi.subcarrier_offsets_hz.reserve(bins);
+  for (int k : subcarriers)
+    csi.subcarrier_offsets_hz.push_back(double(k) * subcarrier_spacing_hz);
+
+  double signal_power = 0.0;
+  for (std::size_t m = 0; m < antennas; ++m) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      cplx h{0.0, 0.0};
+      for (std::size_t p = 0; p < paths.delays_s.size(); ++p) {
+        const double phase =
+            -kTwoPi * csi.subcarrier_offsets_hz[b] * paths.delays_s[p];
+        h += paths.gains(p, m) * std::exp(kJ * phase);
+      }
+      signal_power += std::norm(h);
+      if (noise) h += noise->sample(noise_power_mw);
+      csi.h(m, b) = h;
+    }
+  }
+  signal_power /= double(antennas * bins);
+  csi.snr_db = noise_power_mw > 0.0
+                   ? dsp::linear_to_db(
+                         std::max(signal_power, 1e-30) / noise_power_mw)
+                   : 300.0;
+  return csi;
+}
+
+CsiCapture extract_csi(const std::vector<std::vector<cplx>>& lts_windows,
+                       const dsp::PreambleGenerator& preamble) {
+  if (lts_windows.empty())
+    throw std::invalid_argument("extract_csi: no antennas");
+  const std::size_t n = preamble.lts_period();
+  const std::size_t os = preamble.oversample();
+  const double spacing = 312.5e3;
+
+  const auto subcarriers = standard_subcarriers();
+  CsiCapture csi;
+  csi.h = linalg::CMatrix(lts_windows.size(), subcarriers.size());
+  csi.subcarrier_offsets_hz.reserve(subcarriers.size());
+  for (int k : subcarriers)
+    csi.subcarrier_offsets_hz.push_back(double(k) * spacing);
+
+  for (std::size_t m = 0; m < lts_windows.size(); ++m) {
+    if (lts_windows[m].size() != n)
+      throw std::invalid_argument("extract_csi: window length mismatch");
+    const auto spectrum = dsp::fft(lts_windows[m]);
+    for (std::size_t b = 0; b < subcarriers.size(); ++b) {
+      const int k = subcarriers[b];
+      const std::size_t idx =
+          k >= 0 ? std::size_t(k) : std::size_t(std::ptrdiff_t(n) + k);
+      csi.h(m, b) = spectrum[idx] / preamble.lts_frequency_symbol(k);
+    }
+  }
+  (void)os;
+  return csi;
+}
+
+}  // namespace arraytrack::phy

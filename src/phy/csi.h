@@ -1,0 +1,53 @@
+// Channel state information (CSI) capture.
+//
+// OFDM receivers estimate the per-subcarrier channel H_m[k] at every
+// antenna from the known long training symbol. CSI is the input to the
+// joint angle-delay estimation of the SpotFi line of follow-on work
+// (aoa/joint.h): across antennas the phase of H encodes the angle of
+// arrival, across subcarriers it encodes each path's time of flight.
+//
+// Two acquisition paths mirror the rest of the front end:
+//  * synthesize_csi: exact CSI from the channel's path decomposition
+//    (the fast snapshot-level path), plus per-bin estimation noise;
+//  * extract_csi: DFT of a received LTS window divided by the known
+//    training symbols (the waveform path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel.h"
+#include "dsp/noise.h"
+#include "dsp/preamble.h"
+#include "linalg/matrix.h"
+
+namespace arraytrack::phy {
+
+struct CsiCapture {
+  /// H: rows = antennas, cols = subcarriers (in the order of
+  /// `subcarrier_offsets_hz`).
+  linalg::CMatrix h;
+  /// Frequency of each subcarrier relative to the carrier, Hz.
+  std::vector<double> subcarrier_offsets_hz;
+  double snr_db = 0.0;
+};
+
+/// The 802.11 data/pilot subcarrier indices k = -26..-1, 1..26 at
+/// 312.5 kHz spacing (DC carries no energy and is skipped).
+std::vector<int> standard_subcarriers();
+
+/// Exact CSI from a per-path channel decomposition:
+/// H_m(f) = sum_p g_pm * exp(-j*2*pi*f*tau_p), plus circular Gaussian
+/// estimation noise at the capture's per-bin SNR.
+CsiCapture synthesize_csi(const channel::PathResponse& paths,
+                          double subcarrier_spacing_hz,
+                          const std::vector<int>& subcarriers,
+                          double noise_power_mw, dsp::AwgnSource* noise);
+
+/// Least-squares CSI from a received LTS window: FFT of the window
+/// divided by the known training frequency symbols. `lts_windows[m]`
+/// holds antenna m's 64*oversample LTS samples.
+CsiCapture extract_csi(const std::vector<std::vector<cplx>>& lts_windows,
+                       const dsp::PreambleGenerator& preamble);
+
+}  // namespace arraytrack::phy

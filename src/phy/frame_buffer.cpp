@@ -1,0 +1,33 @@
+#include "phy/frame_buffer.h"
+
+namespace arraytrack::phy {
+
+bool CircularFrameBuffer::push(FrameCapture frame) {
+  bool evicted = false;
+  if (capacity_ > 0 && entries_.size() >= capacity_) {
+    entries_.pop_front();
+    evicted = true;
+  }
+  entries_.push_back(std::move(frame));
+  return evicted;
+}
+
+std::optional<FrameCapture> CircularFrameBuffer::pop() {
+  if (entries_.empty()) return std::nullopt;
+  FrameCapture f = std::move(entries_.front());
+  entries_.pop_front();
+  return f;
+}
+
+std::vector<FrameCapture> CircularFrameBuffer::recent_from(
+    int client_id, double now_s, double window_s) const {
+  std::vector<FrameCapture> out;
+  for (const auto& f : entries_) {
+    if (f.client_id == client_id && now_s - f.timestamp_s <= window_s &&
+        f.timestamp_s <= now_s)
+      out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace arraytrack::phy

@@ -1,0 +1,234 @@
+#include "phy/frontend.h"
+
+#include <algorithm>
+
+#include "dsp/cfo.h"
+#include <cmath>
+#include <stdexcept>
+
+namespace arraytrack::phy {
+namespace {
+
+constexpr double kBaseRate = 20e6;
+
+}  // namespace
+
+AccessPointFrontEnd::AccessPointFrontEnd(int id, array::PlacedArray array,
+                                         const channel::MultipathChannel* channel,
+                                         ApConfig cfg)
+    : id_(id),
+      array_(std::move(array)),
+      channel_(channel),
+      cfg_(cfg),
+      radios_(cfg.radios, cfg.radio_seed + std::uint64_t(id) * 7919u),
+      buffer_(cfg.buffer_capacity),
+      noise_(cfg.noise_seed + std::uint64_t(id) * 104729u),
+      preamble_(std::size_t(channel->config().sample_rate_hz / kBaseRate)) {
+  const std::size_t needed =
+      cfg_.diversity_synthesis ? 2 * cfg_.radios : cfg_.radios;
+  if (array_.size() < needed)
+    throw std::invalid_argument(
+        "AccessPointFrontEnd: array too small for radio configuration");
+  if (array_.geometry().has_vertical_extent())
+    element_heights_ =
+        array_.element_heights(channel_->config().ap_height_m);
+}
+
+std::size_t AccessPointFrontEnd::radio_of_element(std::size_t element) const {
+  return element % cfg_.radios;
+}
+
+std::vector<std::size_t> AccessPointFrontEnd::capture_elements() const {
+  const std::size_t n =
+      cfg_.diversity_synthesis ? 2 * cfg_.radios : cfg_.radios;
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+void AccessPointFrontEnd::run_calibration() {
+  array::CalibrationRig rig(&radios_, {},
+                            cfg_.radio_seed ^ 0xabcdef12345ull);
+  calibration_ = array::PhaseCalibration(rig.calibrate());
+}
+
+FrameCapture AccessPointFrontEnd::capture_snapshot(const geom::Vec2& client_pos,
+                                                   double time_s,
+                                                   int client_id) {
+  const auto elements = capture_elements();
+  const auto world = array_.world_positions();
+  std::vector<geom::Vec2> positions;
+  positions.reserve(elements.size());
+  for (std::size_t e : elements) positions.push_back(world[e]);
+
+  std::vector<double> heights;
+  if (!element_heights_.empty())
+    for (std::size_t e : elements) heights.push_back(element_heights_[e]);
+  const auto resp = channel_->path_response(client_pos, array_.position(),
+                                            positions, heights);
+  const double noise_power = channel_->noise_power_mw();
+
+  FrameCapture frame;
+  frame.timestamp_s = time_s;
+  frame.element_ids = elements;
+  frame.client_id = client_id;
+  frame.samples = linalg::CMatrix(elements.size(), cfg_.snapshots);
+
+  // The transmitted waveform is a wideband pseudo-random sequence (the
+  // LTS), identical across both diversity rows; each path sees it
+  // delayed by its own excess propagation. Paths whose delays differ by
+  // at least one sample therefore decorrelate across snapshots — the
+  // property spatially smoothed MUSIC depends on. Model the sequence as
+  // white unit-modulus symbols and index it per path delay.
+  std::size_t max_delay = 0;
+  for (std::size_t d : resp.delays) max_delay = std::max(max_delay, d);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  std::vector<cplx> seq(cfg_.snapshots + max_delay);
+  for (auto& s : seq) s = std::exp(kJ * uang(noise_.rng()));
+
+  for (std::size_t k = 0; k < cfg_.snapshots; ++k) {
+    for (std::size_t m = 0; m < elements.size(); ++m) {
+      cplx rf{0.0, 0.0};
+      for (std::size_t p = 0; p < resp.delays.size(); ++p)
+        rf += resp.gains(p, m) * seq[k + max_delay - resp.delays[p]];
+      rf += noise_.sample(noise_power);
+      frame.samples(m, k) =
+          radios_.downconvert(radio_of_element(elements[m]), rf);
+    }
+  }
+
+  frame.snr_db = resp.total_power_dbm - channel_->config().noise_floor_dbm;
+  buffer_.push(frame);
+  return frame;
+}
+
+std::vector<FrameCapture> AccessPointFrontEnd::receive(
+    const std::vector<Transmission>& txs, double time_s) {
+  const auto elements = capture_elements();
+  const auto world = array_.world_positions();
+  std::vector<geom::Vec2> positions;
+  positions.reserve(elements.size());
+  for (std::size_t e : elements) positions.push_back(world[e]);
+
+  // Superpose every transmission through the wideband channel.
+  std::size_t total_len = 0;
+  for (const auto& tx : txs)
+    total_len = std::max(total_len,
+                         tx.start_sample + tx.waveform->size() + 64);
+  std::vector<std::vector<cplx>> streams(
+      elements.size(), std::vector<cplx>(total_len, cplx{}));
+  for (const auto& tx : txs) {
+    // The client's oscillator offset rides on the waveform; the linear
+    // channel commutes with it.
+    std::vector<cplx> shifted;
+    const std::vector<cplx>* wf = tx.waveform;
+    if (tx.cfo_hz != 0.0) {
+      shifted = dsp::apply_cfo(*tx.waveform, tx.cfo_hz,
+                               channel_->config().sample_rate_hz);
+      wf = &shifted;
+    }
+    const auto rx = channel_->apply(*wf, tx.client_pos, array_.position(),
+                                    positions);
+    for (std::size_t m = 0; m < rx.size(); ++m) {
+      const std::size_t n = std::min(rx[m].size(), total_len - tx.start_sample);
+      for (std::size_t i = 0; i < n; ++i)
+        streams[m][tx.start_sample + i] += rx[m][i];
+    }
+  }
+  // Receiver noise on every stream.
+  const double noise_power = channel_->noise_power_mw();
+  for (auto& s : streams)
+    for (auto& v : s) v += noise_.sample(noise_power);
+
+  // Packet detection runs on radio 0's default antenna (element 0),
+  // matched-filtering against the full ten-symbol short training
+  // section (4.3.4: all ten symbols => detection down to ~-10 dB).
+  dsp::MatchedFilterDetector detector(preamble_.short_section(),
+                                      cfg_.detection_threshold);
+  const auto detections =
+      detector.detect_all(streams[0], preamble_.preamble().size() / 2);
+
+  const double fs = channel_->config().sample_rate_hz;
+  const std::size_t transient =
+      std::size_t(std::ceil(cfg_.switch_transient_s * fs));
+  const std::size_t lts0 = preamble_.lts0_offset();
+  const std::size_t lts1 = preamble_.lts1_offset();
+  const std::size_t half = cfg_.radios;
+
+  std::vector<FrameCapture> out;
+  for (const auto& det : detections) {
+    const std::size_t p = det.start_index;
+    const std::size_t need = p + lts1 + transient + cfg_.snapshots + 1;
+    if (need > total_len) continue;
+
+    FrameCapture frame;
+    frame.timestamp_s = time_s + double(p) / fs;
+    frame.element_ids = elements;
+    frame.samples = linalg::CMatrix(elements.size(), cfg_.snapshots);
+
+    for (std::size_t k = 0; k < cfg_.snapshots; ++k) {
+      // Row 0 antennas sample LTS S0; after the AntSel switch (and its
+      // transient) row 1 antennas sample the identical LTS S1 at the
+      // same intra-symbol offset.
+      for (std::size_t m = 0; m < half; ++m) {
+        const cplx rf0 = streams[m][p + lts0 + transient + k];
+        frame.samples(m, k) = radios_.downconvert(m, rf0);
+        if (cfg_.diversity_synthesis) {
+          const cplx rf1 = streams[half + m][p + lts1 + transient + k];
+          frame.samples(half + m, k) = radios_.downconvert(m, rf1);
+        }
+      }
+    }
+
+    // SNR estimate: preamble window power vs noise floor.
+    double win_power = 0.0;
+    const std::size_t win = preamble_.preamble().size();
+    for (std::size_t i = 0; i < win; ++i) win_power += std::norm(streams[0][p + i]);
+    win_power /= double(win);
+    frame.snr_db = dsp::linear_to_db(
+        std::max(win_power - noise_power, 1e-30) / noise_power);
+
+    // Ground-truth attribution: nearest transmission start.
+    long best_gap = -1;
+    for (const auto& tx : txs) {
+      const long gap = std::labs(long(tx.start_sample) - long(p));
+      if (best_gap < 0 || gap < best_gap) {
+        best_gap = gap;
+        frame.client_id = tx.client_id;
+      }
+    }
+
+    buffer_.push(frame);
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+linalg::CMatrix AccessPointFrontEnd::calibrated_samples(
+    const FrameCapture& frame) const {
+  linalg::CMatrix out = frame.samples;
+  if (calibration_.empty()) return out;
+  const auto& offsets = calibration_.offsets();
+  for (std::size_t m = 0; m < out.rows(); ++m) {
+    const cplx corr =
+        std::exp(-kJ * offsets[radio_of_element(frame.element_ids[m])]);
+    for (std::size_t k = 0; k < out.cols(); ++k) out(m, k) *= corr;
+  }
+  return out;
+}
+
+double AccessPointFrontEnd::snr_db(const geom::Vec2& pos) const {
+  const auto elements = capture_elements();
+  const auto world = array_.world_positions();
+  std::vector<geom::Vec2> positions;
+  positions.reserve(elements.size());
+  for (std::size_t e : elements) positions.push_back(world[e]);
+  std::vector<double> heights;
+  if (!element_heights_.empty())
+    for (std::size_t e : elements) heights.push_back(element_heights_[e]);
+  const auto resp =
+      channel_->response(pos, array_.position(), positions, heights);
+  return resp.total_power_dbm - channel_->config().noise_floor_dbm;
+}
+
+}  // namespace arraytrack::phy

@@ -1,0 +1,122 @@
+// ArrayTrack access-point front end.
+//
+// Stands in for the paper's two-WARP FPGA prototype (Fig. 11): eight
+// radio chains driving a 16-antenna rectangular array through an
+// antenna-select (AntSel) switch, a Schmidl-Cox-style packet detector,
+// diversity synthesis across the two long training symbols (2.2), and
+// a circular buffer of per-frame snapshots feeding the server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "array/calibration.h"
+#include "array/placed_array.h"
+#include "channel/channel.h"
+#include "dsp/detector.h"
+#include "dsp/noise.h"
+#include "dsp/preamble.h"
+#include "phy/frame_buffer.h"
+
+namespace arraytrack::phy {
+
+struct ApConfig {
+  std::size_t radios = 8;
+  /// Capture the second antenna row via AntSel during LTS S1 (2.2).
+  /// Off = plain 8-antenna linear array, on = 16 virtual antennas.
+  bool diversity_synthesis = true;
+  /// Snapshot samples per frame used for AoA (paper uses 10; 4.3.3).
+  std::size_t snapshots = 10;
+  /// Antenna switch transient; samples inside it are discarded (2.2).
+  double switch_transient_s = 500e-9;
+  /// Matched-filter detection threshold on normalized correlation.
+  double detection_threshold = 0.35;
+  std::size_t buffer_capacity = 128;
+  std::uint64_t noise_seed = 1234;
+  std::uint64_t radio_seed = 99;
+};
+
+/// One simulated transmission arriving at the AP (for collisions, pass
+/// several with different start offsets).
+struct Transmission {
+  const std::vector<cplx>* waveform = nullptr;
+  geom::Vec2 client_pos;
+  std::size_t start_sample = 0;
+  int client_id = -1;
+  /// Client oscillator offset. Common-mode across antennas, so AoA is
+  /// untouched (see dsp_cfo_test); it does rotate the constellation,
+  /// which the detector path must tolerate.
+  double cfo_hz = 0.0;
+};
+
+class AccessPointFrontEnd {
+ public:
+  /// `array` must use a rectangular (2 x radios) geometry when
+  /// diversity synthesis is on, or have at least `radios` elements
+  /// otherwise. `channel` must outlive the front end.
+  AccessPointFrontEnd(int id, array::PlacedArray array,
+                      const channel::MultipathChannel* channel,
+                      ApConfig cfg = {});
+
+  int id() const { return id_; }
+  const array::PlacedArray& array() const { return array_; }
+  const channel::MultipathChannel& channel() const { return *channel_; }
+  const ApConfig& config() const { return cfg_; }
+  CircularFrameBuffer& buffer() { return buffer_; }
+  const CircularFrameBuffer& buffer() const { return buffer_; }
+  const array::RadioBank& radios() const { return radios_; }
+
+  /// Runs the two-pass phase calibration (section 3) and stores the
+  /// result; captures taken afterwards can be calibrated exactly.
+  void run_calibration();
+  const array::PhaseCalibration& calibration() const { return calibration_; }
+  bool calibrated() const { return !calibration_.empty(); }
+
+  /// Element indices captured per frame: row 0 (+ row 1 when diversity
+  /// synthesis is on).
+  std::vector<std::size_t> capture_elements() const;
+
+  /// Fast path used by the localization experiments: skips waveform
+  /// synthesis and samples the narrowband channel directly, with
+  /// per-sample receiver noise and per-radio LO offsets, exactly the
+  /// data the detector path would deliver from the long training
+  /// symbols. Pushes the capture into the buffer and returns it.
+  FrameCapture capture_snapshot(const geom::Vec2& client_pos, double time_s,
+                                int client_id = -1);
+
+  /// Full pipeline: superposes the transmissions through the wideband
+  /// channel, adds noise, runs packet detection on the radio streams,
+  /// and extracts diversity-synthesized snapshots for each detected
+  /// preamble. Returns captures in detection order (also buffered).
+  std::vector<FrameCapture> receive(const std::vector<Transmission>& txs,
+                                    double time_s);
+
+  /// Applies the stored calibration to a capture, yielding the
+  /// calibrated snapshot matrix the AoA engine consumes. Falls back to
+  /// raw samples when never calibrated.
+  linalg::CMatrix calibrated_samples(const FrameCapture& frame) const;
+
+  /// Received SNR for a client at `pos` (mean over capture elements).
+  double snr_db(const geom::Vec2& pos) const;
+
+ private:
+  // Radio LO offset for a given geometry element: the two antennas of a
+  // diversity pair share one radio chain.
+  std::size_t radio_of_element(std::size_t element) const;
+
+  int id_;
+  array::PlacedArray array_;
+  const channel::MultipathChannel* channel_;
+  /// Per-element heights when the geometry has vertical extent (the
+  /// 3-D L-array extension); empty for flat arrays.
+  std::vector<double> element_heights_;
+  ApConfig cfg_;
+  array::RadioBank radios_;
+  array::PhaseCalibration calibration_;
+  CircularFrameBuffer buffer_;
+  mutable dsp::AwgnSource noise_;
+  dsp::PreambleGenerator preamble_;
+};
+
+}  // namespace arraytrack::phy

@@ -1,0 +1,134 @@
+#include "phy/mac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace arraytrack::phy {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 2 + 2 + 6 * 3 + 2;  // 24
+constexpr double kQpskAmp = 0.70710678118654752440;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(std::uint8_t(v & 0xff));
+  out.push_back(std::uint8_t(v >> 8));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return std::uint16_t(p[0] | (std::uint16_t(p[1]) << 8));
+}
+
+}  // namespace
+
+std::string to_string(const MacAddress& mac) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", mac[0],
+                mac[1], mac[2], mac[3], mac[4], mac[5]);
+  return buf;
+}
+
+MacAddress client_mac(int client_id) {
+  // 02:... = locally administered, unicast.
+  const std::uint32_t id = std::uint32_t(client_id);
+  return {0x02, 0xa7, 0x00, std::uint8_t(id >> 16), std::uint8_t(id >> 8),
+          std::uint8_t(id)};
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  return ~crc;
+}
+
+std::vector<std::uint8_t> MacFrame::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size() + 4);
+  put_u16(out, frame_control);
+  put_u16(out, duration);
+  for (const auto& a : {addr1, addr2, addr3})
+    out.insert(out.end(), a.begin(), a.end());
+  put_u16(out, sequence);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t fcs = crc32(out.data(), out.size());
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(fcs >> (8 * i)));
+  return out;
+}
+
+std::optional<MacFrame> MacFrame::parse(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes + 4) return std::nullopt;
+  const std::size_t body = bytes.size() - 4;
+  std::uint32_t fcs = 0;
+  for (int i = 0; i < 4; ++i)
+    fcs |= std::uint32_t(bytes[body + std::size_t(i)]) << (8 * i);
+  if (crc32(bytes.data(), body) != fcs) return std::nullopt;
+
+  MacFrame f;
+  f.frame_control = get_u16(bytes.data());
+  f.duration = get_u16(bytes.data() + 2);
+  std::copy_n(bytes.begin() + 4, 6, f.addr1.begin());
+  std::copy_n(bytes.begin() + 10, 6, f.addr2.begin());
+  std::copy_n(bytes.begin() + 16, 6, f.addr3.begin());
+  f.sequence = get_u16(bytes.data() + 22);
+  f.payload.assign(bytes.begin() + std::ptrdiff_t(kHeaderBytes),
+                   bytes.begin() + std::ptrdiff_t(body));
+  return f;
+}
+
+std::vector<cplx> MacFrame::to_qpsk() const {
+  const auto bytes = serialize();
+  std::vector<cplx> out;
+  out.reserve(bytes.size() * 4);
+  for (std::uint8_t b : bytes) {
+    for (int pair = 0; pair < 4; ++pair) {
+      const int bits = (b >> (2 * pair)) & 0x3;
+      out.push_back(cplx{(bits & 1) ? kQpskAmp : -kQpskAmp,
+                         (bits & 2) ? kQpskAmp : -kQpskAmp});
+    }
+  }
+  return out;
+}
+
+std::optional<MacFrame> MacFrame::from_qpsk(
+    const std::vector<cplx>& symbols) {
+  if (symbols.size() % 4 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(symbols.size() / 4);
+  for (std::size_t i = 0; i < symbols.size(); i += 4) {
+    std::uint8_t b = 0;
+    for (int pair = 0; pair < 4; ++pair) {
+      const cplx s = symbols[i + std::size_t(pair)];
+      const int bits = (s.real() > 0 ? 1 : 0) | (s.imag() > 0 ? 2 : 0);
+      b |= std::uint8_t(bits << (2 * pair));
+    }
+    bytes.push_back(b);
+  }
+  return parse(bytes);
+}
+
+TrafficSource::TrafficSource(std::size_t clients, double rate_hz,
+                             std::uint64_t seed)
+    : clients_(clients), rate_hz_(rate_hz), rng_(seed) {}
+
+std::vector<TrafficSource::Event> TrafficSource::schedule(double duration_s) {
+  std::exponential_distribution<double> gap(rate_hz_);
+  std::vector<Event> events;
+  for (std::size_t c = 0; c < clients_; ++c) {
+    double t = gap(rng_);
+    std::uint16_t seq = 0;
+    while (t < duration_s) {
+      events.push_back({t, int(c), seq++});
+      t += gap(rng_);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time_s < b.time_s; });
+  return events;
+}
+
+}  // namespace arraytrack::phy

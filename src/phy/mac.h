@@ -1,0 +1,81 @@
+// Minimal 802.11 MAC framing and client traffic generation.
+//
+// ArrayTrack needs no frame *contents* — it reads raw preamble samples
+// — but a deployment still needs to know WHICH client transmitted, and
+// an evaluation needs realistic traffic timing. This module provides:
+//  * a compact data-frame header (addresses, sequence number) with
+//    IEEE CRC-32, serialized to bytes and mapped onto QPSK body
+//    samples, so simulated frames carry real, checkable structure;
+//  * a Poisson traffic source that schedules per-client transmissions
+//    (the organic-traffic experiment driver).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace arraytrack::phy {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+/// Pretty "xx:xx:xx:xx:xx:xx" form.
+std::string to_string(const MacAddress& mac);
+
+/// Deterministic locally-administered address for a client index.
+MacAddress client_mac(int client_id);
+
+/// IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+struct MacFrame {
+  std::uint16_t frame_control = 0x0008;  // data frame
+  std::uint16_t duration = 0;
+  MacAddress addr1{};  // receiver
+  MacAddress addr2{};  // transmitter
+  MacAddress addr3{};  // BSSID
+  std::uint16_t sequence = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Header + payload + FCS (CRC-32 of everything before it).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses and verifies the FCS; nullopt on short input or CRC error.
+  static std::optional<MacFrame> parse(const std::vector<std::uint8_t>& bytes);
+
+  /// Maps the serialized frame onto unit-power QPSK body samples
+  /// (2 bits per sample), ready to append to a preamble.
+  std::vector<cplx> to_qpsk() const;
+
+  /// Inverse of to_qpsk (hard decisions); nullopt if the recovered
+  /// bytes fail the FCS.
+  static std::optional<MacFrame> from_qpsk(const std::vector<cplx>& symbols);
+};
+
+/// Poisson traffic source: schedules frame transmissions for a set of
+/// clients with independent exponential inter-arrival times.
+class TrafficSource {
+ public:
+  struct Event {
+    double time_s;
+    int client_id;
+    std::uint16_t sequence;
+  };
+
+  /// `rate_hz` frames per second per client.
+  TrafficSource(std::size_t clients, double rate_hz, std::uint64_t seed);
+
+  /// All events in [0, duration_s), time-sorted.
+  std::vector<Event> schedule(double duration_s);
+
+ private:
+  std::size_t clients_;
+  double rate_hz_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace arraytrack::phy

@@ -1,0 +1,170 @@
+#include "phy/wire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace arraytrack::phy {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41545231;  // "ATR1"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Header layout (little endian):
+//   u32 magic | u32 elements | u32 snapshots | u32 bits_per_rail
+//   f64 timestamp | f64 snr_db | f64 scale | i32 client_id
+//   u32 element_id[elements]
+// followed by elements*snapshots { int I, int Q } packed rail-by-rail
+// into ceil(bits/8) bytes each, two's complement.
+constexpr std::size_t kFixedHeader = 4 * 4 + 3 * 8 + 4;
+
+std::size_t rail_bytes(int bits) { return std::size_t((bits + 7) / 8); }
+
+void put_signed(std::vector<std::uint8_t>& out, long v, std::size_t nbytes) {
+  const std::uint64_t u = std::uint64_t(v);
+  for (std::size_t i = 0; i < nbytes; ++i)
+    out.push_back(std::uint8_t(u >> (8 * i)));
+}
+
+long get_signed(const std::uint8_t* p, std::size_t nbytes, int bits) {
+  std::uint64_t u = 0;
+  for (std::size_t i = 0; i < nbytes; ++i) u |= std::uint64_t(p[i]) << (8 * i);
+  // Sign-extend from `bits`.
+  const std::uint64_t sign = 1ull << (bits - 1);
+  if (u & sign) u |= ~((sign << 1) - 1);
+  return long(std::int64_t(u));
+}
+
+}  // namespace
+
+std::size_t WireFormat::encoded_size(std::size_t elements,
+                                     std::size_t snapshots) const {
+  return kFixedHeader + 4 * elements +
+         elements * snapshots * 2 * rail_bytes(bits_per_rail);
+}
+
+double WireFormat::serialization_s(std::size_t elements,
+                                   std::size_t snapshots,
+                                   double link_bps) const {
+  return double(encoded_size(elements, snapshots)) * 8.0 / link_bps;
+}
+
+std::vector<std::uint8_t> WireFormat::encode(const FrameCapture& frame) const {
+  const std::size_t elements = frame.samples.rows();
+  const std::size_t snapshots = frame.samples.cols();
+
+  // Shared full-scale: max |I| or |Q| over the capture.
+  double peak = 0.0;
+  for (std::size_t m = 0; m < elements; ++m)
+    for (std::size_t k = 0; k < snapshots; ++k) {
+      peak = std::max(peak, std::abs(frame.samples(m, k).real()));
+      peak = std::max(peak, std::abs(frame.samples(m, k).imag()));
+    }
+  if (peak == 0.0) peak = 1.0;
+  const long qmax = (1l << (bits_per_rail - 1)) - 1;
+  const double scale = peak / double(qmax);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(elements, snapshots));
+  put_u32(out, kMagic);
+  put_u32(out, std::uint32_t(elements));
+  put_u32(out, std::uint32_t(snapshots));
+  put_u32(out, std::uint32_t(bits_per_rail));
+  put_f64(out, frame.timestamp_s);
+  put_f64(out, frame.snr_db);
+  put_f64(out, scale);
+  put_u32(out, std::uint32_t(frame.client_id));
+  for (std::size_t m = 0; m < elements; ++m)
+    put_u32(out, std::uint32_t(m < frame.element_ids.size()
+                                   ? frame.element_ids[m]
+                                   : m));
+
+  const std::size_t nb = rail_bytes(bits_per_rail);
+  auto quantize = [&](double v) {
+    return std::clamp(long(std::lround(v / scale)), -qmax, qmax);
+  };
+  for (std::size_t m = 0; m < elements; ++m) {
+    for (std::size_t k = 0; k < snapshots; ++k) {
+      put_signed(out, quantize(frame.samples(m, k).real()), nb);
+      put_signed(out, quantize(frame.samples(m, k).imag()), nb);
+    }
+  }
+  return out;
+}
+
+std::optional<FrameCapture> WireFormat::decode(
+    const std::vector<std::uint8_t>& bytes) const {
+  if (bytes.size() < kFixedHeader) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
+  if (get_u32(p) != kMagic) return std::nullopt;
+  const std::size_t elements = get_u32(p + 4);
+  const std::size_t snapshots = get_u32(p + 8);
+  const int bits = int(get_u32(p + 12));
+  if (bits < 2 || bits > 32 || elements == 0 || elements > 1024 ||
+      snapshots == 0 || snapshots > 65536)
+    return std::nullopt;
+
+  FrameCapture frame;
+  frame.timestamp_s = get_f64(p + 16);
+  frame.snr_db = get_f64(p + 24);
+  const double scale = get_f64(p + 32);
+  frame.client_id = int(std::int32_t(get_u32(p + 40)));
+
+  const std::size_t nb = rail_bytes(bits);
+  const std::size_t need =
+      kFixedHeader + 4 * elements + elements * snapshots * 2 * nb;
+  if (bytes.size() != need) return std::nullopt;
+
+  const std::uint8_t* ids = p + kFixedHeader;
+  frame.element_ids.resize(elements);
+  for (std::size_t m = 0; m < elements; ++m)
+    frame.element_ids[m] = get_u32(ids + 4 * m);
+
+  const std::uint8_t* data = ids + 4 * elements;
+  frame.samples = linalg::CMatrix(elements, snapshots);
+  std::size_t off = 0;
+  for (std::size_t m = 0; m < elements; ++m) {
+    for (std::size_t k = 0; k < snapshots; ++k) {
+      const long i = get_signed(data + off, nb, bits);
+      off += nb;
+      const long q = get_signed(data + off, nb, bits);
+      off += nb;
+      frame.samples(m, k) = cplx{double(i) * scale, double(q) * scale};
+    }
+  }
+  return frame;
+}
+
+}  // namespace arraytrack::phy

@@ -1,0 +1,40 @@
+// AP-to-server wire format (the "Tt" link of Fig. 1 / section 4.4).
+//
+// The prototype shipped (10 samples) x (32 bits I+Q) x (8 radios) per
+// frame over the WARP's Ethernet. This module defines that record:
+// a fixed header plus per-element quantized IQ samples, with the bit
+// depth configurable (16+16 matches the paper's 32 bits per sample).
+// Quantization uses a per-frame shared scale (max-abs normalization),
+// mirroring the FPGA's fixed-point capture path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/frame_buffer.h"
+
+namespace arraytrack::phy {
+
+struct WireFormat {
+  /// Bits per rail (I or Q); the paper's 32-bit samples are 16+16.
+  int bits_per_rail = 16;
+
+  /// Serialized size in bytes for a capture of the given shape.
+  std::size_t encoded_size(std::size_t elements, std::size_t snapshots) const;
+
+  /// Serialization time over a link, seconds (the Tt term).
+  double serialization_s(std::size_t elements, std::size_t snapshots,
+                         double link_bps) const;
+
+  /// Encodes a frame capture. The element ids, timestamp, SNR and
+  /// client tag ride along in the header.
+  std::vector<std::uint8_t> encode(const FrameCapture& frame) const;
+
+  /// Decodes a record; returns nullopt on malformed input (short
+  /// buffer, bad magic, impossible shape). Samples are reconstructed
+  /// up to quantization error (see wire tests for the error bound).
+  std::optional<FrameCapture> decode(const std::vector<std::uint8_t>& bytes) const;
+};
+
+}  // namespace arraytrack::phy

@@ -1,0 +1,82 @@
+#include "testbed/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace arraytrack::testbed {
+
+ErrorStats::ErrorStats(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void ErrorStats::add_all(const std::vector<double>& vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+}
+
+double ErrorStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : samples_) acc += v;
+  return acc / double(samples_.size());
+}
+
+double ErrorStats::percentile(double p) const {
+  if (samples_.empty()) throw std::out_of_range("ErrorStats: no samples");
+  auto s = sorted();
+  const double rank = (p / 100.0) * double(s.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double f = rank - double(lo);
+  return (1.0 - f) * s[lo] + f * s[hi];
+}
+
+double ErrorStats::min() const {
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double ErrorStats::max() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double ErrorStats::cdf_at(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : samples_)
+    if (v <= threshold) ++n;
+  return double(n) / double(samples_.size());
+}
+
+std::vector<double> ErrorStats::sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+std::string ErrorStats::cdf_table(const std::vector<double>& thresholds,
+                                  const std::string& unit) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  for (double t : thresholds)
+    os << "  P(err <= " << std::setw(7) << t << " " << unit
+       << ") = " << cdf_at(t) << "\n";
+  return os.str();
+}
+
+std::string ErrorStats::summary(const std::string& label,
+                                const std::string& unit) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (samples_.empty()) {
+    os << label << ": no samples";
+    return os.str();
+  }
+  os << label << ": n=" << samples_.size() << "  mean=" << mean() << unit
+     << "  median=" << median() << unit << "  p90=" << percentile(90.0)
+     << unit << "  p95=" << percentile(95.0) << unit
+     << "  p98=" << percentile(98.0) << unit;
+  return os.str();
+}
+
+}  // namespace arraytrack::testbed

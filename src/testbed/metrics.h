@@ -1,0 +1,45 @@
+// Error statistics and CDF reporting for the evaluation benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace arraytrack::testbed {
+
+class ErrorStats {
+ public:
+  ErrorStats() = default;
+  explicit ErrorStats(std::vector<double> samples);
+
+  void add(double v) { samples_.push_back(v); }
+  void add_all(const std::vector<double>& vs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double median() const { return percentile(50.0); }
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double min() const;
+  double max() const;
+
+  /// Fraction of samples <= threshold (one CDF point).
+  double cdf_at(double threshold) const;
+
+  /// Sorted copy of the samples.
+  std::vector<double> sorted() const;
+
+  /// Multi-row table: threshold vs CDF fraction, for the bench output.
+  std::string cdf_table(const std::vector<double>& thresholds,
+                        const std::string& unit = "cm") const;
+
+  /// One summary line: n, mean, median, p90/p95/p98.
+  std::string summary(const std::string& label,
+                      const std::string& unit = "cm") const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace arraytrack::testbed

@@ -1,0 +1,107 @@
+#include "testbed/office.h"
+
+#include <cmath>
+#include <random>
+
+#include "linalg/types.h"
+
+namespace arraytrack::testbed {
+namespace {
+
+using geom::Material;
+using geom::Vec2;
+
+void add_perimeter(geom::Floorplan& plan, double w, double h) {
+  plan.add_wall({0, 0}, {w, 0}, Material::kBrick);
+  plan.add_wall({w, 0}, {w, h}, Material::kBrick);
+  plan.add_wall({w, h}, {0, h}, Material::kBrick);
+  plan.add_wall({0, h}, {0, 0}, Material::kBrick);
+}
+
+}  // namespace
+
+OfficeTestbed OfficeTestbed::standard() {
+  OfficeTestbed tb;
+  // 32 m x 14 m, comparable to the paper's single office floor: links
+  // stay under ~25 m so a degree of bearing error costs decimeters,
+  // not meters.
+  constexpr double kW = 32.0;
+  constexpr double kH = 14.0;
+  tb.plan.set_bounds({{0.0, 0.0}, {kW, kH}});
+  add_perimeter(tb.plan, kW, kH);
+
+  // Corridor walls at y = 6 and y = 8, drywall, with door gaps.
+  for (double x = 0.0; x < kW; x += 8.0) {
+    tb.plan.add_wall({x, 6.0}, {x + 6.5, 6.0}, Material::kDrywall);
+    tb.plan.add_wall({x + 1.5, 8.0}, {x + 8.0, 8.0}, Material::kDrywall);
+  }
+
+  // Offices along the top: dividers from the corridor wall to the top
+  // perimeter.
+  for (double x = 6.4; x < kW - 1.0; x += 6.4)
+    tb.plan.add_wall({x, 8.0}, {x, kH}, Material::kDrywall);
+
+  // Open-plan cubicle area below the corridor: fabric partitions.
+  for (double x = 5.0; x < kW - 4.0; x += 7.0) {
+    tb.plan.add_wall({x, 1.2}, {x, 3.6}, Material::kCubicle);
+    tb.plan.add_wall({x - 2.0, 3.6}, {x, 3.6}, Material::kCubicle);
+  }
+
+  // Feature walls: a glass meeting-room front, a metal cabinet run, and
+  // a wood-panelled wall, so clients see varied reflector materials.
+  tb.plan.add_wall({22.0, 2.0}, {27.0, 2.0}, Material::kGlass);
+  tb.plan.add_wall({22.0, 2.0}, {22.0, 4.8}, Material::kGlass);
+  tb.plan.add_wall({9.0, 4.9}, {13.0, 4.9}, Material::kMetal);
+  tb.plan.add_wall({27.5, 8.0}, {27.5, 11.5}, Material::kWood);
+
+  // Concrete pillars along the corridor line (the NLOS blockers).
+  tb.plan.add_pillar({{6.5, 7.0}, 0.35, 9.0});
+  tb.plan.add_pillar({{13.0, 7.0}, 0.35, 9.0});
+  tb.plan.add_pillar({{19.5, 7.0}, 0.35, 9.0});
+  tb.plan.add_pillar({{26.0, 7.0}, 0.35, 9.0});
+
+  // Six AP sites spread like the paper's "1"-"6" labels: corners and
+  // mid-points, each oriented so its array faces the floor interior.
+  tb.ap_sites = {
+      {{2.0, 1.0}, deg2rad(40.0)},     // 1: lower-left
+      {{30.0, 1.0}, deg2rad(140.0)},   // 2: lower-right
+      {{16.0, 7.0}, deg2rad(25.0)},    // 3: corridor center
+      {{2.0, 13.0}, deg2rad(-40.0)},   // 4: upper-left
+      {{30.0, 13.0}, deg2rad(220.0)},  // 5: upper-right
+      {{16.0, 1.0}, deg2rad(110.0)},   // 6: lower-middle
+  };
+
+  // 41 clients: an 8 x 5 jittered grid (40) plus one deliberately
+  // pillar-shadowed point. Deterministic seed so every experiment sees
+  // the same layout.
+  std::mt19937_64 rng(2013);
+  std::uniform_real_distribution<double> jit(-0.7, 0.7);
+  const double margin = 1.5;
+  for (int gy = 0; gy < 5; ++gy) {
+    for (int gx = 0; gx < 8; ++gx) {
+      const double x = margin + (kW - 2 * margin) * (double(gx) + 0.5) / 8.0;
+      const double y = margin + (kH - 2 * margin) * (double(gy) + 0.5) / 5.0;
+      Vec2 p{x + jit(rng), y + jit(rng)};
+      // Keep clear of pillar interiors.
+      for (const auto& pil : tb.plan.pillars())
+        if (geom::distance(p, pil.center) < pil.radius + 0.3)
+          p.x += pil.radius + 0.5;
+      tb.clients.push_back(p);
+    }
+  }
+  // Client 41: straight behind a pillar as seen from AP 3.
+  tb.clients.push_back({19.5, 5.4});
+
+  return tb;
+}
+
+std::vector<std::size_t> OfficeTestbed::blocked_clients(
+    std::size_t ap_index) const {
+  std::vector<std::size_t> out;
+  const Vec2 ap = ap_sites.at(ap_index).position;
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    if (plan.pillars_crossed(ap, clients[i]) >= 1) out.push_back(i);
+  return out;
+}
+
+}  // namespace arraytrack::testbed

@@ -1,0 +1,38 @@
+// The synthetic office testbed (stands in for the paper's Fig. 12).
+//
+// A 40 m x 16 m floor: perimeter walls, a central corridor, a row of
+// offices along the top, an open cubicle area below, concrete pillars
+// in the corridor, plus metal / glass / wood features so clients sit
+// near a variety of reflectors — mirroring how the paper placed its 41
+// Soekris clients "near metal, wood, glass and plastic walls" and
+// "behind concrete pillars".
+#pragma once
+
+#include <vector>
+
+#include "geom/floorplan.h"
+#include "geom/vec2.h"
+
+namespace arraytrack::testbed {
+
+struct ApSite {
+  geom::Vec2 position;
+  double orientation_rad = 0.0;
+};
+
+struct OfficeTestbed {
+  geom::Floorplan plan;
+  /// Six AP sites, labelled 1-6 like the paper's floorplan.
+  std::vector<ApSite> ap_sites;
+  /// 41 client ground-truth positions, roughly uniform over the floor.
+  std::vector<geom::Vec2> clients;
+
+  /// The standard testbed used by every experiment bench.
+  static OfficeTestbed standard();
+
+  /// Clients whose direct path to the given AP site crosses >= 1 pillar
+  /// (the deliberately hard NLOS cases).
+  std::vector<std::size_t> blocked_clients(std::size_t ap_index) const;
+};
+
+}  // namespace arraytrack::testbed

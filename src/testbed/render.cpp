@@ -1,0 +1,158 @@
+#include "testbed/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace arraytrack::testbed {
+
+Image::Image(std::size_t width, std::size_t height, Rgb fill)
+    : w_(width), h_(height), pixels_(width * height, fill) {}
+
+void Image::set(std::ptrdiff_t x, std::ptrdiff_t y, Rgb c) {
+  if (x < 0 || y < 0 || std::size_t(x) >= w_ || std::size_t(y) >= h_) return;
+  pixels_[std::size_t(y) * w_ + std::size_t(x)] = c;
+}
+
+void Image::line(std::ptrdiff_t x0, std::ptrdiff_t y0, std::ptrdiff_t x1,
+                 std::ptrdiff_t y1, Rgb c) {
+  const std::ptrdiff_t dx = std::abs(x1 - x0);
+  const std::ptrdiff_t dy = -std::abs(y1 - y0);
+  const std::ptrdiff_t sx = x0 < x1 ? 1 : -1;
+  const std::ptrdiff_t sy = y0 < y1 ? 1 : -1;
+  std::ptrdiff_t err = dx + dy;
+  while (true) {
+    set(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    const std::ptrdiff_t e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Image::disc(std::ptrdiff_t cx, std::ptrdiff_t cy, std::ptrdiff_t radius,
+                 Rgb c) {
+  for (std::ptrdiff_t y = -radius; y <= radius; ++y)
+    for (std::ptrdiff_t x = -radius; x <= radius; ++x)
+      if (x * x + y * y <= radius * radius) set(cx + x, cy + y, c);
+}
+
+std::vector<std::uint8_t> Image::to_ppm() const {
+  char header[64];
+  const int n =
+      std::snprintf(header, sizeof(header), "P6\n%zu %zu\n255\n", w_, h_);
+  std::vector<std::uint8_t> out(header, header + n);
+  out.reserve(out.size() + pixels_.size() * 3);
+  for (const auto& p : pixels_) {
+    out.push_back(p.r);
+    out.push_back(p.g);
+    out.push_back(p.b);
+  }
+  return out;
+}
+
+bool Image::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const auto bytes = to_ppm();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+  return bool(out);
+}
+
+Rgb heat_color(double v) {
+  v = std::clamp(v, 0.0, 1.0);
+  // Four-stop gradient: navy -> cyan -> yellow -> red.
+  struct Stop {
+    double t;
+    Rgb c;
+  };
+  static const Stop stops[] = {{0.0, {10, 10, 60}},
+                               {0.35, {30, 180, 200}},
+                               {0.7, {240, 220, 60}},
+                               {1.0, {220, 40, 30}}};
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (v <= stops[i].t) {
+      const double f = (v - stops[i - 1].t) / (stops[i].t - stops[i - 1].t);
+      const auto& a = stops[i - 1].c;
+      const auto& b = stops[i].c;
+      return {std::uint8_t(a.r + f * (b.r - a.r)),
+              std::uint8_t(a.g + f * (b.g - a.g)),
+              std::uint8_t(a.b + f * (b.b - a.b))};
+    }
+  }
+  return stops[3].c;
+}
+
+Image render_heatmap(const core::Heatmap& map, const geom::Floorplan& plan,
+                     const std::vector<ApSite>& aps, const geom::Vec2* truth,
+                     const geom::Vec2* estimate, RenderOptions opt) {
+  const double ppm = double(opt.pixels_per_meter);
+  const auto& b = map.bounds;
+  const std::size_t w = std::size_t(std::ceil(b.width() * ppm));
+  const std::size_t h = std::size_t(std::ceil(b.height() * ppm));
+  Image img(std::max<std::size_t>(w, 1), std::max<std::size_t>(h, 1));
+
+  auto to_px = [&](const geom::Vec2& p) {
+    // +y up: flip the row index.
+    return std::pair<std::ptrdiff_t, std::ptrdiff_t>(
+        std::ptrdiff_t((p.x - b.min.x) * ppm),
+        std::ptrdiff_t(double(img.height()) - 1 - (p.y - b.min.y) * ppm));
+  };
+
+  // Likelihood field (log-compressed for visibility, like the paper's
+  // figures where side lobes remain visible).
+  const double top = map.max_value();
+  for (std::size_t py = 0; py < img.height(); ++py) {
+    for (std::size_t px = 0; px < img.width(); ++px) {
+      const double x = b.min.x + (double(px) + 0.5) / ppm;
+      const double y =
+          b.min.y + (double(img.height() - 1 - py) + 0.5) / ppm;
+      const std::size_t ix = std::min(
+          map.nx - 1, std::size_t((x - b.min.x) / b.width() * double(map.nx)));
+      const std::size_t iy = std::min(
+          map.ny - 1,
+          std::size_t((y - b.min.y) / b.height() * double(map.ny)));
+      const double v = top > 0.0 ? map.at(ix, iy) / top : 0.0;
+      const double compressed =
+          v > 0.0 ? std::max(0.0, 1.0 + std::log10(v) / 4.0) : 0.0;
+      img.at(px, py) = heat_color(compressed);
+    }
+  }
+
+  if (opt.draw_walls) {
+    for (const auto& wall : plan.walls()) {
+      const auto [x0, y0] = to_px(wall.a);
+      const auto [x1, y1] = to_px(wall.b);
+      img.line(x0, y0, x1, y1, {230, 230, 230});
+    }
+  }
+  if (opt.draw_pillars) {
+    for (const auto& p : plan.pillars()) {
+      const auto [cx, cy] = to_px(p.center);
+      img.disc(cx, cy, std::ptrdiff_t(p.radius * ppm), {160, 160, 160});
+    }
+  }
+  for (const auto& ap : aps) {
+    const auto [cx, cy] = to_px(ap.position);
+    img.disc(cx, cy, 3, {255, 255, 255});
+  }
+  if (truth) {
+    const auto [cx, cy] = to_px(*truth);
+    img.disc(cx, cy, 3, {40, 220, 60});
+  }
+  if (estimate) {
+    const auto [cx, cy] = to_px(*estimate);
+    img.disc(cx, cy, 2, {240, 60, 240});
+  }
+  return img;
+}
+
+}  // namespace arraytrack::testbed

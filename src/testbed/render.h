@@ -1,0 +1,71 @@
+// Image rendering for heatmaps and floorplans (binary PPM, no
+// dependencies): the likelihood images of the paper's Fig. 14, with
+// the floorplan, AP sites and ground truth overlaid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/synthesis.h"
+#include "geom/floorplan.h"
+#include "testbed/office.h"
+
+namespace arraytrack::testbed {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// A simple raster image with PPM (P6) output.
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height, Rgb fill = {0, 0, 0});
+
+  std::size_t width() const { return w_; }
+  std::size_t height() const { return h_; }
+
+  Rgb& at(std::size_t x, std::size_t y) { return pixels_[y * w_ + x]; }
+  const Rgb& at(std::size_t x, std::size_t y) const {
+    return pixels_[y * w_ + x];
+  }
+
+  /// Clipped single-pixel set.
+  void set(std::ptrdiff_t x, std::ptrdiff_t y, Rgb c);
+  /// Bresenham line, clipped.
+  void line(std::ptrdiff_t x0, std::ptrdiff_t y0, std::ptrdiff_t x1,
+            std::ptrdiff_t y1, Rgb c);
+  /// Filled disc, clipped.
+  void disc(std::ptrdiff_t cx, std::ptrdiff_t cy, std::ptrdiff_t radius,
+            Rgb c);
+
+  /// Binary PPM bytes ("P6 ...").
+  std::vector<std::uint8_t> to_ppm() const;
+  /// Writes to_ppm() to a file; false on I/O failure.
+  bool write_ppm(const std::string& path) const;
+
+ private:
+  std::size_t w_, h_;
+  std::vector<Rgb> pixels_;
+};
+
+/// Perceptually ordered colormap for likelihood in [0, 1]
+/// (dark blue -> cyan -> yellow -> red).
+Rgb heat_color(double v01);
+
+struct RenderOptions {
+  std::size_t pixels_per_meter = 16;
+  bool draw_walls = true;
+  bool draw_pillars = true;
+};
+
+/// Renders a likelihood heatmap over its bounds with the floorplan
+/// overlaid; optional AP sites (white discs), ground truth (green) and
+/// estimate (magenta). Image y is flipped so +y is up.
+Image render_heatmap(const core::Heatmap& map, const geom::Floorplan& plan,
+                     const std::vector<ApSite>& aps = {},
+                     const geom::Vec2* truth = nullptr,
+                     const geom::Vec2* estimate = nullptr,
+                     RenderOptions opt = {});
+
+}  // namespace arraytrack::testbed

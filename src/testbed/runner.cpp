@@ -1,0 +1,99 @@
+#include "testbed/runner.h"
+
+#include <cmath>
+#include <random>
+
+namespace arraytrack::testbed {
+
+ExperimentRunner::ExperimentRunner(const OfficeTestbed* testbed,
+                                   RunnerConfig cfg)
+    : testbed_(testbed), cfg_(cfg), system_(&testbed->plan, cfg.system) {
+  for (const auto& site : testbed_->ap_sites)
+    system_.add_ap(site.position, site.orientation_rad);
+}
+
+std::vector<ClientObservation> ExperimentRunner::observe_all_clients() {
+  std::vector<std::size_t> all(testbed_->clients.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return observe_clients(all);
+}
+
+std::vector<ClientObservation> ExperimentRunner::observe_clients(
+    const std::vector<std::size_t>& client_indices) {
+  std::mt19937_64 rng(cfg_.seed);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+
+  std::vector<ClientObservation> out;
+  out.reserve(client_indices.size());
+  for (std::size_t ci : client_indices) {
+    const geom::Vec2 truth = testbed_->clients.at(ci);
+    geom::Vec2 pos = truth;
+    const double t0 = clock_s_;
+    for (std::size_t f = 0; f < cfg_.frames_per_client; ++f) {
+      system_.transmit(int(ci), pos, t0 + double(f) * cfg_.frame_spacing_s);
+      // Small inadvertent movement before the next frame (paper 4.2).
+      pos += geom::unit_from_angle(uang(rng)) * cfg_.move_step_m;
+    }
+    const double now =
+        t0 + double(cfg_.frames_per_client) * cfg_.frame_spacing_s;
+    ClientObservation obs;
+    obs.truth = truth;
+    obs.per_ap = system_.server().client_spectra(int(ci), now);
+    out.push_back(std::move(obs));
+    // Advance the clock past the suppression window so the next
+    // client's frames never group with this one's.
+    clock_s_ = now + 1.0;
+  }
+  return out;
+}
+
+std::vector<double> ExperimentRunner::localization_errors(
+    const std::vector<ClientObservation>& obs,
+    const std::vector<std::size_t>& ap_subset) const {
+  std::vector<double> errors;
+  errors.reserve(obs.size());
+  for (const auto& o : obs) {
+    std::vector<core::ApSpectrum> subset;
+    subset.reserve(ap_subset.size());
+    for (std::size_t a : ap_subset)
+      if (a < o.per_ap.size()) subset.push_back(o.per_ap[a]);
+    const auto fix = system_.server().locate_from_spectra(subset);
+    if (!fix) continue;
+    errors.push_back(geom::distance(fix->position, o.truth));
+  }
+  return errors;
+}
+
+std::vector<double> ExperimentRunner::errors_for_ap_count(
+    const std::vector<ClientObservation>& obs, std::size_t k) const {
+  std::vector<double> pooled;
+  for (const auto& subset : combinations(testbed_->ap_sites.size(), k)) {
+    const auto errs = localization_errors(obs, subset);
+    pooled.insert(pooled.end(), errs.begin(), errs.end());
+  }
+  return pooled;
+}
+
+std::vector<std::vector<std::size_t>> ExperimentRunner::combinations(
+    std::size_t n, std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  if (k > n) return out;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    out.push_back(idx);
+    // Advance the rightmost index that can move.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+}
+
+}  // namespace arraytrack::testbed

@@ -1,0 +1,71 @@
+// Experiment runner: drives the full ArrayTrack stack over the office
+// testbed and evaluates localization error across AP subsets — the
+// harness behind the paper's Figs. 13, 15, 16 and 18.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arraytrack.h"
+#include "testbed/office.h"
+
+namespace arraytrack::testbed {
+
+struct RunnerConfig {
+  core::SystemConfig system;
+  /// Frames transmitted per client, with small motion in between
+  /// (paper 4.2: two more samples < 5 cm away).
+  std::size_t frames_per_client = 3;
+  double frame_spacing_s = 0.030;
+  /// Client displacement between consecutive frames, meters.
+  double move_step_m = 0.035;
+  std::uint64_t seed = 42;
+};
+
+/// Per-client fused spectra (one per AP) plus the ground truth.
+struct ClientObservation {
+  geom::Vec2 truth;
+  std::vector<core::ApSpectrum> per_ap;  // index = AP id
+};
+
+class ExperimentRunner {
+ public:
+  /// Builds a System over the testbed's floorplan with all its AP
+  /// sites installed. `testbed` must outlive the runner.
+  ExperimentRunner(const OfficeTestbed* testbed, RunnerConfig cfg = {});
+
+  core::System& system() { return system_; }
+  const OfficeTestbed& testbed() const { return *testbed_; }
+
+  /// Transmits frames_per_client frames per client (with inter-frame
+  /// motion) and fuses each AP's spectra. Expensive; run once and share
+  /// across AP-subset evaluations.
+  std::vector<ClientObservation> observe_all_clients();
+
+  /// Same, for a caller-chosen subset of client indices.
+  std::vector<ClientObservation> observe_clients(
+      const std::vector<std::size_t>& client_indices);
+
+  /// Localization error (meters) per observation, fusing only the APs
+  /// in `ap_subset`.
+  std::vector<double> localization_errors(
+      const std::vector<ClientObservation>& obs,
+      const std::vector<std::size_t>& ap_subset) const;
+
+  /// Errors pooled over every size-k subset of the testbed's APs (the
+  /// paper's "all combinations of three, four, five and six APs").
+  std::vector<double> errors_for_ap_count(
+      const std::vector<ClientObservation>& obs, std::size_t k) const;
+
+  /// All size-k subsets of {0..n-1}.
+  static std::vector<std::vector<std::size_t>> combinations(std::size_t n,
+                                                            std::size_t k);
+
+ private:
+  const OfficeTestbed* testbed_;
+  RunnerConfig cfg_;
+  core::System system_;
+  double clock_s_ = 0.0;
+};
+
+}  // namespace arraytrack::testbed

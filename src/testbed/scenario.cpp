@@ -1,0 +1,138 @@
+#include "testbed/scenario.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace arraytrack::testbed {
+
+core::System Scenario::make_system() const {
+  core::System sys(&plan, system);
+  for (const auto& site : ap_sites)
+    sys.add_ap(site.position, site.orientation_rad);
+  return sys;
+}
+
+std::optional<geom::Material> material_from_name(const std::string& name) {
+  using geom::Material;
+  for (auto m : {Material::kConcrete, Material::kBrick, Material::kDrywall,
+                 Material::kGlass, Material::kMetal, Material::kWood,
+                 Material::kCubicle}) {
+    if (geom::material_name(m) == name) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       ScenarioParseError* error) {
+  auto fail = [&](std::size_t line, const std::string& msg) {
+    if (error) *error = {line, msg};
+    return std::nullopt;
+  };
+
+  Scenario sc;
+  bool have_bounds = false;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string cmd;
+    if (!(line >> cmd)) continue;  // blank line
+
+    if (cmd == "bounds") {
+      double x0, y0, x1, y1;
+      if (!(line >> x0 >> y0 >> x1 >> y1) || x1 <= x0 || y1 <= y0)
+        return fail(lineno, "bounds needs min_x min_y max_x max_y");
+      sc.plan.set_bounds({{x0, y0}, {x1, y1}});
+      have_bounds = true;
+    } else if (cmd == "wall") {
+      double x1, y1, x2, y2;
+      std::string mat;
+      if (!(line >> x1 >> y1 >> x2 >> y2 >> mat))
+        return fail(lineno, "wall needs x1 y1 x2 y2 material");
+      const auto m = material_from_name(mat);
+      if (!m) return fail(lineno, "unknown material '" + mat + "'");
+      sc.plan.add_wall({x1, y1}, {x2, y2}, *m);
+    } else if (cmd == "pillar") {
+      double x, y, r, loss = 9.0;
+      if (!(line >> x >> y >> r))
+        return fail(lineno, "pillar needs x y radius [loss_db]");
+      line >> loss;
+      if (r <= 0.0) return fail(lineno, "pillar radius must be positive");
+      sc.plan.add_pillar({{x, y}, r, loss});
+    } else if (cmd == "ap") {
+      double x, y, deg;
+      if (!(line >> x >> y >> deg))
+        return fail(lineno, "ap needs x y orientation_deg");
+      sc.ap_sites.push_back({{x, y}, deg2rad(deg)});
+    } else if (cmd == "client") {
+      double x, y;
+      if (!(line >> x >> y)) return fail(lineno, "client needs x y");
+      sc.clients.push_back({x, y});
+    } else if (cmd == "tx_power") {
+      if (!(line >> sc.system.channel.tx_power_dbm))
+        return fail(lineno, "tx_power needs dbm");
+    } else if (cmd == "heights") {
+      if (!(line >> sc.system.channel.ap_height_m >>
+            sc.system.channel.client_height_m))
+        return fail(lineno, "heights needs ap_m client_m");
+    } else if (cmd == "seed") {
+      if (!(line >> sc.system.seed)) return fail(lineno, "seed needs n");
+    } else {
+      return fail(lineno, "unknown directive '" + cmd + "'");
+    }
+  }
+  if (!have_bounds) return fail(0, "scenario has no bounds line");
+  if (sc.ap_sites.empty()) return fail(0, "scenario has no ap lines");
+  return sc;
+}
+
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      ScenarioParseError* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = {0, "cannot open '" + path + "'"};
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario(buf.str(), error);
+}
+
+std::string serialize_scenario(const Scenario& sc) {
+  std::ostringstream os;
+  os << "# ArrayTrack scenario\n";
+  const auto& b = sc.plan.bounds();
+  os << "bounds " << b.min.x << " " << b.min.y << " " << b.max.x << " "
+     << b.max.y << "\n";
+  os << "tx_power " << sc.system.channel.tx_power_dbm << "\n";
+  os << "heights " << sc.system.channel.ap_height_m << " "
+     << sc.system.channel.client_height_m << "\n";
+  os << "seed " << sc.system.seed << "\n";
+  for (const auto& w : sc.plan.walls())
+    os << "wall " << w.a.x << " " << w.a.y << " " << w.b.x << " " << w.b.y
+       << " " << geom::material_name(w.material) << "\n";
+  for (const auto& p : sc.plan.pillars())
+    os << "pillar " << p.center.x << " " << p.center.y << " " << p.radius
+       << " " << p.loss_db << "\n";
+  for (const auto& a : sc.ap_sites)
+    os << "ap " << a.position.x << " " << a.position.y << " "
+       << rad2deg(a.orientation_rad) << "\n";
+  for (const auto& c : sc.clients)
+    os << "client " << c.x << " " << c.y << "\n";
+  return os.str();
+}
+
+Scenario office_scenario() {
+  const auto tb = OfficeTestbed::standard();
+  Scenario sc;
+  sc.plan = tb.plan;
+  sc.ap_sites = tb.ap_sites;
+  sc.clients = tb.clients;
+  return sc;
+}
+
+}  // namespace arraytrack::testbed

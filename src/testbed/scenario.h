@@ -1,0 +1,61 @@
+// Scenario files: a plain-text format describing a deployment —
+// floorplan, AP sites, client positions and radio settings — so
+// experiments can be run from data instead of code (see
+// tools/arraytrack_sim). Line-oriented; '#' starts a comment.
+//
+//   bounds   <min_x> <min_y> <max_x> <max_y>
+//   wall     <x1> <y1> <x2> <y2> <material>
+//   pillar   <x> <y> <radius> [loss_db]
+//   ap       <x> <y> <orientation_deg>
+//   client   <x> <y>
+//   tx_power <dbm>
+//   heights  <ap_m> <client_m>
+//   seed     <n>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/arraytrack.h"
+#include "testbed/office.h"
+
+namespace arraytrack::testbed {
+
+struct Scenario {
+  geom::Floorplan plan;
+  std::vector<ApSite> ap_sites;
+  std::vector<geom::Vec2> clients;
+  core::SystemConfig system;
+
+  /// Builds a ready-to-use System with every AP installed. The
+  /// Scenario must outlive the returned System (it borrows the plan).
+  core::System make_system() const;
+};
+
+struct ScenarioParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parses the text format. On failure returns nullopt and fills
+/// `error` (if given) with the offending line and reason.
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       ScenarioParseError* error = nullptr);
+
+/// Reads a scenario from a file; nullopt on I/O or parse failure.
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      ScenarioParseError* error = nullptr);
+
+/// Inverse of parse_scenario (round-trips through parse).
+std::string serialize_scenario(const Scenario& scenario);
+
+/// Material name lookup ("drywall" -> Material::kDrywall); nullopt for
+/// unknown names.
+std::optional<geom::Material> material_from_name(const std::string& name);
+
+/// The standard office testbed expressed as a Scenario.
+Scenario office_scenario();
+
+}  // namespace arraytrack::testbed

@@ -1,0 +1,140 @@
+// Tests for array geometries, placement and steering vectors.
+#include <gtest/gtest.h>
+
+#include "array/geometry.h"
+#include "array/placed_array.h"
+#include "channel/channel.h"
+
+namespace arraytrack::array {
+namespace {
+
+using geom::Vec2;
+
+TEST(GeometryTest, UniformLinearCenteredAndSpaced) {
+  const auto g = ArrayGeometry::uniform_linear(8, 0.0613);
+  ASSERT_EQ(g.size(), 8u);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(g.offset(i).x - g.offset(i - 1).x, 0.0613, 1e-12);
+    EXPECT_DOUBLE_EQ(g.offset(i).y, 0.0);
+  }
+  // Centered: mean offset ~0.
+  double cx = 0;
+  for (const auto& o : g.offsets()) cx += o.x;
+  EXPECT_NEAR(cx, 0.0, 1e-12);
+  EXPECT_NEAR(g.aperture_m(), 7 * 0.0613, 1e-12);
+}
+
+TEST(GeometryTest, RectangularTwoRows) {
+  const auto g = ArrayGeometry::rectangular(8, 0.0613, 0.0613);
+  ASSERT_EQ(g.size(), 16u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(g.offset(i).y, 0.0);
+    EXPECT_DOUBLE_EQ(g.offset(i + 8).y, -0.0613);
+    EXPECT_DOUBLE_EQ(g.offset(i).x, g.offset(i + 8).x);
+  }
+}
+
+TEST(GeometryTest, CircularOnRadius) {
+  const auto g = ArrayGeometry::circular(6, 0.1);
+  ASSERT_EQ(g.size(), 6u);
+  for (const auto& o : g.offsets()) EXPECT_NEAR(o.norm(), 0.1, 1e-12);
+}
+
+TEST(GeometryTest, SubsetSelects) {
+  const auto g = ArrayGeometry::rectangular(4, 0.06, 0.06);
+  const auto s = g.subset({0, 1, 4});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.offset(2).y, g.offset(4).y);
+}
+
+TEST(PlacedArrayTest, WorldPositionsRotateAndTranslate) {
+  PlacedArray pa(ArrayGeometry::uniform_linear(2, 1.0), {10, 20}, kPi / 2);
+  const auto w = pa.world_positions();
+  // Offsets (-0.5, 0) and (0.5, 0) rotated 90 deg -> (0, -0.5), (0, 0.5).
+  EXPECT_NEAR(w[0].x, 10.0, 1e-12);
+  EXPECT_NEAR(w[0].y, 19.5, 1e-12);
+  EXPECT_NEAR(w[1].x, 10.0, 1e-12);
+  EXPECT_NEAR(w[1].y, 20.5, 1e-12);
+}
+
+TEST(PlacedArrayTest, BearingConversions) {
+  PlacedArray pa(ArrayGeometry::uniform_linear(2, 0.06), {0, 0},
+                 deg2rad(30.0));
+  EXPECT_NEAR(pa.local_to_world(deg2rad(10.0)), deg2rad(40.0), 1e-12);
+  EXPECT_NEAR(pa.world_to_local(deg2rad(40.0)), deg2rad(10.0), 1e-12);
+  // Bearing to a world point 45 deg from origin with 30 deg orientation
+  // = 15 deg local.
+  EXPECT_NEAR(pa.bearing_to({1.0, 1.0}), deg2rad(15.0), 1e-12);
+}
+
+TEST(SteeringTest, UnitModulusAndFirstElementRelativePhase) {
+  PlacedArray pa(ArrayGeometry::uniform_linear(8, 0.0613), {0, 0}, 0.0);
+  const double lambda = 0.1226;
+  const auto a = pa.steering(deg2rad(60.0), lambda);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i]), 1.0, 1e-12);
+  // Half-wavelength ULA: phase step between adjacent elements is
+  // pi*cos(theta).
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double step = wrap_pi(std::arg(a[i]) - std::arg(a[i - 1]));
+    EXPECT_NEAR(step, kPi * std::cos(deg2rad(60.0)), 1e-9);
+  }
+}
+
+TEST(SteeringTest, BroadsideIsFlat) {
+  PlacedArray pa(ArrayGeometry::uniform_linear(8, 0.0613), {0, 0}, 0.0);
+  const auto a = pa.steering(kPi / 2, 0.1226);  // broadside: cos = 0
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - a[0]), 0.0, 1e-9);
+}
+
+TEST(SteeringTest, MirrorSymmetryOfLinearArray) {
+  // a(theta) == a(-theta) for a linear array: the ambiguity symmetry
+  // removal exists to fix.
+  PlacedArray pa(ArrayGeometry::uniform_linear(8, 0.0613), {0, 0}, 0.0);
+  const auto ap = pa.steering(deg2rad(50.0), 0.1226);
+  const auto am = pa.steering(deg2rad(-50.0), 0.1226);
+  for (std::size_t i = 0; i < ap.size(); ++i)
+    EXPECT_NEAR(std::abs(ap[i] - am[i]), 0.0, 1e-12);
+  // The rectangular (off-row) geometry breaks the mirror symmetry.
+  PlacedArray rect(ArrayGeometry::rectangular(8, 0.0613, 0.0613), {0, 0},
+                   0.0);
+  std::vector<std::size_t> nine = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const auto rp = rect.steering_subset(deg2rad(50.0), 0.1226, nine);
+  const auto rm = rect.steering_subset(deg2rad(-50.0), 0.1226, nine);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < rp.size(); ++i) diff += std::abs(rp[i] - rm[i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(SteeringTest, MatchesChannelFarField) {
+  // The steering model must agree with the exact spherical-wave channel
+  // in the far field: relative inter-element phases within a degree.
+  geom::Floorplan plan({{-100, -100}, {100, 100}});
+  channel::ChannelConfig cfg;
+  cfg.max_reflection_order = 0;
+  channel::MultipathChannel chan(&plan, cfg);
+  const double lambda = cfg.wavelength_m();
+
+  PlacedArray pa(ArrayGeometry::uniform_linear(8, lambda / 2), {0, 0},
+                 deg2rad(20.0));
+  // Far enough that spherical-wavefront curvature across the 0.43 m
+  // aperture stays well under the tolerance.
+  const double theta_local = deg2rad(75.0);
+  const double world = pa.local_to_world(theta_local);
+  const geom::Vec2 tx = geom::unit_from_angle(world) * 120.0;
+
+  const auto resp = chan.response(tx, pa.position(), pa.world_positions());
+  const auto a = pa.steering(theta_local, lambda);
+  // Compare phase differences relative to element 0.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double chan_rel =
+        wrap_pi(std::arg(resp.gains[i]) - std::arg(resp.gains[0]));
+    const double steer_rel = wrap_pi(std::arg(a[i]) - std::arg(a[0]));
+    EXPECT_NEAR(wrap_pi(chan_rel - steer_rel), 0.0, deg2rad(1.5))
+        << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace arraytrack::array

@@ -1,0 +1,136 @@
+// Tests for the baseline localizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/fingerprint.h"
+#include "baselines/phase_aoa.h"
+#include "baselines/rssi.h"
+#include "linalg/types.h"
+
+namespace arraytrack::baselines {
+namespace {
+
+TEST(PhaseAoaTest, RecoversFreeSpaceBearing) {
+  // Half-wavelength pair with arrival bearing theta: phase difference
+  // is pi*cos(theta) in our steering convention.
+  for (double deg : {30.0, 60.0, 90.0, 120.0, 150.0}) {
+    const double delta = kPi * std::cos(deg2rad(deg));
+    const cplx x1{1.0, 0.0};
+    const cplx x2 = std::exp(kJ * delta);
+    const auto est = phase_difference_bearing(x1, x2);
+    ASSERT_TRUE(est.has_value()) << deg;
+    EXPECT_NEAR(rad2deg(*est), deg, 0.5) << deg;
+  }
+}
+
+TEST(PhaseAoaTest, SnapshotAverageVersion) {
+  linalg::CMatrix x(2, 5);
+  const double delta = kPi * std::cos(deg2rad(75.0));
+  for (std::size_t k = 0; k < 5; ++k) {
+    const cplx s = std::exp(kJ * (0.7 * double(k)));
+    x(0, k) = s;
+    x(1, k) = s * std::exp(kJ * delta);
+  }
+  const auto est = phase_difference_bearing(x);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(rad2deg(*est), 75.0, 0.5);
+}
+
+TEST(PhaseAoaTest, ZeroInputRejected) {
+  EXPECT_FALSE(phase_difference_bearing(cplx{0, 0}, cplx{1, 0}).has_value());
+  EXPECT_THROW(phase_difference_bearing(linalg::CMatrix(1, 5)),
+               std::invalid_argument);
+}
+
+TEST(LogDistanceModelTest, PredictInvertRoundTrip) {
+  LogDistanceModel m{-30.0, 3.0};
+  for (double d : {1.0, 3.0, 10.0, 30.0})
+    EXPECT_NEAR(m.invert_distance_m(m.predict_dbm(d)), d, 1e-9);
+  // 1 m reference.
+  EXPECT_NEAR(m.predict_dbm(1.0), -30.0, 1e-12);
+  // Monotone decreasing.
+  EXPECT_GT(m.predict_dbm(2.0), m.predict_dbm(8.0));
+}
+
+TEST(RssiTrilaterationTest, ExactReadingsLocalize) {
+  LogDistanceModel m{-30.0, 3.0};
+  const geom::Vec2 truth{6.0, 4.0};
+  std::vector<RssiReading> readings;
+  for (const auto& ap : {geom::Vec2{0, 0}, geom::Vec2{12, 0},
+                         geom::Vec2{6, 10}}) {
+    readings.push_back({ap, m.predict_dbm(geom::distance(ap, truth))});
+  }
+  const auto fix =
+      rssi_trilaterate(readings, m, {{0, 0}, {12, 10}}, 0.25);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(*fix, truth), 0.3);
+}
+
+TEST(RssiTrilaterationTest, QuantizedReadingsMeterScaleError) {
+  // Whole-dB quantization (what commodity hardware reports) alone
+  // degrades accuracy to decimeters..meters — the coarseness argument
+  // of the paper's related-work section.
+  LogDistanceModel m{-30.0, 3.0};
+  const geom::Vec2 truth{6.3, 4.7};
+  std::vector<RssiReading> readings;
+  for (const auto& ap : {geom::Vec2{0, 0}, geom::Vec2{12, 0},
+                         geom::Vec2{6, 10}}) {
+    const double r = std::round(m.predict_dbm(geom::distance(ap, truth)));
+    readings.push_back({ap, r});
+  }
+  const auto fix =
+      rssi_trilaterate(readings, m, {{0, 0}, {12, 10}}, 0.25);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(*fix, truth), 3.0);  // still sane
+}
+
+TEST(RssiTrilaterationTest, NeedsThreeAps) {
+  LogDistanceModel m;
+  std::vector<RssiReading> two = {{{0, 0}, -40}, {{10, 0}, -50}};
+  EXPECT_FALSE(rssi_trilaterate(two, m, {{0, 0}, {10, 10}}).has_value());
+}
+
+TEST(WeightedCentroidTest, PullsTowardStrongAp) {
+  std::vector<RssiReading> readings = {
+      {{0, 0}, -30.0},   // strong
+      {{10, 0}, -70.0},  // weak
+  };
+  const auto fix = rssi_weighted_centroid(readings);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(fix->x, 2.0);
+  EXPECT_FALSE(rssi_weighted_centroid({}).has_value());
+}
+
+TEST(FingerprintTest, ExactMatchReturnsSurveyPoint) {
+  RssiFingerprintDb db;
+  db.add({0, 0}, {-40, -50, -60});
+  db.add({5, 0}, {-50, -40, -55});
+  db.add({0, 5}, {-60, -55, -40});
+  const auto fix = db.locate({-50, -40, -55}, 1);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->x, 5.0, 1e-12);
+  EXPECT_NEAR(fix->y, 0.0, 1e-12);
+}
+
+TEST(FingerprintTest, KnnAverages) {
+  RssiFingerprintDb db;
+  db.add({0, 0}, {-40, -40});
+  db.add({2, 0}, {-42, -42});
+  db.add({20, 20}, {-90, -90});
+  const auto fix = db.locate({-41, -41}, 2);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->x, 1.0, 1e-12);
+}
+
+TEST(FingerprintTest, MismatchedVectorThrows) {
+  RssiFingerprintDb db;
+  db.add({0, 0}, {-40, -50});
+  EXPECT_THROW(db.add({1, 1}, {-40}), std::invalid_argument);
+  EXPECT_THROW(db.locate({-40}), std::invalid_argument);
+  RssiFingerprintDb empty;
+  EXPECT_FALSE(empty.locate({}).has_value());
+}
+
+}  // namespace
+}  // namespace arraytrack::baselines

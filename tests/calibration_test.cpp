@@ -1,0 +1,93 @@
+// Tests for the two-pass phase calibration (paper eqs. 9-12).
+#include <gtest/gtest.h>
+
+#include "array/calibration.h"
+
+namespace arraytrack::array {
+namespace {
+
+TEST(RadioBankTest, OffsetsFixedAndDeterministic) {
+  RadioBank a(8, 5), b(8, 5), c(8, 6);
+  EXPECT_EQ(a.true_offsets(), b.true_offsets());
+  EXPECT_NE(a.true_offsets(), c.true_offsets());
+  for (double o : a.true_offsets()) {
+    EXPECT_GE(o, 0.0);
+    EXPECT_LT(o, kTwoPi);
+  }
+}
+
+TEST(RadioBankTest, DownconvertAppliesOffset) {
+  RadioBank bank(4, 9);
+  const cplx in{1.0, 0.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const cplx out = bank.downconvert(i, in);
+    EXPECT_NEAR(wrap_2pi(std::arg(out)), wrap_2pi(bank.true_offsets()[i]),
+                1e-12);
+    EXPECT_NEAR(std::abs(out), 1.0, 1e-12);
+  }
+}
+
+TEST(CalibrationTest, SinglePassContaminatedByExternalPaths) {
+  RadioBank bank(8, 11);
+  CalibrationRig::Options opt;
+  opt.external_path_imbalance_rad = 0.3;
+  CalibrationRig rig(&bank, opt, 21);
+  const auto pass1 = rig.measure(false);
+  // A single pass is off by the external path imbalance.
+  double worst = 0.0;
+  for (std::size_t i = 1; i < bank.size(); ++i) {
+    const double truth =
+        wrap_pi(bank.true_offsets()[i] - bank.true_offsets()[0]);
+    worst = std::max(worst, std::abs(wrap_pi(pass1[i] - truth)));
+  }
+  EXPECT_NEAR(worst, std::abs(rig.true_imbalance()), 1e-9);
+}
+
+TEST(CalibrationTest, TwoPassCancelsImperfectionExactly) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    RadioBank bank(8, 100 + seed);
+    CalibrationRig::Options opt;
+    opt.external_path_imbalance_rad = 0.4;
+    CalibrationRig rig(&bank, opt, 200 + seed);
+    PhaseCalibration cal(rig.calibrate());
+    // Equations 11-12: the combination recovers the internal offsets
+    // exactly (zero measurement noise here).
+    EXPECT_LT(cal.max_residual(bank), 1e-9) << "seed " << seed;
+    // And the rig's imbalance estimate matches its hidden truth.
+    EXPECT_NEAR(rig.estimated_imbalance(), rig.true_imbalance(), 1e-9);
+  }
+}
+
+TEST(CalibrationTest, NoiseDegradesGracefully) {
+  RadioBank bank(8, 31);
+  CalibrationRig::Options opt;
+  opt.external_path_imbalance_rad = 0.3;
+  opt.measurement_noise_rad = 0.02;
+  CalibrationRig rig(&bank, opt, 33);
+  PhaseCalibration cal(rig.calibrate());
+  // Residual bounded by a few times the per-measurement noise.
+  EXPECT_LT(cal.max_residual(bank), 0.1);
+}
+
+TEST(CalibrationTest, ApplyRemovesOffsets) {
+  RadioBank bank(4, 55);
+  CalibrationRig rig(&bank, {}, 56);
+  PhaseCalibration cal(rig.calibrate());
+
+  // A wavefront with all-equal phase, downconverted then calibrated,
+  // must come out phase-aligned up to the common radio-0 reference.
+  linalg::CVector rf(4);
+  for (std::size_t i = 0; i < 4; ++i) rf[i] = cplx{1.0, 0.0};
+  const auto down = bank.downconvert(rf);
+  const auto fixed = cal.apply(down);
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_NEAR(wrap_pi(std::arg(fixed[i]) - std::arg(fixed[0])), 0.0, 1e-9);
+}
+
+TEST(CalibrationTest, ApplySizeMismatchThrows) {
+  PhaseCalibration cal(std::vector<double>{0.0, 0.1});
+  EXPECT_THROW(cal.apply(linalg::CVector(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arraytrack::array

@@ -1,0 +1,250 @@
+// Tests for the multipath channel model.
+#include <gtest/gtest.h>
+
+#include "channel/channel.h"
+#include "channel/spatial_field.h"
+#include "dsp/preamble.h"
+
+namespace arraytrack::channel {
+namespace {
+
+using geom::Floorplan;
+using geom::Material;
+using geom::Vec2;
+
+Floorplan free_space() { return Floorplan({{-100, -100}, {100, 100}}); }
+
+TEST(ChannelConfigTest, Wavelength) {
+  ChannelConfig cfg;
+  // 2.437 GHz -> ~12.3 cm; half wavelength ~6.15 cm (paper: 6.13 cm at
+  // their exact channel).
+  EXPECT_NEAR(cfg.wavelength_m(), 0.123, 0.001);
+}
+
+TEST(SpatialFieldTest, DeterministicAndBounded) {
+  SpatialField f(7, 0.1);
+  const double v1 = f.value({1.0, 2.0});
+  SpatialField g(7, 0.1);
+  EXPECT_DOUBLE_EQ(v1, g.value({1.0, 2.0}));
+  for (double x = 0; x < 5.0; x += 0.37) {
+    const double v = f.value({x, 2 * x});
+    EXPECT_LE(std::abs(v), 2.01);
+  }
+}
+
+TEST(SpatialFieldTest, DecorrelatesOverCorrelationLength) {
+  SpatialField f(9, 0.1);
+  // Average absolute change over ~one correlation length is O(1);
+  // over a hundredth of it, tiny.
+  double big = 0.0, small = 0.0;
+  int n = 0;
+  for (double x = 0.0; x < 10.0; x += 0.5, ++n) {
+    const Vec2 p{x, 1.0};
+    big += std::abs(f.value(p + Vec2{0.1, 0.0}) - f.value(p));
+    small += std::abs(f.value(p + Vec2{0.001, 0.0}) - f.value(p));
+  }
+  EXPECT_GT(big / n, 10.0 * (small / n));
+}
+
+TEST(ChannelTest, FreeSpacePhaseProgression) {
+  // Phase at a single antenna advances by -2*pi*d/lambda: two receivers
+  // half a wavelength apart along the propagation axis differ by pi.
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.max_reflection_order = 0;
+  MultipathChannel chan(&plan, cfg);
+  const double lambda = cfg.wavelength_m();
+  const Vec2 tx{0, 0};
+  const std::vector<Vec2> rx = {{10.0, 0.0}, {10.0 + lambda / 2.0, 0.0}};
+  const auto resp = chan.response(tx, rx[0], rx);
+  const double dphase =
+      wrap_pi(std::arg(resp.gains[1]) - std::arg(resp.gains[0]));
+  EXPECT_NEAR(std::abs(dphase), kPi, 0.01);
+}
+
+TEST(ChannelTest, FreeSpaceAmplitudeFollowsInverseDistance) {
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.max_reflection_order = 0;
+  MultipathChannel chan(&plan, cfg);
+  const Vec2 tx{0, 0};
+  const auto r5 = chan.response(tx, {5, 0}, std::vector<Vec2>{{5, 0}});
+  const auto r10 = chan.response(tx, {10, 0}, std::vector<Vec2>{{10, 0}});
+  const double ratio = std::abs(r5.gains[0]) / std::abs(r10.gains[0]);
+  EXPECT_NEAR(ratio, 2.0, 0.01);
+  // 6 dB per distance doubling.
+  EXPECT_NEAR(r5.total_power_dbm - r10.total_power_dbm, 6.02, 0.1);
+}
+
+TEST(ChannelTest, SnrRisesWithTxPower) {
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.tx_power_dbm = 0.0;
+  MultipathChannel chan(&plan, cfg);
+  const std::vector<Vec2> rx = {{8, 0}};
+  const double snr0 = chan.snr_db({0, 0}, rx[0], rx);
+  chan.config().tx_power_dbm = 10.0;
+  const double snr10 = chan.snr_db({0, 0}, rx[0], rx);
+  EXPECT_NEAR(snr10 - snr0, 10.0, 1e-6);
+}
+
+TEST(ChannelTest, ReflectionAddsSecondComponent) {
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({-50, 0}, {50, 0}, Material::kMetal);
+  ChannelConfig cfg;
+  cfg.scatter_scale = 0.0;
+  MultipathChannel chan(&plan, cfg);
+  const auto comps = chan.components({0, 3}, {10, 4});
+  ASSERT_EQ(comps.size(), 2u);
+  // Strongest first; direct is shorter and lossless, so it leads.
+  EXPECT_TRUE(comps[0].direct());
+  EXPECT_EQ(comps[1].order, 1);
+  EXPECT_GT(comps[1].length_m, comps[0].length_m);
+  // Virtual source of the reflection is the mirror image of tx.
+  EXPECT_NEAR(comps[1].virtual_source.x, 0.0, 1e-9);
+  EXPECT_NEAR(comps[1].virtual_source.y, -3.0, 1e-9);
+}
+
+TEST(ChannelTest, AoaOfDirectPathPointsAtTransmitter) {
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.max_reflection_order = 0;
+  MultipathChannel chan(&plan, cfg);
+  const Vec2 rx{0, 0};
+  const Vec2 tx{3.0, 4.0};
+  const auto comps = chan.components(tx, rx);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_NEAR(comps[0].aoa_rad, std::atan2(4.0, 3.0), 1e-9);
+}
+
+TEST(ChannelTest, BlockedDirectPathWeakerThanReflection) {
+  // A metal wall between tx and rx, plus a mirror wall to the side:
+  // the reflected path should carry more power (the S1/S2 NLOS setup
+  // of the paper's section 6).
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({5, 1}, {5, 5}, Material::kMetal);     // blocker
+  plan.add_wall({-50, 0}, {50, 0}, Material::kGlass);  // reflector
+  ChannelConfig cfg;
+  cfg.scatter_scale = 0.0;
+  MultipathChannel chan(&plan, cfg);
+  const auto comps = chan.components({0, 3}, {10, 3});
+  ASSERT_GE(comps.size(), 2u);
+  // Strongest component is NOT the direct path.
+  EXPECT_FALSE(comps[0].direct());
+}
+
+TEST(ChannelTest, ScatterJitterMovesReflectionsOnly) {
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({-50, 0}, {50, 0}, Material::kCubicle);  // rough surface
+  ChannelConfig cfg;
+  MultipathChannel chan(&plan, cfg);
+  const Vec2 rx{10, 4};
+  const auto a = chan.components({0, 3.0}, rx);
+  const auto b = chan.components({0.05, 3.0}, rx);  // 5 cm move
+  ASSERT_EQ(a.size(), b.size());
+  // Direct bearing nearly identical.
+  double direct_shift = 0.0;
+  bool jitter_changed = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Components are sorted by power; match by order flag instead.
+    if (a[i].direct()) {
+      for (const auto& bc : b)
+        if (bc.direct())
+          direct_shift = std::abs(wrap_pi(a[i].aoa_rad - bc.aoa_rad));
+    } else {
+      for (const auto& bc : b)
+        if (!bc.direct() &&
+            std::abs(a[i].phase_jitter_rad - bc.phase_jitter_rad) > 1e-3)
+          jitter_changed = true;
+    }
+  }
+  EXPECT_LT(direct_shift, deg2rad(0.5));
+  EXPECT_TRUE(jitter_changed);
+}
+
+TEST(ChannelTest, PolarizationLossReducesPower) {
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.max_reflection_order = 0;
+  cfg.polarization_mismatch_deg = 0.0;
+  MultipathChannel aligned(&plan, cfg);
+  cfg.polarization_mismatch_deg = 45.0;
+  MultipathChannel mis45(&plan, cfg);
+  cfg.polarization_mismatch_deg = 90.0;
+  MultipathChannel mis90(&plan, cfg);
+  const std::vector<Vec2> rx = {{8, 0}};
+  const double p0 = aligned.response({0, 0}, rx[0], rx).total_power_dbm;
+  const double p45 = mis45.response({0, 0}, rx[0], rx).total_power_dbm;
+  const double p90 = mis90.response({0, 0}, rx[0], rx).total_power_dbm;
+  // Paper 4.3.2: 45 deg -> ~3 dB, 90 deg -> 20 dB (capped).
+  EXPECT_NEAR(p0 - p45, 3.0, 0.2);
+  EXPECT_NEAR(p0 - p90, 20.0, 0.2);
+}
+
+TEST(ChannelTest, HeightDifferenceLengthensPaths) {
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.max_reflection_order = 0;
+  cfg.ap_height_m = 1.5;
+  cfg.client_height_m = 1.5;
+  MultipathChannel same(&plan, cfg);
+  cfg.client_height_m = 0.0;
+  MultipathChannel diff(&plan, cfg);
+  const std::vector<Vec2> rx = {{5, 0}};
+  const double p_same = same.response({0, 0}, rx[0], rx).total_power_dbm;
+  const double p_diff = diff.response({0, 0}, rx[0], rx).total_power_dbm;
+  // 3-D distance sqrt(25 + 2.25) = 5.22 m: slightly less power.
+  EXPECT_LT(p_diff, p_same);
+  EXPECT_NEAR(p_same - p_diff, 20.0 * std::log10(std::hypot(5.0, 1.5) / 5.0),
+              0.05);
+}
+
+TEST(ChannelTest, ApplyProducesDelayedScaledWaveform) {
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.max_reflection_order = 0;
+  MultipathChannel chan(&plan, cfg);
+  dsp::PreambleGenerator gen(2);
+  const auto& wf = gen.preamble();
+  const std::vector<Vec2> rx = {{12, 0}};
+  const auto streams = chan.apply(wf, {0, 0}, rx[0], rx);
+  ASSERT_EQ(streams.size(), 1u);
+  ASSERT_GE(streams[0].size(), wf.size());
+  // Free space single path: output is gain * waveform (delay is
+  // relative to the earliest arrival = itself, so ~0).
+  const auto resp = chan.response({0, 0}, rx[0], rx);
+  for (std::size_t i = 100; i < 200; ++i) {
+    EXPECT_NEAR(std::abs(streams[0][i]), std::abs(resp.gains[0] * wf[i]),
+                1e-9 + 1e-6 * std::abs(wf[i]));
+  }
+}
+
+TEST(ChannelTest, ApplyMultipathSpreadsEnergy) {
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({-50, 0}, {50, 0}, Material::kMetal);
+  plan.add_wall({-50, 30}, {50, 30}, Material::kMetal);
+  ChannelConfig cfg;
+  MultipathChannel chan(&plan, cfg);
+  dsp::PreambleGenerator gen(2);
+  const auto& wf = gen.preamble();
+  const std::vector<Vec2> rx = {{20, 6}};
+  const auto streams = chan.apply(wf, {0, 3}, rx[0], rx);
+  // Output extends beyond the input length by the delay spread.
+  EXPECT_GT(streams[0].size(), wf.size());
+  // Energy after the direct copy ends (echoes) is nonzero.
+  double tail = 0.0;
+  for (std::size_t i = wf.size(); i < streams[0].size(); ++i)
+    tail += std::norm(streams[0][i]);
+  EXPECT_GT(tail, 0.0);
+}
+
+TEST(ChannelTest, NoiseFloorPowerMatchesConfig) {
+  Floorplan plan = free_space();
+  ChannelConfig cfg;
+  cfg.noise_floor_dbm = -95.0;
+  MultipathChannel chan(&plan, cfg);
+  EXPECT_NEAR(chan.noise_power_mw(), std::pow(10.0, -9.5), 1e-14);
+}
+
+}  // namespace
+}  // namespace arraytrack::channel

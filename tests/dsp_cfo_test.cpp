@@ -1,0 +1,137 @@
+// Tests for carrier frequency offset modeling, estimation, correction,
+// and the crucial invariance: CFO does not perturb AoA spectra.
+#include <gtest/gtest.h>
+
+#include "aoa/covariance.h"
+#include "aoa/music.h"
+#include "array/geometry.h"
+#include "array/placed_array.h"
+#include "dsp/cfo.h"
+#include "dsp/detector.h"
+#include "dsp/noise.h"
+#include "dsp/preamble.h"
+
+namespace arraytrack::dsp {
+namespace {
+
+constexpr double kFs = 40e6;
+
+TEST(CfoTest, PpmConversion) {
+  EXPECT_NEAR(ppm_to_hz(20.0, 2.437e9), 48740.0, 1.0);
+  EXPECT_NEAR(ppm_to_hz(-5.0, 2.437e9), -12185.0, 1.0);
+}
+
+TEST(CfoTest, ApplyRotatesPhaseLinearly) {
+  std::vector<cplx> ones(64, cplx{1.0, 0.0});
+  const double df = 100e3;
+  const auto y = apply_cfo(ones, df, kFs);
+  for (std::size_t n = 1; n < y.size(); ++n) {
+    const double step = wrap_pi(std::arg(y[n]) - std::arg(y[n - 1]));
+    EXPECT_NEAR(step, kTwoPi * df / kFs, 1e-9);
+  }
+  // Magnitudes untouched.
+  for (const auto& v : y) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(CfoTest, CorrectInvertsApply) {
+  PreambleGenerator gen(2);
+  const auto& x = gen.preamble();
+  const auto shifted = apply_cfo(x, 37e3, kFs);
+  const auto fixed = correct_cfo(shifted, 37e3, kFs);
+  for (std::size_t n = 0; n < x.size(); ++n)
+    EXPECT_NEAR(std::abs(fixed[n] - x[n]), 0.0, 1e-9);
+}
+
+class CfoEstimateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CfoEstimateSweep, EstimatesWithinTolerance) {
+  const double df = GetParam();
+  PreambleGenerator gen(2);
+  auto x = apply_cfo(gen.preamble(), df, kFs);
+  AwgnSource noise(unsigned(df) + 7);
+  noise.add_noise(x, 20.0);
+  // Estimate over the short training section: period 32 at 40 Msps.
+  const double est = estimate_cfo(x, 0, gen.sts_period(),
+                                  gen.short_section().size() - gen.sts_period(),
+                                  kFs);
+  EXPECT_NEAR(est, df, 2500.0) << df;
+}
+
+// +-625 kHz unambiguous range for the 32-sample STS period at 40 Msps;
+// stay inside it. Typical WiFi offsets are within +-50 kHz.
+INSTANTIATE_TEST_SUITE_P(Offsets, CfoEstimateSweep,
+                         ::testing::Values(-200e3, -48.7e3, -10e3, 0.0, 10e3,
+                                           48.7e3, 200e3));
+
+TEST(CfoTest, LongSymbolEstimateIsFiner) {
+  // The 128-sample LTS period gives a finer (if narrower-range)
+  // estimate than the STS.
+  PreambleGenerator gen(2);
+  const double df = 11e3;
+  auto x = apply_cfo(gen.preamble(), df, kFs);
+  AwgnSource noise(3);
+  noise.add_noise(x, 15.0);
+  const double coarse = estimate_cfo(x, 0, gen.sts_period(),
+                                     gen.short_section().size() -
+                                         gen.sts_period(),
+                                     kFs);
+  const double fine =
+      estimate_cfo(x, gen.lts0_offset(), gen.lts_period(), gen.lts_period(),
+                   kFs);
+  EXPECT_NEAR(fine, df, 1000.0);
+  EXPECT_NEAR(coarse, df, 4000.0);
+}
+
+TEST(CfoTest, WindowBoundsChecked) {
+  std::vector<cplx> x(64);
+  EXPECT_THROW(estimate_cfo(x, 0, 0, 8, kFs), std::invalid_argument);
+  EXPECT_THROW(estimate_cfo(x, 60, 16, 8, kFs), std::invalid_argument);
+}
+
+TEST(CfoTest, DetectionSurvivesCfo) {
+  // Schmidl-Cox is CFO-immune by construction (|P| unaffected); the
+  // matched filter degrades gracefully over the short symbol span.
+  PreambleGenerator gen(2);
+  AwgnSource noise(9);
+  auto s = noise.generate(3000, db_to_linear(-20.0));
+  const auto shifted = apply_cfo(gen.preamble(), 30e3, kFs);
+  for (std::size_t i = 0; i < shifted.size(); ++i) s[500 + i] += shifted[i];
+  SchmidlCoxDetector sc(gen.sts_period());
+  const auto d = sc.detect(s);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(double(d->start_index), 500.0, double(gen.sts_period()));
+}
+
+TEST(CfoTest, AoaSpectrumInvariantUnderCfo) {
+  // The offset multiplies every antenna's sample by the SAME phasor at
+  // each instant, so Rxx — and the MUSIC spectrum — cannot change.
+  const double lambda = 0.1226;
+  array::PlacedArray pa(array::ArrayGeometry::uniform_linear(8, lambda / 2),
+                        {0, 0}, 0.0);
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  std::normal_distribution<double> g(0.0, 1.0);
+  const auto a = pa.steering(deg2rad(70.0), lambda);
+
+  linalg::CMatrix clean(8, 20), offset(8, 20);
+  const double step = kTwoPi * 50e3 / kFs;
+  for (std::size_t k = 0; k < 20; ++k) {
+    const cplx s = std::exp(kJ * uang(rng));
+    const cplx rot = std::exp(kJ * (step * double(k)));
+    for (std::size_t m = 0; m < 8; ++m) {
+      const cplx n{0.01 * g(rng), 0.01 * g(rng)};
+      clean(m, k) = a[m] * s + n;
+      offset(m, k) = (a[m] * s + n) * rot;  // common-mode CFO rotation
+    }
+  }
+  std::vector<std::size_t> row = {0, 1, 2, 3, 4, 5, 6, 7};
+  aoa::MusicEstimator music(&pa, row, lambda);
+  const auto spec_clean = music.spectrum(clean);
+  const auto spec_offset = music.spectrum(offset);
+  for (std::size_t i = 0; i < spec_clean.bins(); ++i)
+    EXPECT_NEAR(spec_clean[i], spec_offset[i],
+                1e-6 * (1.0 + spec_clean[i]));
+}
+
+}  // namespace
+}  // namespace arraytrack::dsp

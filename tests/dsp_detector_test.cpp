@@ -1,0 +1,130 @@
+// Tests for packet detection: Schmidl-Cox and matched filtering.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dsp/detector.h"
+#include "dsp/noise.h"
+#include "dsp/preamble.h"
+
+namespace arraytrack::dsp {
+namespace {
+
+// A stream with noise, then the preamble at `offset`, then more noise.
+std::vector<cplx> stream_with_preamble(const PreambleGenerator& gen,
+                                       std::size_t offset, double snr_db,
+                                       std::size_t tail, std::uint64_t seed) {
+  AwgnSource noise(seed);
+  const double noise_power = db_to_linear(-snr_db);  // signal power is 1
+  std::vector<cplx> s =
+      noise.generate(offset + gen.preamble().size() + tail, noise_power);
+  for (std::size_t i = 0; i < gen.preamble().size(); ++i)
+    s[offset + i] += gen.preamble()[i];
+  return s;
+}
+
+TEST(SchmidlCoxTest, RejectsZeroPeriod) {
+  EXPECT_THROW(SchmidlCoxDetector(0), std::invalid_argument);
+}
+
+TEST(SchmidlCoxTest, MetricNearOneInsidePreamble) {
+  PreambleGenerator gen(2);
+  SchmidlCoxDetector det(gen.sts_period());
+  const auto m = det.metric(gen.short_section());
+  // Inside the repeated short symbols, the autocorrelation metric is ~1.
+  EXPECT_GT(m[0], 0.99);
+  EXPECT_GT(m[m.size() / 2], 0.99);
+}
+
+TEST(SchmidlCoxTest, DetectsCleanPreamble) {
+  PreambleGenerator gen(2);
+  const auto s = stream_with_preamble(gen, 500, 30.0, 500, 11);
+  SchmidlCoxDetector det(gen.sts_period());
+  const auto d = det.detect(s);
+  ASSERT_TRUE(d.has_value());
+  // Plateau starts at/near the preamble (within one STS period).
+  EXPECT_NEAR(double(d->start_index), 500.0, double(gen.sts_period()));
+}
+
+TEST(SchmidlCoxTest, NoDetectionOnPureNoise) {
+  AwgnSource noise(5);
+  const auto s = noise.generate(4000, 1.0);
+  PreambleGenerator gen(2);
+  SchmidlCoxDetector det(gen.sts_period(), /*threshold=*/0.8);
+  EXPECT_FALSE(det.detect(s).has_value());
+}
+
+TEST(MatchedFilterTest, RejectsEmptyReference) {
+  EXPECT_THROW(MatchedFilterDetector({}), std::invalid_argument);
+}
+
+TEST(MatchedFilterTest, PerfectAlignmentScoresNearOne) {
+  PreambleGenerator gen(2);
+  MatchedFilterDetector det(gen.short_section());
+  const auto c = det.correlation(gen.short_section());
+  EXPECT_NEAR(c[0], 1.0, 1e-9);
+}
+
+class MatchedFilterSnrTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MatchedFilterSnrTest, DetectsAtSnr) {
+  // The paper (4.3.4): using all ten short training symbols, packets
+  // are detectable down to about -10 dB SNR.
+  const double snr_db = GetParam();
+  PreambleGenerator gen(2);
+  MatchedFilterDetector det(gen.short_section(), /*threshold=*/0.15);
+  int hits = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const auto s =
+        stream_with_preamble(gen, 700, snr_db, 700, 100 + std::uint64_t(t));
+    const auto d = det.detect(s);
+    if (d && std::llabs(int64_t(d->start_index) - 700) <= 2) ++hits;
+  }
+  EXPECT_GE(hits, 8) << "snr=" << snr_db << " dB";
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrSweep, MatchedFilterSnrTest,
+                         ::testing::Values(20.0, 10.0, 0.0, -5.0, -10.0));
+
+TEST(MatchedFilterTest, FalsePositiveRateLowOnNoise) {
+  PreambleGenerator gen(2);
+  MatchedFilterDetector det(gen.short_section(), 0.35);
+  AwgnSource noise(17);
+  int fp = 0;
+  for (int t = 0; t < 5; ++t) {
+    const auto s = noise.generate(4000, 1.0);
+    if (det.detect(s)) ++fp;
+  }
+  EXPECT_EQ(fp, 0);
+}
+
+TEST(MatchedFilterTest, DetectAllFindsStaggeredPreambles) {
+  // Two preambles (a "collision" whose preambles do not overlap).
+  PreambleGenerator gen(2);
+  const std::size_t plen = gen.preamble().size();
+  AwgnSource noise(23);
+  auto s = noise.generate(2 * plen + 3000, db_to_linear(-25.0));
+  const std::size_t o1 = 300;
+  const std::size_t o2 = o1 + plen + 400;
+  for (std::size_t i = 0; i < plen; ++i) {
+    s[o1 + i] += gen.preamble()[i];
+    s[o2 + i] += gen.preamble()[i] * cplx{0.8, 0.3};  // different channel
+  }
+  MatchedFilterDetector det(gen.short_section(), 0.3);
+  const auto all = det.detect_all(s, plen / 2);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_NEAR(double(all[0].start_index), double(o1), 2.0);
+  EXPECT_NEAR(double(all[1].start_index), double(o2), 2.0);
+}
+
+TEST(MatchedFilterTest, DetectFromOffsetSkipsEarlier) {
+  PreambleGenerator gen(2);
+  const auto s = stream_with_preamble(gen, 400, 25.0, 2000, 31);
+  MatchedFilterDetector det(gen.short_section(), 0.3);
+  const auto d = det.detect(s, /*from=*/900);
+  EXPECT_FALSE(d.has_value());  // only one preamble, and it is before 900
+}
+
+}  // namespace
+}  // namespace arraytrack::dsp

@@ -1,0 +1,130 @@
+// Tests for the FFT/DFT kernels.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dsp/fft.h"
+
+namespace arraytrack::dsp {
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<cplx> out(n);
+  for (auto& v : out) v = cplx{g(rng), g(rng)};
+  return out;
+}
+
+double max_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(FftTest, PowerOfTwoCheck) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+}
+
+TEST(FftTest, DeltaTransformsToFlat) {
+  std::vector<cplx> x(8, cplx{0, 0});
+  x[0] = cplx{1, 0};
+  const auto f = fft(x);
+  for (const auto& v : f) EXPECT_NEAR(std::abs(v - cplx{1, 0}), 0.0, 1e-12);
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t k = 5;
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::exp(kJ * (kTwoPi * double(k) * double(i) / double(n)));
+  const auto f = fft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == k)
+      EXPECT_NEAR(std::abs(f[i]), double(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(f[i]), 0.0, 1e-9);
+  }
+}
+
+class FftRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTripTest, IfftInvertsFft) {
+  const auto x = random_signal(GetParam(), unsigned(GetParam()));
+  EXPECT_LT(max_diff(ifft(fft(x)), x), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTripTest,
+                         ::testing::Values(1, 2, 8, 64, 128, 256,
+                                           // non-power-of-two -> direct DFT
+                                           3, 12, 53, 100));
+
+TEST(FftTest, ParsevalHolds) {
+  const auto x = random_signal(128, 77);
+  const auto f = fft(x);
+  double tx = 0.0, tf = 0.0;
+  for (const auto& v : x) tx += std::norm(v);
+  for (const auto& v : f) tf += std::norm(v);
+  EXPECT_NEAR(tf, tx * 128.0, 1e-6 * tf);
+}
+
+TEST(FftTest, LinearityProperty) {
+  const auto a = random_signal(64, 1);
+  const auto b = random_signal(64, 2);
+  std::vector<cplx> sum(64);
+  const cplx alpha{2.0, -1.0};
+  for (std::size_t i = 0; i < 64; ++i) sum[i] = alpha * a[i] + b[i];
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fsum = fft(sum);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(std::abs(fsum[i] - (alpha * fa[i] + fb[i])), 0.0, 1e-9);
+}
+
+TEST(FftTest, MatchesDirectDftOnPowerOfTwo) {
+  // The radix-2 path must agree with a textbook direct DFT.
+  const auto x = random_signal(16, 9);
+  const auto fast = fft(x);
+  for (std::size_t k = 0; k < 16; ++k) {
+    cplx acc{0, 0};
+    for (std::size_t n = 0; n < 16; ++n)
+      acc += x[n] * std::exp(-kJ * (kTwoPi * double(k * n) / 16.0));
+    EXPECT_NEAR(std::abs(fast[k] - acc), 0.0, 1e-9);
+  }
+}
+
+TEST(CircularXcorrTest, DeltaCorrelation) {
+  std::vector<cplx> d(16, cplx{0, 0});
+  d[0] = cplx{1, 0};
+  const auto c = circular_xcorr(d, d);
+  EXPECT_NEAR(std::abs(c[0] - cplx{1, 0}), 0.0, 1e-10);
+  for (std::size_t i = 1; i < c.size(); ++i)
+    EXPECT_NEAR(std::abs(c[i]), 0.0, 1e-10);
+}
+
+TEST(CircularXcorrTest, FindsCircularShift) {
+  const auto a = random_signal(64, 5);
+  std::vector<cplx> b(64);
+  const std::size_t shift = 17;
+  for (std::size_t i = 0; i < 64; ++i) b[(i + 64 - shift) % 64] = a[i];
+  // b[n] = a[n + shift] => correlation peak at d = shift.
+  const auto c = circular_xcorr(b, a);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 64; ++i)
+    if (std::abs(c[i]) > std::abs(c[best])) best = i;
+  EXPECT_EQ(best, shift);
+}
+
+TEST(CircularXcorrTest, SizeMismatchThrows) {
+  EXPECT_THROW(
+      circular_xcorr(std::vector<cplx>(4), std::vector<cplx>(8)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arraytrack::dsp

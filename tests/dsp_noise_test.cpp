@@ -1,0 +1,78 @@
+// Tests for AWGN generation and dB bookkeeping.
+#include <gtest/gtest.h>
+
+#include "dsp/noise.h"
+
+namespace arraytrack::dsp {
+namespace {
+
+TEST(DbTest, RoundTrip) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(db_to_linear(-3.0), 0.501187, 1e-5);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-9);
+  for (double db : {-30.0, -3.0, 0.0, 7.5, 40.0})
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+}
+
+TEST(MeanPowerTest, Basics) {
+  EXPECT_DOUBLE_EQ(mean_power({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_power({cplx{1, 0}, cplx{0, 1}}), 1.0);
+  EXPECT_DOUBLE_EQ(mean_power({cplx{3, 4}}), 25.0);
+}
+
+TEST(AwgnTest, GeneratedPowerMatchesRequest) {
+  AwgnSource src(42);
+  const double want = 0.25;
+  const auto n = src.generate(200000, want);
+  EXPECT_NEAR(mean_power(n), want, 0.01 * want);
+}
+
+TEST(AwgnTest, CircularSymmetry) {
+  // I and Q rails carry equal power and are uncorrelated.
+  AwgnSource src(43);
+  const auto n = src.generate(200000, 1.0);
+  double pi = 0.0, pq = 0.0, xc = 0.0;
+  for (const auto& v : n) {
+    pi += v.real() * v.real();
+    pq += v.imag() * v.imag();
+    xc += v.real() * v.imag();
+  }
+  pi /= double(n.size());
+  pq /= double(n.size());
+  xc /= double(n.size());
+  EXPECT_NEAR(pi, 0.5, 0.01);
+  EXPECT_NEAR(pq, 0.5, 0.01);
+  EXPECT_NEAR(xc, 0.0, 0.01);
+}
+
+TEST(AwgnTest, AddNoiseHitsTargetSnr) {
+  AwgnSource src(44);
+  for (double snr_db : {30.0, 10.0, 0.0, -10.0}) {
+    std::vector<cplx> sig(100000, cplx{1.0, 0.0});  // unit power signal
+    std::vector<cplx> noisy = sig;
+    src.add_noise(noisy, snr_db);
+    double noise_power = 0.0;
+    for (std::size_t i = 0; i < sig.size(); ++i)
+      noise_power += std::norm(noisy[i] - sig[i]);
+    noise_power /= double(sig.size());
+    EXPECT_NEAR(linear_to_db(1.0 / noise_power), snr_db, 0.3)
+        << "snr " << snr_db;
+  }
+}
+
+TEST(AwgnTest, DeterministicPerSeed) {
+  AwgnSource a(7), b(7), c(8);
+  const auto na = a.generate(16, 1.0);
+  const auto nb = b.generate(16, 1.0);
+  const auto nc = c.generate(16, 1.0);
+  bool differs_from_c = false;
+  for (std::size_t i = 0; i < na.size(); ++i) {
+    EXPECT_EQ(na[i], nb[i]);
+    if (na[i] != nc[i]) differs_from_c = true;
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+}  // namespace
+}  // namespace arraytrack::dsp

@@ -1,0 +1,103 @@
+// Tests for 802.11 OFDM preamble synthesis.
+#include <gtest/gtest.h>
+
+#include "dsp/noise.h"
+#include "dsp/preamble.h"
+
+namespace arraytrack::dsp {
+namespace {
+
+TEST(PreambleTest, TimingConstants) {
+  // 320 base samples at 20 Msps = 16 us, the 802.11 preamble duration.
+  EXPECT_EQ(PreambleTiming::kTotal, 320u);
+  const double duration =
+      double(PreambleTiming::kTotal) / double(PreambleTiming::kBaseRateHz);
+  EXPECT_NEAR(duration, 16e-6, 1e-12);
+}
+
+TEST(PreambleTest, RejectsNonPowerOfTwoOversample) {
+  EXPECT_THROW(PreambleGenerator(3), std::invalid_argument);
+  EXPECT_NO_THROW(PreambleGenerator(1));
+  EXPECT_NO_THROW(PreambleGenerator(4));
+}
+
+class PreambleOversampleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PreambleOversampleTest, SectionLengths) {
+  const std::size_t os = GetParam();
+  PreambleGenerator gen(os);
+  EXPECT_EQ(gen.sts_period(), 16 * os);
+  EXPECT_EQ(gen.lts_period(), 64 * os);
+  EXPECT_EQ(gen.short_section().size(), 160 * os);
+  EXPECT_EQ(gen.preamble().size(), 320 * os);
+  EXPECT_EQ(gen.lts0_offset(), 192 * os);
+  EXPECT_EQ(gen.lts1_offset(), 256 * os);
+  EXPECT_NEAR(gen.sample_rate_hz(), 20e6 * double(os), 1.0);
+}
+
+TEST_P(PreambleOversampleTest, UnitAveragePower) {
+  PreambleGenerator gen(GetParam());
+  EXPECT_NEAR(mean_power(gen.preamble()), 1.0, 1e-9);
+}
+
+TEST_P(PreambleOversampleTest, ShortSymbolPeriodicity) {
+  // The ten short training symbols are identical repetitions.
+  PreambleGenerator gen(GetParam());
+  const auto& sec = gen.short_section();
+  const std::size_t period = gen.sts_period();
+  for (std::size_t i = 0; i + period < sec.size(); ++i)
+    EXPECT_NEAR(std::abs(sec[i] - sec[i + period]), 0.0, 1e-9)
+        << "at sample " << i;
+}
+
+TEST_P(PreambleOversampleTest, LongSymbolsIdentical) {
+  // S0 and S1 are identical (the property diversity synthesis uses).
+  PreambleGenerator gen(GetParam());
+  const auto& p = gen.preamble();
+  const std::size_t o0 = gen.lts0_offset();
+  const std::size_t o1 = gen.lts1_offset();
+  for (std::size_t i = 0; i < gen.lts_period(); ++i)
+    EXPECT_NEAR(std::abs(p[o0 + i] - p[o1 + i]), 0.0, 1e-9);
+}
+
+TEST_P(PreambleOversampleTest, GuardIsCyclicPrefix) {
+  // The guard interval is the tail of the long symbol (GI2).
+  PreambleGenerator gen(GetParam());
+  const auto& p = gen.preamble();
+  const std::size_t gi = 32 * gen.oversample();
+  const std::size_t gi_start = gen.lts0_offset() - gi;
+  const auto& lts = gen.long_symbol();
+  for (std::size_t i = 0; i < gi; ++i)
+    EXPECT_NEAR(std::abs(p[gi_start + i] - lts[lts.size() - gi + i]), 0.0,
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Oversampling, PreambleOversampleTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(PreambleTest, OversampledAgreesWithBaseRate) {
+  // Decimating the 2x waveform by 2 must recover the 1x waveform.
+  PreambleGenerator base(1);
+  PreambleGenerator twox(2);
+  const auto& p1 = base.preamble();
+  const auto& p2 = twox.preamble();
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    EXPECT_NEAR(std::abs(p1[i] - p2[2 * i]), 0.0, 1e-6) << "sample " << i;
+}
+
+TEST(PreambleTest, FrameAppendsBody) {
+  PreambleGenerator gen(2);
+  const auto f = gen.frame(500, /*seed=*/3);
+  EXPECT_EQ(f.size(), gen.preamble().size() + 500);
+  // Body is unit power QPSK.
+  std::vector<cplx> body(f.begin() + std::ptrdiff_t(gen.preamble().size()),
+                         f.end());
+  EXPECT_NEAR(mean_power(body), 1.0, 1e-9);
+  // Deterministic per seed.
+  const auto f2 = gen.frame(500, 3);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_EQ(f[i], f2[i]);
+}
+
+}  // namespace
+}  // namespace arraytrack::dsp

@@ -1,0 +1,132 @@
+// Tests for the arbitrary-geometry MUSIC estimator (circular arrays)
+// and the Bartlett beamformer spectrum.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aoa/covariance.h"
+#include "aoa/music.h"
+#include "array/geometry.h"
+#include "array/placed_array.h"
+
+namespace arraytrack::aoa {
+namespace {
+
+using array::ArrayGeometry;
+using array::PlacedArray;
+
+constexpr double kLambda = 0.1226;
+
+PlacedArray circ8() {
+  const double radius = kLambda / 2.0 / (2.0 * std::sin(kPi / 8.0));
+  return PlacedArray(ArrayGeometry::circular(8, radius), {0, 0}, 0.0);
+}
+
+std::vector<std::size_t> first_n(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+linalg::CMatrix snapshots(const PlacedArray& pa,
+                          const std::vector<double>& bearings, std::size_t n,
+                          double snr_db, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  std::normal_distribution<double> g(0.0, 1.0);
+  const double sigma = std::pow(10.0, -snr_db / 20.0) / std::sqrt(2.0);
+  linalg::CMatrix x(pa.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (double b : bearings) {
+      const auto a = pa.steering(b, kLambda);
+      const cplx s = std::exp(kJ * uang(rng));
+      for (std::size_t m = 0; m < pa.size(); ++m) x(m, k) += a[m] * s;
+    }
+    for (std::size_t m = 0; m < pa.size(); ++m)
+      x(m, k) += cplx{sigma * g(rng), sigma * g(rng)};
+  }
+  return x;
+}
+
+TEST(GeneralMusicTest, RejectsTooFewElements) {
+  const auto pa = circ8();
+  EXPECT_THROW(GeneralMusic(&pa, {0}, kLambda), std::invalid_argument);
+}
+
+// Circular arrays resolve the full circle — including the bearings a
+// linear array would mirror.
+class CircularBearingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CircularBearingSweep, NoMirrorAmbiguity) {
+  const double deg = GetParam();
+  const auto pa = circ8();
+  GeneralMusic music(&pa, first_n(8), kLambda);
+  const auto x = snapshots(pa, {deg2rad(deg)}, 20, 25,
+                           std::uint64_t(900 + deg));
+  const auto spec = music.spectrum(x);
+  EXPECT_LT(rad2deg(bearing_distance(spec.dominant_bearing(), deg2rad(deg))),
+            3.0);
+  // The mirror bearing is NOT an equal peak (unlike a linear array).
+  EXPECT_GT(spec.value_at(deg2rad(deg)),
+            3.0 * spec.value_at(wrap_2pi(deg2rad(-deg))) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullCircle, CircularBearingSweep,
+                         ::testing::Values(10.0, 60.0, 110.0, 170.0, 200.0,
+                                           250.0, 300.0, 345.0));
+
+TEST(GeneralMusicTest, TwoSourcesResolved) {
+  const auto pa = circ8();
+  GeneralMusic music(&pa, first_n(8), kLambda);
+  const auto x =
+      snapshots(pa, {deg2rad(40), deg2rad(250)}, 40, 25, 42);
+  const auto spec = music.spectrum(x);
+  bool f40 = false, f250 = false;
+  for (const auto& p : spec.find_peaks(0.05)) {
+    if (rad2deg(bearing_distance(p.bearing_rad, deg2rad(40))) < 4) f40 = true;
+    if (rad2deg(bearing_distance(p.bearing_rad, deg2rad(250))) < 4)
+      f250 = true;
+  }
+  EXPECT_TRUE(f40);
+  EXPECT_TRUE(f250);
+}
+
+TEST(GeneralMusicTest, FixedSignalCountHonored) {
+  const auto pa = circ8();
+  GeneralMusicOptions opt;
+  opt.fixed_num_signals = 1;
+  GeneralMusic music(&pa, first_n(8), kLambda, opt);
+  const auto x = snapshots(pa, {deg2rad(75)}, 20, 20, 5);
+  EXPECT_NO_THROW(music.spectrum(x));
+}
+
+TEST(BartlettTest, PeaksAtSourceButWider) {
+  const auto pa = circ8();
+  const auto x = snapshots(pa, {deg2rad(120)}, 30, 25, 9);
+  const auto r = sample_covariance(x);
+  const auto bart = bartlett_spectrum(pa, first_n(8), kLambda, r);
+  GeneralMusic music(&pa, first_n(8), kLambda);
+  const auto mus = music.spectrum_from_covariance(r);
+
+  EXPECT_LT(rad2deg(bearing_distance(bart.dominant_bearing(), deg2rad(120))),
+            4.0);
+  // MUSIC's peak is sharper: its half-power neighborhood is narrower.
+  auto width_deg = [](const AoaSpectrum& s) {
+    const double peak = s.max_value();
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < s.bins(); ++i)
+      if (s[i] > 0.5 * peak) ++count;
+    return double(count) * 360.0 / double(s.bins());
+  };
+  EXPECT_LT(width_deg(mus), width_deg(bart));
+}
+
+TEST(BartlettTest, SizeMismatchThrows) {
+  const auto pa = circ8();
+  EXPECT_THROW(
+      bartlett_spectrum(pa, first_n(8), kLambda, linalg::CMatrix(4, 4)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arraytrack::aoa

@@ -1,0 +1,229 @@
+// Tests for floorplan geometry and multipath discovery.
+#include <gtest/gtest.h>
+
+#include "geom/floorplan.h"
+#include "geom/paths.h"
+#include "geom/vec2.h"
+#include "linalg/types.h"
+
+namespace arraytrack::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Vec2{4, 1}));
+  EXPECT_EQ(a - b, (Vec2{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+}
+
+TEST(Vec2Test, RotationAndAngle) {
+  const Vec2 x{1, 0};
+  const Vec2 r = x.rotated(kPi / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR((Vec2{0, -2}).angle(), -kPi / 2, 1e-12);
+  const Vec2 u = unit_from_angle(deg2rad(30.0));
+  EXPECT_NEAR(u.x, std::sqrt(3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(u.y, 0.5, 1e-12);
+}
+
+TEST(Vec2Test, PerpIsOrthogonal) {
+  const Vec2 v{2.5, -1.0};
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+  EXPECT_DOUBLE_EQ(v.perp().norm(), v.norm());
+}
+
+TEST(SegmentIntersectTest, CrossingSegments) {
+  double t = 0, u = 0;
+  Vec2 p;
+  ASSERT_TRUE(segment_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}, &t, &u, &p));
+  EXPECT_NEAR(t, 0.5, 1e-12);
+  EXPECT_NEAR(u, 0.5, 1e-12);
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersectTest, NonCrossingAndParallel) {
+  EXPECT_FALSE(segment_intersect({0, 0}, {1, 0}, {2, -1}, {2, 1}, nullptr,
+                                 nullptr, nullptr));
+  EXPECT_FALSE(segment_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}, nullptr,
+                                 nullptr, nullptr));
+}
+
+TEST(ReflectTest, AcrossAxes) {
+  const Vec2 p{3, 4};
+  const Vec2 rx = reflect_across_line(p, {0, 0}, {1, 0});  // x-axis
+  EXPECT_NEAR(rx.x, 3.0, 1e-12);
+  EXPECT_NEAR(rx.y, -4.0, 1e-12);
+  const Vec2 ry = reflect_across_line(p, {0, 0}, {0, 1});  // y-axis
+  EXPECT_NEAR(ry.x, -3.0, 1e-12);
+  EXPECT_NEAR(ry.y, 4.0, 1e-12);
+  // Reflection is an involution.
+  const Vec2 back = reflect_across_line(rx, {0, 0}, {1, 0});
+  EXPECT_NEAR(distance(back, p), 0.0, 1e-12);
+}
+
+TEST(PointSegmentDistanceTest, EndpointsAndInterior) {
+  EXPECT_NEAR(point_segment_distance({0, 1}, {0, 0}, {2, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(point_segment_distance({-3, 0}, {0, 0}, {2, 0}), 3.0, 1e-12);
+  EXPECT_NEAR(point_segment_distance({1, -2}, {0, 0}, {2, 0}), 2.0, 1e-12);
+}
+
+TEST(RectTest, ContainsAndExpand) {
+  const Rect r{{0, 0}, {10, 5}};
+  EXPECT_TRUE(r.contains({5, 2}));
+  EXPECT_FALSE(r.contains({11, 2}));
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  const Rect e = r.expanded(1.0);
+  EXPECT_TRUE(e.contains({-0.5, -0.5}));
+}
+
+TEST(MaterialTest, AllMaterialsHaveProperties) {
+  for (auto m : {Material::kConcrete, Material::kBrick, Material::kDrywall,
+                 Material::kGlass, Material::kMetal, Material::kWood,
+                 Material::kCubicle}) {
+    EXPECT_GT(reflection_loss_db(m), 0.0);
+    EXPECT_GT(transmission_loss_db(m), 0.0);
+    EXPECT_GE(scatter_roughness(m), 0.0);
+    EXPECT_LE(scatter_roughness(m), 1.0);
+    EXPECT_FALSE(material_name(m).empty());
+  }
+  // Metal attenuates through-wall far harder than drywall.
+  EXPECT_GT(transmission_loss_db(Material::kMetal),
+            transmission_loss_db(Material::kDrywall));
+}
+
+TEST(FloorplanTest, ObstructionAccumulates) {
+  Floorplan plan({{0, 0}, {10, 10}});
+  plan.add_wall({5, 0}, {5, 10}, Material::kDrywall);
+  plan.add_wall({7, 0}, {7, 10}, Material::kConcrete);
+  const double loss = plan.obstruction_loss_db({1, 5}, {9, 5});
+  EXPECT_NEAR(loss,
+              transmission_loss_db(Material::kDrywall) +
+                  transmission_loss_db(Material::kConcrete),
+              1e-9);
+  EXPECT_FALSE(plan.line_of_sight({1, 5}, {9, 5}));
+  EXPECT_TRUE(plan.line_of_sight({1, 5}, {4, 5}));
+}
+
+TEST(FloorplanTest, SkipWallsExcluded) {
+  Floorplan plan({{0, 0}, {10, 10}});
+  plan.add_wall({5, 0}, {5, 10}, Material::kDrywall);
+  EXPECT_DOUBLE_EQ(plan.obstruction_loss_db({1, 5}, {9, 5}, {0}), 0.0);
+}
+
+TEST(FloorplanTest, PillarBlocking) {
+  Floorplan plan({{0, 0}, {10, 10}});
+  plan.add_pillar({{5, 5}, 0.4, 13.0});
+  EXPECT_EQ(plan.pillars_crossed({0, 5}, {10, 5}), 1);
+  EXPECT_EQ(plan.pillars_crossed({0, 8}, {10, 8}), 0);
+  EXPECT_NEAR(plan.obstruction_loss_db({0, 5}, {10, 5}), 13.0, 1e-12);
+}
+
+TEST(PathsTest, FreeSpaceHasOnlyDirect) {
+  Floorplan plan({{0, 0}, {100, 100}});
+  const auto paths = find_paths(plan, {10, 10}, {20, 10});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].is_direct());
+  EXPECT_NEAR(paths[0].length_m, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(paths[0].loss_db, 0.0);
+}
+
+TEST(PathsTest, SingleWallReflectionGeometry) {
+  // Mirror wall along y=0; tx and rx above it. Classic image geometry:
+  // path length equals distance from image (x_t, -y_t) to rx.
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({-50, 0}, {50, 0}, Material::kMetal);
+  const Vec2 tx{0, 3}, rx{8, 5};
+  geom::PathFinderOptions opt;
+  opt.max_order = 1;
+  const auto paths = find_paths(plan, tx, rx, opt);
+  ASSERT_EQ(paths.size(), 2u);
+  const auto& refl = paths[1];
+  EXPECT_EQ(refl.order(), 1);
+  const double expect_len = distance({0, -3}, rx);
+  EXPECT_NEAR(refl.length_m, expect_len, 1e-9);
+  EXPECT_NEAR(refl.loss_db, reflection_loss_db(Material::kMetal), 1e-9);
+  // The bounce point lies on the wall between tx and rx.
+  EXPECT_NEAR(refl.points[1].y, 0.0, 1e-9);
+  EXPECT_GT(refl.points[1].x, 0.0);
+  EXPECT_LT(refl.points[1].x, 8.0);
+  // Incidence angle equals reflection angle.
+  const Vec2 in = (refl.points[1] - tx).normalized();
+  const Vec2 out = (rx - refl.points[1]).normalized();
+  EXPECT_NEAR(in.y, -out.y, 1e-9);
+  EXPECT_NEAR(in.x, out.x, 1e-9);
+}
+
+TEST(PathsTest, NoReflectionWhenSpecularPointOffWall) {
+  // Wall too short for the mirror point.
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({20, 0}, {30, 0}, Material::kMetal);
+  geom::PathFinderOptions opt;
+  opt.max_order = 1;
+  const auto paths = find_paths(plan, {0, 3}, {4, 5}, opt);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].is_direct());
+}
+
+TEST(PathsTest, SecondOrderBetweenParallelWalls) {
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({-50, 0}, {50, 0}, Material::kMetal);
+  plan.add_wall({-50, 10}, {50, 10}, Material::kMetal);
+  geom::PathFinderOptions opt;
+  opt.max_order = 2;
+  const auto paths = find_paths(plan, {0, 3}, {8, 5}, opt);
+  // direct + 2 single bounces + double bounces (floor->ceiling and
+  // ceiling->floor).
+  int order2 = 0;
+  for (const auto& p : paths)
+    if (p.order() == 2) ++order2;
+  EXPECT_GE(order2, 2);
+  for (const auto& p : paths) {
+    if (p.order() != 2) continue;
+    // Double-bounce loss = two metal reflections.
+    EXPECT_NEAR(p.loss_db, 2.0 * reflection_loss_db(Material::kMetal), 1e-9);
+    // Reflected path is longer than direct.
+    EXPECT_GT(p.length_m, paths[0].length_m);
+  }
+}
+
+TEST(PathsTest, ArrivalDirectionPointsToReceiver) {
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({-50, 0}, {50, 0}, Material::kMetal);
+  const Vec2 tx{0, 3}, rx{8, 5};
+  const auto paths = find_paths(plan, tx, rx);
+  for (const auto& p : paths) {
+    const Vec2 dir = p.arrival_direction();
+    EXPECT_NEAR(dir.norm(), 1.0, 1e-12);
+    // Last leg direction must be consistent with the final two points.
+    const Vec2 expect =
+        (p.points.back() - p.points[p.points.size() - 2]).normalized();
+    EXPECT_NEAR(distance(dir, expect), 0.0, 1e-12);
+  }
+}
+
+TEST(PathsTest, MaxExcessLossPrunes) {
+  Floorplan plan({{-50, -10}, {50, 50}});
+  plan.add_wall({-50, 0}, {50, 0}, Material::kCubicle);  // 11 dB bounce
+  geom::PathFinderOptions opt;
+  opt.max_order = 1;
+  opt.max_excess_loss_db = 5.0;
+  const auto paths = find_paths(plan, {0, 3}, {8, 5}, opt);
+  ASSERT_EQ(paths.size(), 1u);  // reflection pruned
+}
+
+TEST(PathsTest, DirectPathReportedEvenWhenObstructed) {
+  Floorplan plan({{0, 0}, {20, 20}});
+  plan.add_wall({10, 0}, {10, 20}, Material::kMetal);
+  const auto paths = find_paths(plan, {5, 5}, {15, 5});
+  ASSERT_FALSE(paths.empty());
+  EXPECT_TRUE(paths[0].is_direct());
+  EXPECT_NEAR(paths[0].loss_db, transmission_loss_db(Material::kMetal), 1e-9);
+}
+
+}  // namespace
+}  // namespace arraytrack::geom

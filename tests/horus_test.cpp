@@ -1,0 +1,113 @@
+// Tests for the Horus-style probabilistic fingerprinting baseline.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/fingerprint.h"
+
+namespace arraytrack::baselines {
+namespace {
+
+std::vector<std::vector<double>> readings_around(
+    const std::vector<double>& mean, double sigma, int n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, sigma);
+  std::vector<std::vector<double>> out;
+  for (int k = 0; k < n; ++k) {
+    std::vector<double> r = mean;
+    for (auto& v : r) v += g(rng);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(HorusTest, EmptyAndValidation) {
+  HorusFingerprintDb db;
+  EXPECT_FALSE(db.locate({}).has_value());
+  EXPECT_THROW(db.add({0, 0}, {}), std::invalid_argument);
+  EXPECT_THROW(db.add({0, 0}, {{-40.0, -50.0}, {-40.0}}),
+               std::invalid_argument);
+  db.add({0, 0}, readings_around({-40, -50}, 1.0, 5, 1));
+  EXPECT_THROW(db.add({1, 1}, readings_around({-40, -50, -60}, 1.0, 5, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(db.locate({-40.0}), std::invalid_argument);
+}
+
+TEST(HorusTest, PicksMostLikelyCell) {
+  HorusFingerprintDb db;
+  db.add({0, 0}, readings_around({-40, -70}, 2.0, 10, 3));
+  db.add({10, 0}, readings_around({-70, -40}, 2.0, 10, 4));
+  db.add({5, 8}, readings_around({-55, -55}, 2.0, 10, 5));
+  const auto near_a = db.locate({-41, -69}, 1);
+  ASSERT_TRUE(near_a.has_value());
+  EXPECT_NEAR(near_a->x, 0.0, 1e-9);
+  const auto near_c = db.locate({-56, -54}, 1);
+  ASSERT_TRUE(near_c.has_value());
+  EXPECT_NEAR(near_c->y, 8.0, 1e-9);
+}
+
+TEST(HorusTest, WeightedRefinementInterpolates) {
+  HorusFingerprintDb db;
+  db.add({0, 0}, readings_around({-40, -60}, 2.0, 10, 6));
+  db.add({2, 0}, readings_around({-44, -56}, 2.0, 10, 7));
+  // A reading exactly between the two cells pulls the estimate inside
+  // the segment.
+  const auto fix = db.locate({-42, -58}, 2);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_GT(fix->x, 0.2);
+  EXPECT_LT(fix->x, 1.8);
+}
+
+TEST(HorusTest, VarianceAwareBeatsNaiveWhenApIsNoisy) {
+  // AP 1's readings are wildly noisy at cell A (deep fade flutter); a
+  // variance-aware model discounts it, so a far-off AP-1 reading does
+  // not drag the match away from A.
+  HorusFingerprintDb db;
+  std::vector<std::vector<double>> a;
+  for (int k = 0; k < 10; ++k)
+    a.push_back({-50.0, (k % 2) ? -50.0 : -80.0});  // AP1 variance huge
+  db.add({0, 0}, a);
+  db.add({10, 0}, readings_around({-56, -62}, 1.0, 10, 9));
+  const auto fix = db.locate({-50.0, -75.0}, 1);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->x, 0.0, 1e-9);
+}
+
+TEST(HorusTest, MoreAccurateThanKnnOnGaussianWorld) {
+  // In a synthetic world that matches its model, Horus should beat the
+  // plain kNN RADAR matcher.
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> g(0.0, 2.0);
+  const std::vector<geom::Vec2> aps = {{0, 0}, {20, 0}, {10, 15}};
+  auto mean_at = [&](geom::Vec2 p) {
+    std::vector<double> m;
+    for (const auto& ap : aps)
+      m.push_back(-40.0 - 30.0 * std::log10(
+                              std::max(geom::distance(p, ap), 1.0)));
+    return m;
+  };
+
+  HorusFingerprintDb horus;
+  RssiFingerprintDb knn;
+  for (double y = 0; y <= 15; y += 2.5)
+    for (double x = 0; x <= 20; x += 2.5) {
+      const auto readings = readings_around(mean_at({x, y}), 2.0, 8,
+                                            unsigned(x * 31 + y));
+      horus.add({x, y}, readings);
+      knn.add({x, y}, readings.front());  // RADAR surveys once per spot
+    }
+
+  double horus_err = 0.0, knn_err = 0.0;
+  int n = 0;
+  for (double y = 1.0; y <= 14; y += 3.1)
+    for (double x = 1.0; x <= 19; x += 3.1, ++n) {
+      auto reading = mean_at({x, y});
+      for (auto& v : reading) v += g(rng);
+      horus_err += geom::distance(*horus.locate(reading, 3), {x, y});
+      knn_err += geom::distance(*knn.locate(reading, 3), {x, y});
+    }
+  EXPECT_LT(horus_err / n, knn_err / n);
+}
+
+}  // namespace
+}  // namespace arraytrack::baselines

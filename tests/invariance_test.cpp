@@ -1,0 +1,88 @@
+// End-to-end invariance properties: rigidly moving an entire scenario
+// (floorplan, APs, client) must move the location estimate with it.
+// These run with scatter disabled so the channel is exactly equivariant.
+#include <gtest/gtest.h>
+
+#include "core/arraytrack.h"
+
+namespace arraytrack::core {
+namespace {
+
+using geom::Vec2;
+
+struct Pose {
+  Vec2 shift;
+  double rot = 0.0;  // about the origin, applied before the shift
+
+  Vec2 apply(const Vec2& p) const { return p.rotated(rot) + shift; }
+};
+
+geom::Floorplan make_plan(const Pose& pose) {
+  // An asymmetric room so the estimate cannot luck into invariance.
+  geom::Floorplan plan({{-40, -40}, {60, 60}});
+  const Vec2 corners[4] = {{0, 0}, {18, 0}, {18, 11}, {0, 11}};
+  for (int i = 0; i < 4; ++i)
+    plan.add_wall(pose.apply(corners[i]), pose.apply(corners[(i + 1) % 4]),
+                  geom::Material::kBrick);
+  plan.add_wall(pose.apply({7, 0}), pose.apply({7, 6}),
+                geom::Material::kDrywall);
+  return plan;
+}
+
+std::optional<LocationEstimate> locate_in(const Pose& pose,
+                                          const geom::Floorplan& plan,
+                                          const Vec2& client_local) {
+  SystemConfig cfg;
+  cfg.channel.scatter_scale = 0.0;  // exact equivariance
+  cfg.server.localizer.grid_step_m = 0.1;
+  System sys(&plan, cfg);
+  sys.add_ap(pose.apply({1.5, 1.5}), deg2rad(40.0) + pose.rot);
+  sys.add_ap(pose.apply({16.5, 1.5}), deg2rad(140.0) + pose.rot);
+  sys.add_ap(pose.apply({9.0, 10.0}), deg2rad(-90.0) + pose.rot);
+  sys.transmit(0, pose.apply(client_local), 0.0);
+  return sys.locate(0, 0.01);
+}
+
+TEST(InvarianceTest, TranslationMovesEstimateExactly) {
+  const Vec2 client{12.0, 6.5};
+  const Pose identity{};
+  const Pose shifted{{23.0, 17.0}, 0.0};
+  const auto plan0 = make_plan(identity);
+  const auto plan1 = make_plan(shifted);
+  const auto fix0 = locate_in(identity, plan0, client);
+  const auto fix1 = locate_in(shifted, plan1, client);
+  ASSERT_TRUE(fix0 && fix1);
+  // The estimate in the shifted world equals the shifted estimate,
+  // up to grid/hill-climb resolution.
+  EXPECT_LT(geom::distance(fix1->position, fix0->position + shifted.shift),
+            0.06)
+      << fix0->position.to_string() << " vs " << fix1->position.to_string();
+}
+
+TEST(InvarianceTest, RotationRotatesEstimate) {
+  const Vec2 client{12.0, 6.5};
+  const Pose identity{};
+  const Pose rotated{{5.0, 3.0}, deg2rad(90.0)};
+  const auto plan0 = make_plan(identity);
+  const auto plan1 = make_plan(rotated);
+  const auto fix0 = locate_in(identity, plan0, client);
+  const auto fix1 = locate_in(rotated, plan1, client);
+  ASSERT_TRUE(fix0 && fix1);
+  EXPECT_LT(geom::distance(fix1->position, rotated.apply(fix0->position)),
+            0.06);
+}
+
+TEST(InvarianceTest, DeterministicRepeatability) {
+  const Vec2 client{5.0, 8.0};
+  const Pose identity{};
+  const auto plan = make_plan(identity);
+  const auto a = locate_in(identity, plan, client);
+  const auto b = locate_in(identity, plan, client);
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->position.x, b->position.x);
+  EXPECT_DOUBLE_EQ(a->position.y, b->position.y);
+  EXPECT_DOUBLE_EQ(a->likelihood, b->likelihood);
+}
+
+}  // namespace
+}  // namespace arraytrack::core

@@ -1,0 +1,53 @@
+// Tests for the latency model (paper 4.4 and 4.3.3).
+#include <gtest/gtest.h>
+
+#include "core/latency.h"
+
+namespace arraytrack::core {
+namespace {
+
+TEST(LatencyModelTest, FrameAirtimeMatchesPaper) {
+  LatencyModel m;
+  // "approximately 222 us for a 1500 byte frame at 54 Mbit/s to 12 ms
+  // for the same size frame at 1 Mbit/s."
+  EXPECT_NEAR(m.frame_airtime_s(1500, 54e6), 222e-6, 1e-6);
+  EXPECT_NEAR(m.frame_airtime_s(1500, 1e6), 12e-3, 0.1e-3);
+}
+
+TEST(LatencyModelTest, SerializationMatchesPaper) {
+  // Tt = (10 samples)(32 bits)(8 radios) / 1 Mbit/s = 2.56 ms.
+  LatencyModel m;
+  EXPECT_NEAR(m.serialization_s(), 2.56e-3, 1e-9);
+}
+
+TEST(LatencyModelTest, ControlTrafficMatchesPaper) {
+  // 4.3.3: 0.0256 Mbit/s at a 100 ms refresh interval.
+  LatencyModel m;
+  EXPECT_NEAR(m.control_traffic_bps(0.1), 0.0256e6, 1.0);
+}
+
+TEST(LatencyModelTest, DetectionIsPreambleLength) {
+  LatencyModel m;
+  EXPECT_NEAR(m.detection_s, 16e-6, 1e-12);
+}
+
+TEST(LatencyReportTest, TotalsAddUp) {
+  LatencyModel m;
+  const auto r = make_latency_report(m, /*measured_processing_s=*/0.095);
+  EXPECT_NEAR(r.total_excl_bus_s(),
+              16e-6 + 2.56e-3 + 0.095, 1e-9);
+  EXPECT_NEAR(r.total_s(), r.total_excl_bus_s() + 30e-3, 1e-9);
+  EXPECT_NE(r.to_string().find("Tp"), std::string::npos);
+}
+
+TEST(LatencyReportTest, PaperHeadlineShape) {
+  // With the paper's measured Tp ~ 100 ms, the headline total
+  // (excluding bus) is ~100 ms — processing dominates.
+  LatencyModel m;
+  const auto r = make_latency_report(m, 0.100);
+  EXPECT_GT(r.processing_s / r.total_excl_bus_s(), 0.95);
+  EXPECT_NEAR(r.total_excl_bus_s(), 0.1026, 0.001);
+}
+
+}  // namespace
+}  // namespace arraytrack::core

@@ -1,0 +1,224 @@
+// Unit and property tests for the complex linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+
+namespace arraytrack::linalg {
+namespace {
+
+CMatrix random_matrix(std::size_t rows, std::size_t cols,
+                      std::mt19937_64& rng) {
+  std::normal_distribution<double> g(0.0, 1.0);
+  CMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = cplx{g(rng), g(rng)};
+  return m;
+}
+
+CMatrix random_hermitian(std::size_t n, std::mt19937_64& rng) {
+  const CMatrix a = random_matrix(n, n, rng);
+  CMatrix h = a * a.hermitian();
+  // Add an asymmetric-free perturbation on the diagonal for variety.
+  for (std::size_t i = 0; i < n; ++i) h(i, i) += cplx{double(i), 0.0};
+  return h;
+}
+
+TEST(CVectorTest, ArithmeticAndNorms) {
+  CVector a{cplx{1, 0}, cplx{0, 1}};
+  CVector b{cplx{2, 0}, cplx{0, -1}};
+  const CVector sum = a + b;
+  EXPECT_EQ(sum[0], (cplx{3, 0}));
+  EXPECT_EQ(sum[1], (cplx{0, 0}));
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 2.0);
+  EXPECT_DOUBLE_EQ(a.norm(), std::sqrt(2.0));
+}
+
+TEST(CVectorTest, DotIsHermitian) {
+  CVector a{cplx{1, 2}, cplx{3, -1}};
+  CVector b{cplx{0, 1}, cplx{2, 2}};
+  const cplx ab = a.dot(b);
+  const cplx ba = b.dot(a);
+  EXPECT_NEAR(ab.real(), ba.real(), 1e-12);
+  EXPECT_NEAR(ab.imag(), -ba.imag(), 1e-12);
+  // <a, a> is the squared norm.
+  EXPECT_NEAR(a.dot(a).real(), a.squared_norm(), 1e-12);
+  EXPECT_NEAR(a.dot(a).imag(), 0.0, 1e-12);
+}
+
+TEST(CVectorTest, NormalizedHasUnitNorm) {
+  CVector a{cplx{3, 4}, cplx{0, 0}, cplx{1, -1}};
+  EXPECT_NEAR(a.normalized().norm(), 1.0, 1e-12);
+  // Zero vector stays zero instead of dividing by zero.
+  CVector z(3);
+  EXPECT_DOUBLE_EQ(z.normalized().norm(), 0.0);
+}
+
+TEST(CVectorTest, ConjugateInvolution) {
+  CVector a{cplx{1, 2}, cplx{-3, 0.5}};
+  const CVector c = a.conj().conj();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], c[i]);
+}
+
+TEST(CMatrixTest, IdentityMultiplication) {
+  std::mt19937_64 rng(1);
+  const CMatrix a = random_matrix(4, 4, rng);
+  const CMatrix i = CMatrix::identity(4);
+  EXPECT_LT((a * i).max_abs_diff(a), 1e-12);
+  EXPECT_LT((i * a).max_abs_diff(a), 1e-12);
+}
+
+TEST(CMatrixTest, MultiplicationAgainstHandComputed) {
+  const CMatrix a{{cplx{1, 0}, cplx{0, 1}}, {cplx{2, 0}, cplx{0, 0}}};
+  const CMatrix b{{cplx{0, 1}, cplx{1, 0}}, {cplx{1, 0}, cplx{0, -1}}};
+  const CMatrix c = a * b;
+  EXPECT_EQ(c(0, 0), (cplx{0, 2}));   // 1*i + i*1
+  EXPECT_EQ(c(0, 1), (cplx{2, 0}));   // 1*1 + i*(-i)
+  EXPECT_EQ(c(1, 0), (cplx{0, 2}));   // 2*i
+  EXPECT_EQ(c(1, 1), (cplx{2, 0}));   // 2*1
+}
+
+TEST(CMatrixTest, HermitianTransposeProperties) {
+  std::mt19937_64 rng(2);
+  const CMatrix a = random_matrix(3, 5, rng);
+  const CMatrix ah = a.hermitian();
+  ASSERT_EQ(ah.rows(), 5u);
+  ASSERT_EQ(ah.cols(), 3u);
+  EXPECT_LT(ah.hermitian().max_abs_diff(a), 1e-15);
+  // (AB)^H == B^H A^H.
+  const CMatrix b = random_matrix(5, 4, rng);
+  EXPECT_LT((a * b).hermitian().max_abs_diff(b.hermitian() * a.hermitian()),
+            1e-12);
+}
+
+TEST(CMatrixTest, OuterProductRankOne) {
+  CVector v{cplx{1, 1}, cplx{2, 0}};
+  CVector w{cplx{0, 1}, cplx{1, -1}, cplx{3, 0}};
+  const CMatrix m = CMatrix::outer(v, w);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), v[0] * std::conj(w[0]));
+  EXPECT_EQ(m(1, 2), v[1] * std::conj(w[2]));
+}
+
+TEST(CMatrixTest, BlockExtraction) {
+  std::mt19937_64 rng(3);
+  const CMatrix a = random_matrix(5, 5, rng);
+  const CMatrix b = a.block(1, 2, 3, 2);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(b(r, c), a(r + 1, c + 2));
+}
+
+TEST(CMatrixTest, TraceAndFrobenius) {
+  const CMatrix a{{cplx{1, 0}, cplx{0, 2}}, {cplx{0, 0}, cplx{3, 1}}};
+  EXPECT_EQ(a.trace(), (cplx{4, 1}));
+  EXPECT_NEAR(a.frobenius_norm(), std::sqrt(1 + 4 + 9 + 1), 1e-12);
+}
+
+TEST(CMatrixTest, IsHermitianDetects) {
+  std::mt19937_64 rng(4);
+  CMatrix h = random_hermitian(4, rng);
+  EXPECT_TRUE(h.is_hermitian(1e-9));
+  h(0, 1) += cplx{0.1, 0.0};
+  EXPECT_FALSE(h.is_hermitian(1e-9));
+}
+
+TEST(QuadraticFormTest, MatchesDirectComputation) {
+  std::mt19937_64 rng(5);
+  const CMatrix h = random_hermitian(3, rng);
+  CVector v{cplx{1, 0}, cplx{0, 1}, cplx{0.5, -0.5}};
+  const double q = quadratic_form_real(v, h);
+  const cplx direct = v.dot(h * v);
+  EXPECT_NEAR(q, direct.real(), 1e-10);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  const std::vector<double> d{3.0, -1.0, 2.0};
+  const auto r = eig_hermitian(CMatrix::diagonal(d));
+  ASSERT_EQ(r.eigenvalues.size(), 3u);
+  EXPECT_NEAR(r.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(EigenTest, TwoByTwoKnown) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  const CMatrix a{{cplx{2, 0}, cplx{0, 1}}, {cplx{0, -1}, cplx{2, 0}}};
+  const auto r = eig_hermitian(a);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_THROW(eig_hermitian(CMatrix(2, 3)), std::invalid_argument);
+}
+
+TEST(EigenTest, RejectsNonHermitian) {
+  CMatrix a{{cplx{1, 0}, cplx{5, 0}}, {cplx{0, 0}, cplx{1, 0}}};
+  EXPECT_THROW(eig_hermitian(a), std::invalid_argument);
+}
+
+// Property sweep: random Hermitian matrices of several sizes must
+// satisfy A*V = V*diag(lambda), V unitary, eigenvalues sorted.
+class EigenPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenPropertyTest, ReconstructionAndUnitarity) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(100 + n);
+  for (int rep = 0; rep < 5; ++rep) {
+    const CMatrix a = random_hermitian(n, rng);
+    const auto r = eig_hermitian(a);
+    ASSERT_EQ(r.eigenvalues.size(), n);
+
+    // Sorted ascending.
+    for (std::size_t i = 1; i < n; ++i)
+      EXPECT_LE(r.eigenvalues[i - 1], r.eigenvalues[i] + 1e-9);
+
+    // A * v_i == lambda_i * v_i.
+    const double scale = a.frobenius_norm();
+    for (std::size_t i = 0; i < n; ++i) {
+      const CVector v = r.eigenvectors.col(i);
+      const CVector av = a * v;
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_NEAR(std::abs(av[j] - r.eigenvalues[i] * v[j]), 0.0,
+                    1e-8 * scale)
+            << "n=" << n << " eigpair " << i;
+    }
+
+    // V^H V == I.
+    const CMatrix vhv = r.eigenvectors.hermitian() * r.eigenvectors;
+    EXPECT_LT(vhv.max_abs_diff(CMatrix::identity(n)), 1e-9);
+
+    // Trace preserved: sum of eigenvalues == trace(A).
+    double sum = 0.0;
+    for (double ev : r.eigenvalues) sum += ev;
+    EXPECT_NEAR(sum, a.trace().real(), 1e-8 * scale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+TEST(EigenTest, PositiveSemidefiniteRankDeficient) {
+  // Rank-1 covariance-like matrix: v v^H has eigenvalues {|v|^2, 0...}.
+  CVector v{cplx{1, 1}, cplx{2, 0}, cplx{0, -1}, cplx{0.5, 0.5}};
+  const CMatrix r1 = CMatrix::outer(v, v);
+  const auto r = eig_hermitian(r1);
+  EXPECT_NEAR(r.eigenvalues.back(), v.squared_norm(), 1e-9);
+  for (std::size_t i = 0; i + 1 < r.eigenvalues.size(); ++i)
+    EXPECT_NEAR(r.eigenvalues[i], 0.0, 1e-9);
+}
+
+TEST(TypesTest, AngleWrapping) {
+  EXPECT_NEAR(wrap_2pi(-kPi / 2), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(wrap_2pi(5 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(1.5 * kPi), -0.5 * kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-12);
+  EXPECT_NEAR(deg2rad(180.0), kPi, 1e-15);
+  EXPECT_NEAR(rad2deg(kPi / 4), 45.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace arraytrack::linalg

@@ -1,0 +1,204 @@
+// Tests for the 3-D extension: elevation spectra from a vertical
+// column and (x, y, z) localization (paper section 4.3.1 future work).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/localize3d.h"
+#include "geom/floorplan.h"
+
+namespace arraytrack::core {
+namespace {
+
+using geom::Vec2;
+
+struct Rig {
+  Rig()
+      : plan({{-5, -5}, {25, 17}}),
+        channel(&plan, make_cfg(), 7) {}
+
+  static channel::ChannelConfig make_cfg() {
+    channel::ChannelConfig cfg;
+    cfg.ap_height_m = 2.5;       // wall-mounted AP
+    cfg.client_height_m = 1.0;   // handheld client
+    cfg.max_reflection_order = 0;  // free space for the unit tests
+    return cfg;
+  }
+
+  phy::AccessPointFrontEnd make_ap(int id, Vec2 pos, double orient) {
+    const double lambda = channel.config().wavelength_m();
+    array::PlacedArray placed(make_3d_ap_geometry(lambda), pos, orient);
+    phy::ApConfig cfg;
+    cfg.radios = 6;  // 12 elements via diversity synthesis
+    phy::AccessPointFrontEnd ap(id, placed, &channel, cfg);
+    ap.run_calibration();
+    return ap;
+  }
+
+  geom::Floorplan plan;
+  channel::MultipathChannel channel;
+};
+
+TEST(Geometry3dTest, LShapedLayout) {
+  const auto g = array::ArrayGeometry::l_shaped(8, 4, 0.06);
+  ASSERT_EQ(g.size(), 12u);
+  EXPECT_TRUE(g.has_vertical_extent());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(g.z_offset(i), 0.0);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(g.z_offset(8 + i), 0.06 * double(i + 1), 1e-12);
+  // Flat arrays report no vertical extent.
+  EXPECT_FALSE(array::ArrayGeometry::uniform_linear(8, 0.06)
+                   .has_vertical_extent());
+}
+
+TEST(Geometry3dTest, Standard3dGeometry) {
+  const auto g = make_3d_ap_geometry(0.1226);
+  ASSERT_EQ(g.size(), 12u);
+  EXPECT_TRUE(g.has_vertical_extent());
+  // Column sits a quarter wavelength behind the row.
+  for (std::size_t i = 8; i < 12; ++i)
+    EXPECT_NEAR(g.offset(i).y, -0.1226 / 4.0, 1e-12);
+}
+
+TEST(Steering3Test, ReducesToPlanarAtZeroElevation) {
+  array::PlacedArray pa(array::ArrayGeometry::l_shaped(8, 4, 0.0613), {0, 0},
+                        0.0);
+  const auto flat = pa.steering(deg2rad(70.0), 0.1226);
+  const auto a3 = pa.steering3(deg2rad(70.0), 0.0, 0.1226);
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    EXPECT_NEAR(std::abs(flat[i] - a3[i]), 0.0, 1e-12);
+}
+
+TEST(Steering3Test, VerticalPhaseFollowsElevation) {
+  array::PlacedArray pa(array::ArrayGeometry::l_shaped(8, 4, 0.0613), {0, 0},
+                        0.0);
+  const double lambda = 0.1226;
+  const double el = deg2rad(25.0);
+  const auto a = pa.steering3(deg2rad(90.0), el, lambda);
+  // Adjacent column elements differ by k * dz * sin(el).
+  for (std::size_t i = 9; i < 12; ++i) {
+    const double step = wrap_pi(std::arg(a[i]) - std::arg(a[i - 1]));
+    EXPECT_NEAR(step, kTwoPi / lambda * 0.0613 * std::sin(el), 1e-9);
+  }
+}
+
+TEST(ElevationSpectrumTest, InterpolationAndClamping) {
+  aoa::ElevationSpectrum s(5, -0.5, 0.5);
+  s[2] = 1.0;  // center bin at elevation 0
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.125), 0.5);
+  EXPECT_DOUBLE_EQ(s.value_at(-2.0), s.value_at(-0.5));  // clamped
+  EXPECT_DOUBLE_EQ(s.dominant_elevation(), 0.0);
+}
+
+TEST(ElevationMusicTest, RejectsBadConstruction) {
+  array::PlacedArray pa(array::ArrayGeometry::l_shaped(8, 4, 0.0613), {0, 0},
+                        0.0);
+  EXPECT_THROW(aoa::ElevationMusic(&pa, {8}, 0.1226), std::invalid_argument);
+  aoa::ElevationMusicOptions opt;
+  opt.smoothing_groups = 4;
+  EXPECT_THROW(aoa::ElevationMusic(&pa, {8, 9, 10, 11}, 0.1226, opt),
+               std::invalid_argument);
+}
+
+class ElevationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ElevationSweep, ColumnRecoversElevation) {
+  // Synthetic plane wave at a known elevation on the column.
+  const double el_true = deg2rad(GetParam());
+  array::PlacedArray pa(array::ArrayGeometry::l_shaped(8, 4, 0.0613), {0, 0},
+                        0.0);
+  const double lambda = 0.1226;
+  const auto a = pa.steering3(deg2rad(90.0), el_true, lambda);
+
+  std::mt19937_64 rng(unsigned(GetParam() * 10) + 3);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  std::normal_distribution<double> g(0.0, 1.0);
+  linalg::CMatrix x(4, 20);
+  for (std::size_t k = 0; k < 20; ++k) {
+    const cplx s = std::exp(kJ * uang(rng));
+    for (std::size_t i = 0; i < 4; ++i)
+      x(i, k) = a[8 + i] * s + cplx{0.03 * g(rng), 0.03 * g(rng)};
+  }
+  aoa::ElevationMusic music(&pa, {8, 9, 10, 11}, lambda);
+  const auto spec = music.spectrum(x);
+  EXPECT_NEAR(rad2deg(spec.dominant_elevation()), GetParam(), 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Elevations, ElevationSweep,
+                         ::testing::Values(-40.0, -20.0, -8.0, 0.0, 8.0,
+                                           20.0, 40.0));
+
+TEST(Ap3dProcessorTest, ElevationOfLowClientIsNegative) {
+  Rig rig;
+  auto ap = rig.make_ap(0, {0, 0}, deg2rad(45.0));
+  // Off-axis client (local bearing ~34 deg): at endfire the elevation
+  // cosine projects directly into an azimuth bias of |el| (~10 deg),
+  // which is exactly the error the 3-D localizer corrects for.
+  const Vec2 client{2.0, 10.0};  // ~10 m away, 1.5 m below the AP
+  const auto frame = ap.capture_snapshot(client, 0.0, 0);
+  Ap3dProcessor proc(&ap);
+  const auto obs = proc.process(frame);
+
+  const double el_true = std::atan2(1.0 - 2.5, geom::distance(client, {0, 0}));
+  EXPECT_NEAR(rad2deg(obs.elevation.dominant_elevation()), rad2deg(el_true),
+              6.0);
+  // Azimuth still correct.
+  const double az_true = wrap_2pi(ap.array().bearing_to(client));
+  EXPECT_LT(rad2deg(aoa::bearing_distance(obs.azimuth.dominant_bearing(),
+                                          az_true)),
+            4.0);
+}
+
+TEST(Localizer3dTest, RecoversPositionAndHeight) {
+  Rig rig;
+  auto ap0 = rig.make_ap(0, {0, 0}, deg2rad(45.0));
+  auto ap1 = rig.make_ap(1, {20, 0}, deg2rad(135.0));
+  auto ap2 = rig.make_ap(2, {10, 14}, deg2rad(-90.0));
+
+  const Vec2 truth{8.0, 6.0};
+  const double truth_z = 1.0;  // the channel's client height
+
+  std::vector<Ap3dSpectrum> obs;
+  for (auto* ap : {&ap0, &ap1, &ap2}) {
+    const auto frame = ap->capture_snapshot(truth, 0.0, 0);
+    Ap3dProcessor proc(ap);
+    obs.push_back(proc.process(frame));
+  }
+
+  Localizer3d loc({{0, 0}, {20, 14}});
+  const auto fix = loc.locate(obs);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, truth), 0.5)
+      << fix->position.to_string();
+  EXPECT_NEAR(fix->height_m, truth_z, 0.6);
+}
+
+TEST(Localizer3dTest, DistinguishesFloorFromTableHeight) {
+  Rig rig;
+  auto run_at_height = [&](double h) {
+    rig.channel.config().client_height_m = h;
+    auto ap0 = rig.make_ap(0, {0, 0}, deg2rad(45.0));
+    auto ap1 = rig.make_ap(1, {20, 0}, deg2rad(135.0));
+    auto ap2 = rig.make_ap(2, {10, 14}, deg2rad(-90.0));
+    std::vector<Ap3dSpectrum> obs;
+    for (auto* ap : {&ap0, &ap1, &ap2}) {
+      Ap3dProcessor proc(ap);
+      obs.push_back(proc.process(ap->capture_snapshot({9.0, 5.0}, 0.0, 0)));
+    }
+    Localizer3d loc({{0, 0}, {20, 14}});
+    const auto fix = loc.locate(obs);
+    return fix ? fix->height_m : -1.0;
+  };
+  const double low = run_at_height(0.2);
+  const double high = run_at_height(1.6);
+  EXPECT_LT(low, high - 0.5);
+}
+
+TEST(Localizer3dTest, EmptyInputNullopt) {
+  Localizer3d loc({{0, 0}, {10, 10}});
+  EXPECT_FALSE(loc.locate({}).has_value());
+}
+
+}  // namespace
+}  // namespace arraytrack::core

@@ -1,0 +1,124 @@
+// Tests for MAC framing, CRC-32 and the Poisson traffic source.
+#include <gtest/gtest.h>
+
+#include "dsp/noise.h"
+#include "phy/mac.h"
+
+namespace arraytrack::phy {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  // Empty input -> 0.
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+}
+
+TEST(MacAddressTest, ClientMacDeterministicAndLocal) {
+  const auto a = client_mac(7);
+  const auto b = client_mac(7);
+  const auto c = client_mac(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a[0] & 0x02, 0x02);  // locally administered
+  EXPECT_EQ(a[0] & 0x01, 0x00);  // unicast
+  EXPECT_EQ(to_string(a).size(), 17u);
+}
+
+TEST(MacFrameTest, SerializeParseRoundTrip) {
+  MacFrame f;
+  f.addr1 = client_mac(1);
+  f.addr2 = client_mac(2);
+  f.addr3 = client_mac(3);
+  f.sequence = 1234;
+  f.duration = 44;
+  f.payload = {1, 2, 3, 4, 5, 0xff, 0x00};
+
+  const auto bytes = f.serialize();
+  EXPECT_EQ(bytes.size(), 24u + f.payload.size() + 4u);
+  const auto g = MacFrame::parse(bytes);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->addr2, f.addr2);
+  EXPECT_EQ(g->sequence, 1234);
+  EXPECT_EQ(g->duration, 44);
+  EXPECT_EQ(g->payload, f.payload);
+}
+
+TEST(MacFrameTest, CorruptionDetected) {
+  MacFrame f;
+  f.addr2 = client_mac(9);
+  f.payload = {10, 20, 30};
+  auto bytes = f.serialize();
+  bytes[12] ^= 0x40;  // flip a bit in addr2
+  EXPECT_FALSE(MacFrame::parse(bytes).has_value());
+  EXPECT_FALSE(MacFrame::parse({1, 2, 3}).has_value());  // too short
+}
+
+TEST(MacFrameTest, QpskRoundTripClean) {
+  MacFrame f;
+  f.addr2 = client_mac(4);
+  f.sequence = 99;
+  f.payload.assign(100, 0xa5);
+  const auto symbols = f.to_qpsk();
+  EXPECT_EQ(symbols.size(), f.serialize().size() * 4);
+  // Unit power QPSK.
+  EXPECT_NEAR(dsp::mean_power(symbols), 1.0, 1e-9);
+  const auto g = MacFrame::from_qpsk(symbols);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->sequence, 99);
+  EXPECT_EQ(g->addr2, f.addr2);
+}
+
+TEST(MacFrameTest, QpskSurvivesModerateNoise) {
+  MacFrame f;
+  f.addr2 = client_mac(5);
+  f.payload.assign(64, 0x3c);
+  auto symbols = f.to_qpsk();
+  dsp::AwgnSource noise(11);
+  noise.add_noise(symbols, 15.0);  // QPSK at 15 dB: essentially error-free
+  EXPECT_TRUE(MacFrame::from_qpsk(symbols).has_value());
+}
+
+TEST(MacFrameTest, QpskCrcCatchesHeavyNoise) {
+  MacFrame f;
+  f.payload.assign(64, 0x3c);
+  auto symbols = f.to_qpsk();
+  dsp::AwgnSource noise(12);
+  noise.add_noise(symbols, -5.0);  // hopeless SNR: bits flip
+  EXPECT_FALSE(MacFrame::from_qpsk(symbols).has_value());
+}
+
+TEST(TrafficSourceTest, RateAndOrdering) {
+  TrafficSource src(10, 5.0, 77);
+  const auto events = src.schedule(100.0);
+  // ~10 clients * 5 Hz * 100 s = 5000 events; Poisson fluctuation small.
+  EXPECT_NEAR(double(events.size()), 5000.0, 300.0);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].time_s, events[i].time_s);
+  // Every client appears; sequence numbers increase per client.
+  std::vector<int> last_seq(10, -1);
+  std::vector<int> count(10, 0);
+  for (const auto& e : events) {
+    ASSERT_GE(e.client_id, 0);
+    ASSERT_LT(e.client_id, 10);
+    EXPECT_GT(int(e.sequence), last_seq[std::size_t(e.client_id)]);
+    last_seq[std::size_t(e.client_id)] = int(e.sequence);
+    ++count[std::size_t(e.client_id)];
+  }
+  for (int c : count) EXPECT_GT(c, 300);
+}
+
+TEST(TrafficSourceTest, DeterministicPerSeed) {
+  TrafficSource a(3, 2.0, 5), b(3, 2.0, 5);
+  const auto ea = a.schedule(10.0);
+  const auto eb = b.schedule(10.0);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ea[i].time_s, eb[i].time_s);
+    EXPECT_EQ(ea[i].client_id, eb[i].client_id);
+  }
+}
+
+}  // namespace
+}  // namespace arraytrack::phy

@@ -1,0 +1,297 @@
+// Tests for covariance estimation, spatial smoothing and MUSIC.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aoa/covariance.h"
+#include "aoa/music.h"
+#include "array/geometry.h"
+#include "array/placed_array.h"
+
+namespace arraytrack::aoa {
+namespace {
+
+using array::ArrayGeometry;
+using array::PlacedArray;
+
+constexpr double kLambda = 0.1226;
+
+PlacedArray ula8() {
+  return PlacedArray(ArrayGeometry::uniform_linear(8, kLambda / 2), {0, 0},
+                     0.0);
+}
+
+std::vector<std::size_t> first_n(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// Snapshot matrix for D incoherent sources at the given bearings.
+linalg::CMatrix incoherent_snapshots(const PlacedArray& pa,
+                                     const std::vector<double>& bearings,
+                                     std::size_t n, double snr_db,
+                                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  std::normal_distribution<double> g(0.0, 1.0);
+  const double noise_sigma = std::pow(10.0, -snr_db / 20.0) / std::sqrt(2.0);
+
+  linalg::CMatrix x(pa.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (double b : bearings) {
+      const auto a = pa.steering(b, kLambda);
+      const cplx s = std::exp(kJ * uang(rng));  // independent per source
+      for (std::size_t m = 0; m < pa.size(); ++m) x(m, k) += a[m] * s;
+    }
+    for (std::size_t m = 0; m < pa.size(); ++m)
+      x(m, k) += cplx{noise_sigma * g(rng), noise_sigma * g(rng)};
+  }
+  return x;
+}
+
+// Coherent multipath: the same symbol arrives from several bearings
+// with fixed complex gains (rank-1 covariance before smoothing).
+linalg::CMatrix coherent_snapshots(const PlacedArray& pa,
+                                   const std::vector<double>& bearings,
+                                   const std::vector<cplx>& gains,
+                                   std::size_t n, double snr_db,
+                                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  std::normal_distribution<double> g(0.0, 1.0);
+  const double noise_sigma = std::pow(10.0, -snr_db / 20.0) / std::sqrt(2.0);
+
+  linalg::CMatrix x(pa.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx s = std::exp(kJ * uang(rng));  // one symbol, all paths
+    for (std::size_t d = 0; d < bearings.size(); ++d) {
+      const auto a = pa.steering(bearings[d], kLambda);
+      for (std::size_t m = 0; m < pa.size(); ++m)
+        x(m, k) += gains[d] * a[m] * s;
+    }
+    for (std::size_t m = 0; m < pa.size(); ++m)
+      x(m, k) += cplx{noise_sigma * g(rng), noise_sigma * g(rng)};
+  }
+  return x;
+}
+
+double strongest_bearing_deg(const AoaSpectrum& s) {
+  return rad2deg(s.dominant_bearing());
+}
+
+TEST(CovarianceTest, MatchesDirectFormula) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> g(0.0, 1.0);
+  linalg::CMatrix x(3, 5);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c) x(r, c) = cplx{g(rng), g(rng)};
+  const auto r = sample_covariance(x);
+  EXPECT_TRUE(r.is_hermitian(1e-12));
+  cplx direct{0, 0};
+  for (std::size_t k = 0; k < 5; ++k)
+    direct += x(1, k) * std::conj(x(2, k));
+  EXPECT_NEAR(std::abs(r(1, 2) - direct / 5.0), 0.0, 1e-12);
+}
+
+TEST(CovarianceTest, ZeroSnapshotsThrows) {
+  EXPECT_THROW(sample_covariance(linalg::CMatrix(3, 0)),
+               std::invalid_argument);
+}
+
+TEST(SmoothingTest, GroupOneIsIdentity) {
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> g(0.0, 1.0);
+  linalg::CMatrix x(4, 10);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 10; ++c) x(r, c) = cplx{g(rng), g(rng)};
+  const auto r = sample_covariance(x);
+  EXPECT_LT(spatial_smooth(r, 1).max_abs_diff(r), 1e-15);
+}
+
+TEST(SmoothingTest, ShrinksDimensionAndStaysHermitian) {
+  const auto pa = ula8();
+  const auto x = incoherent_snapshots(pa, {deg2rad(70)}, 20, 20, 5);
+  const auto r = sample_covariance(x);
+  for (std::size_t ng : {2u, 3u, 4u}) {
+    const auto rs = spatial_smooth(r, ng);
+    EXPECT_EQ(rs.rows(), 8 - ng + 1);
+    EXPECT_TRUE(rs.is_hermitian(1e-9));
+  }
+  EXPECT_THROW(spatial_smooth(r, 0), std::invalid_argument);
+  EXPECT_THROW(spatial_smooth(r, 9), std::invalid_argument);
+}
+
+TEST(SmoothingTest, RestoresRankOfCoherentSources) {
+  // Two coherent arrivals: unsmoothed covariance is rank ~1 (plus
+  // noise); smoothing lifts the second signal eigenvalue.
+  const auto pa = ula8();
+  const auto x = coherent_snapshots(
+      pa, {deg2rad(60), deg2rad(120)}, {cplx{1, 0}, cplx{0.9, 0.3}}, 100,
+      40.0, 6);
+  const auto r = sample_covariance(x);
+  const auto eig_raw = linalg::eig_hermitian(r).eigenvalues;
+  const auto rs = spatial_smooth(r, 3);
+  const auto eig_s = linalg::eig_hermitian(rs).eigenvalues;
+  const double raw_ratio = eig_raw[eig_raw.size() - 2] / eig_raw.back();
+  const double smooth_ratio = eig_s[eig_s.size() - 2] / eig_s.back();
+  EXPECT_LT(raw_ratio, 0.02);      // rank collapse without smoothing
+  EXPECT_GT(smooth_ratio, 0.05);   // second eigenvalue restored
+}
+
+TEST(ForwardBackwardTest, PreservesHermitianAndDiagonal) {
+  const auto pa = ula8();
+  const auto x = incoherent_snapshots(pa, {deg2rad(70)}, 50, 20, 7);
+  const auto r = sample_covariance(x);
+  const auto fb = forward_backward(r);
+  EXPECT_TRUE(fb.is_hermitian(1e-9));
+  EXPECT_NEAR(fb.trace().real(), r.trace().real(), 1e-9);
+}
+
+TEST(MusicTest, RejectsBadConstruction) {
+  const auto pa = ula8();
+  EXPECT_THROW(MusicEstimator(&pa, {0}, kLambda), std::invalid_argument);
+  MusicOptions opt;
+  opt.smoothing_groups = 8;
+  EXPECT_THROW(MusicEstimator(&pa, first_n(8), kLambda, opt),
+               std::invalid_argument);
+}
+
+TEST(MusicTest, SingleSourceFreeSpace) {
+  const auto pa = ula8();
+  MusicEstimator music(&pa, first_n(8), kLambda);
+  const auto x = incoherent_snapshots(pa, {deg2rad(75)}, 10, 25, 11);
+  const auto spec = music.spectrum(x);
+  EXPECT_NEAR(strongest_bearing_deg(spec), 75.0, 1.5);
+}
+
+TEST(MusicTest, SpectrumIsMirrored) {
+  const auto pa = ula8();
+  MusicEstimator music(&pa, first_n(8), kLambda);
+  const auto x = incoherent_snapshots(pa, {deg2rad(75)}, 10, 25, 12);
+  const auto spec = music.spectrum(x);
+  for (std::size_t i = 0; i < spec.bins(); ++i) {
+    const std::size_t mirror = (spec.bins() - i) % spec.bins();
+    EXPECT_NEAR(spec[i], spec[mirror], 1e-9 * (1.0 + spec[i]));
+  }
+}
+
+// Parameterized property sweep: MUSIC must recover a single source
+// within 2 degrees across the usable bearing range.
+class MusicBearingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MusicBearingSweep, RecoversBearing) {
+  const double bearing_deg = GetParam();
+  const auto pa = ula8();
+  MusicEstimator music(&pa, first_n(8), kLambda);
+  const auto x =
+      incoherent_snapshots(pa, {deg2rad(bearing_deg)}, 10, 25,
+                           std::uint64_t(bearing_deg * 10));
+  const auto spec = music.spectrum(x);
+  EXPECT_NEAR(strongest_bearing_deg(spec), bearing_deg, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bearings, MusicBearingSweep,
+                         ::testing::Values(20.0, 35.0, 50.0, 65.0, 80.0,
+                                           90.0, 105.0, 120.0, 135.0, 150.0,
+                                           160.0));
+
+TEST(MusicTest, TwoIncoherentSourcesResolved) {
+  const auto pa = ula8();
+  MusicOptions opt;
+  opt.smoothing_groups = 2;
+  MusicEstimator music(&pa, first_n(8), kLambda, opt);
+  const auto x = incoherent_snapshots(pa, {deg2rad(60), deg2rad(110)}, 50,
+                                      25, 13);
+  const auto spec = music.spectrum(x);
+  const auto peaks = spec.find_peaks(0.05);
+  bool found60 = false, found110 = false;
+  for (const auto& p : peaks) {
+    const double deg = rad2deg(p.bearing_rad);
+    if (std::abs(deg - 60.0) < 2.5) found60 = true;
+    if (std::abs(deg - 110.0) < 2.5) found110 = true;
+  }
+  EXPECT_TRUE(found60);
+  EXPECT_TRUE(found110);
+}
+
+TEST(MusicTest, CoherentSourcesNeedSmoothing) {
+  // Without smoothing, coherent multipath distorts the spectrum (false
+  // or displaced peaks); with NG=3, both true bearings are recovered.
+  const auto pa = ula8();
+  const auto x = coherent_snapshots(
+      pa, {deg2rad(55), deg2rad(125)}, {cplx{1, 0}, cplx{0.8, -0.4}}, 50,
+      30.0, 14);
+
+  MusicOptions with;
+  with.smoothing_groups = 3;
+  MusicEstimator music_smooth(&pa, first_n(8), kLambda, with);
+  const auto spec = music_smooth.spectrum(x);
+  const auto peaks = spec.find_peaks(0.05);
+  bool found55 = false, found125 = false;
+  for (const auto& p : peaks) {
+    const double deg = rad2deg(p.bearing_rad);
+    if (std::abs(deg - 55.0) < 3.0) found55 = true;
+    if (std::abs(deg - 125.0) < 3.0) found125 = true;
+  }
+  EXPECT_TRUE(found55);
+  EXPECT_TRUE(found125);
+}
+
+TEST(MusicTest, SignalCountEstimation) {
+  const auto pa = ula8();
+  MusicEstimator music(&pa, first_n(8), kLambda);
+  // Clearly separated eigenvalues: 3 signals above 12% of max.
+  EXPECT_EQ(music.estimate_num_signals({0.01, 0.01, 0.02, 0.02, 0.02, 0.5,
+                                        0.8, 1.0}),
+            3u);
+  // All below threshold except the largest -> 1.
+  EXPECT_EQ(music.estimate_num_signals({0.001, 0.001, 0.001, 0.001, 0.001,
+                                        0.001, 0.001, 1.0}),
+            1u);
+  // Never consumes every eigenvector.
+  EXPECT_EQ(music.estimate_num_signals({1.0, 1.0, 1.0}), 2u);
+}
+
+TEST(MusicTest, FixedSignalCountOverride) {
+  const auto pa = ula8();
+  MusicOptions opt;
+  opt.fixed_num_signals = 2;
+  MusicEstimator music(&pa, first_n(8), kLambda, opt);
+  EXPECT_EQ(music.estimate_num_signals({0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1,
+                                        1.0}),
+            2u);
+}
+
+TEST(MusicTest, MoreSnapshotsSharpenSpectrum) {
+  // Paper Fig. 19: N=1 is unstable, N>=5 stabilizes. Check the peak
+  // bearing variance shrinks with N.
+  const auto pa = ula8();
+  MusicEstimator music(&pa, first_n(8), kLambda);
+  auto spread = [&](std::size_t n) {
+    std::vector<double> bearings;
+    for (int t = 0; t < 20; ++t) {
+      const auto x = incoherent_snapshots(pa, {deg2rad(70)}, n, 8.0,
+                                          std::uint64_t(1000 + t));
+      bearings.push_back(strongest_bearing_deg(music.spectrum(x)));
+    }
+    double mean = 0, var = 0;
+    for (double b : bearings) mean += b;
+    mean /= double(bearings.size());
+    for (double b : bearings) var += (b - mean) * (b - mean);
+    return var / double(bearings.size());
+  };
+  EXPECT_LT(spread(10), spread(1) + 1e-12);
+}
+
+TEST(MusicTest, SubarraySizeAccessors) {
+  const auto pa = ula8();
+  MusicOptions opt;
+  opt.smoothing_groups = 2;
+  MusicEstimator music(&pa, first_n(8), kLambda, opt);
+  EXPECT_EQ(music.array_size(), 8u);
+  EXPECT_EQ(music.subarray_size(), 7u);
+}
+
+}  // namespace
+}  // namespace arraytrack::aoa

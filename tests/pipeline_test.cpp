@@ -1,0 +1,202 @@
+// Tests for the per-AP spectrum pipeline (ApProcessor), channel
+// consistency between the snapshot and waveform paths, CFO through the
+// front end, and wire-format transport of live captures.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dsp/preamble.h"
+#include "phy/wire.h"
+
+namespace arraytrack::core {
+namespace {
+
+using geom::Vec2;
+
+struct Rig {
+  Rig() : plan({{-40, -40}, {40, 40}}), channel(&plan, make_cfg(), 3) {
+    plan.add_wall({-30, -12}, {30, -12}, geom::Material::kDrywall);
+  }
+  static channel::ChannelConfig make_cfg() {
+    channel::ChannelConfig cfg;
+    cfg.tx_power_dbm = 10.0;
+    return cfg;
+  }
+  phy::AccessPointFrontEnd make_ap(std::size_t radios = 8) {
+    const double s = channel.config().wavelength_m() / 2.0;
+    array::PlacedArray placed(
+        array::ArrayGeometry::rectangular(radios, s, s / 2.0), {0, 0}, 0.0);
+    phy::ApConfig cfg;
+    cfg.radios = radios;
+    phy::AccessPointFrontEnd ap(0, placed, &channel, cfg);
+    ap.run_calibration();
+    return ap;
+  }
+  geom::Floorplan plan;
+  channel::MultipathChannel channel;
+};
+
+TEST(ApProcessorTest, ClampsSmoothingForSmallArrays) {
+  Rig rig;
+  auto ap4 = rig.make_ap(4);
+  PipelineOptions opt;
+  opt.music.smoothing_groups = 4;  // would leave a 1-element subarray
+  ApProcessor proc(&ap4, opt);
+  EXPECT_EQ(proc.options().music.smoothing_groups, 2u);  // clamped to M/2
+  // And it still produces a sane spectrum.
+  const auto frame = ap4.capture_snapshot({8, 6}, 0.0, 0);
+  const auto spec = proc.process(frame);
+  EXPECT_GT(spec.max_value(), 0.0);
+}
+
+TEST(ApProcessorTest, RowLargerThanRadiosRejected) {
+  Rig rig;
+  auto ap = rig.make_ap(8);
+  PipelineOptions opt;
+  opt.linear_elements = 12;
+  EXPECT_THROW(ApProcessor(&ap, opt), std::invalid_argument);
+}
+
+TEST(ApProcessorTest, ProcessTaggedCarriesPose) {
+  Rig rig;
+  auto ap = rig.make_ap();
+  ApProcessor proc(&ap);
+  const auto frame = ap.capture_snapshot({5, 9}, 0.0, 0);
+  const auto tagged = proc.process_tagged(frame);
+  EXPECT_EQ(tagged.ap_position, ap.array().position());
+  EXPECT_DOUBLE_EQ(tagged.orientation_rad, ap.array().orientation());
+  EXPECT_NEAR(tagged.spectrum.max_value(), 1.0, 1e-9);
+}
+
+TEST(ApProcessorTest, ToggleEffects) {
+  Rig rig;
+  auto ap = rig.make_ap();
+  const Vec2 client{7.0, 10.0};
+  const auto frame = ap.capture_snapshot(client, 0.0, 0);
+
+  PipelineOptions raw;
+  raw.geometry_weighting = false;
+  raw.symmetry_removal = false;
+  raw.bearing_sigma_deg = 0.0;
+  const auto spec_raw = ApProcessor(&ap, raw).process(frame);
+
+  // Raw spectrum is mirrored.
+  const double truth = wrap_2pi(ap.array().bearing_to(client));
+  EXPECT_NEAR(spec_raw.value_at(truth), spec_raw.value_at(wrap_2pi(-truth)),
+              0.05 * (1.0 + spec_raw.value_at(truth)));
+
+  PipelineOptions sym = raw;
+  sym.symmetry_removal = true;
+  const auto spec_sym = ApProcessor(&ap, sym).process(frame);
+  EXPECT_GT(spec_sym.value_at(truth), 5.0 * spec_sym.value_at(wrap_2pi(-truth)));
+}
+
+TEST(FrontEndCfoTest, DetectionAndBearingSurviveOffset) {
+  // +-20 ppm at 2.437 GHz is ~49 kHz; AoA must be unaffected and the
+  // detector must still find the frame.
+  Rig rig;
+  auto ap = rig.make_ap();
+  const Vec2 client{10.0, 8.0};
+  dsp::PreambleGenerator gen(2);
+  const auto wf = gen.frame(1000, 4);
+
+  phy::Transmission tx;
+  tx.waveform = &wf;
+  tx.client_pos = client;
+  tx.start_sample = 400;
+  tx.client_id = 1;
+  tx.cfo_hz = 48.7e3;
+
+  const auto captures = ap.receive({tx}, 0.0);
+  ASSERT_EQ(captures.size(), 1u);
+
+  ApProcessor proc(&ap);
+  const auto spec = proc.process(captures[0]);
+  const double truth = wrap_2pi(ap.array().bearing_to(client));
+  EXPECT_LT(rad2deg(aoa::bearing_distance(spec.dominant_bearing(), truth)),
+            5.0);
+}
+
+TEST(FrontEndCfoTest, ZeroAndNonzeroCfoGiveSameBearing) {
+  Rig rig;
+  auto ap = rig.make_ap();
+  const Vec2 client{-6.0, 11.0};
+  dsp::PreambleGenerator gen(2);
+  const auto wf = gen.frame(600, 5);
+  ApProcessor proc(&ap);
+
+  auto bearing_with_cfo = [&](double cfo) {
+    phy::Transmission tx;
+    tx.waveform = &wf;
+    tx.client_pos = client;
+    tx.start_sample = 300;
+    tx.client_id = 1;
+    tx.cfo_hz = cfo;
+    const auto captures = ap.receive({tx}, 0.0);
+    EXPECT_EQ(captures.size(), 1u);
+    return proc.process(captures[0]).dominant_bearing();
+  };
+  const double b0 = bearing_with_cfo(0.0);
+  const double b1 = bearing_with_cfo(30e3);
+  // Not bit-identical (noise draws differ) but the bearing must agree.
+  EXPECT_LT(rad2deg(aoa::bearing_distance(b0, b1)), 2.0);
+}
+
+TEST(WireTransportTest, LocalizationSurvivesTransport) {
+  // Encode a live capture, ship it, decode, process: the spectrum must
+  // match the locally processed one (16-bit transport).
+  Rig rig;
+  auto ap = rig.make_ap();
+  const Vec2 client{12.0, -5.0};
+  const auto frame = ap.capture_snapshot(client, 1.0, 2);
+
+  phy::WireFormat wire;
+  const auto decoded = wire.decode(wire.encode(frame));
+  ASSERT_TRUE(decoded.has_value());
+
+  ApProcessor proc(&ap);
+  const auto local = proc.process(frame);
+  const auto remote = proc.process(*decoded);
+  for (std::size_t i = 0; i < local.bins(); ++i)
+    EXPECT_NEAR(local[i], remote[i], 0.02 * (1.0 + local[i]));
+}
+
+TEST(ChannelConsistencyTest, SnapshotAndWaveformPathsAgree) {
+  // The fast snapshot path and the full waveform path must yield the
+  // same dominant bearing for the same client.
+  Rig rig;
+  auto ap = rig.make_ap();
+  const Vec2 client{9.0, 7.0};
+  ApProcessor proc(&ap);
+
+  const auto snap = proc.process(ap.capture_snapshot(client, 0.0, 0));
+
+  dsp::PreambleGenerator gen(2);
+  const auto wf = gen.frame(500, 6);
+  phy::Transmission tx;
+  tx.waveform = &wf;
+  tx.client_pos = client;
+  tx.start_sample = 250;
+  tx.client_id = 0;
+  const auto captures = ap.receive({tx}, 0.0);
+  ASSERT_EQ(captures.size(), 1u);
+  const auto wave = proc.process(captures[0]);
+
+  EXPECT_LT(rad2deg(aoa::bearing_distance(snap.dominant_bearing(),
+                                          wave.dominant_bearing())),
+            4.0);
+}
+
+TEST(ChannelHeightsTest, PerAntennaHeightsChangeResponse) {
+  Rig rig;
+  const Vec2 tx{10, 0};
+  const std::vector<Vec2> ants = {{0, 0}, {0.06, 0}};
+  const auto flat = rig.channel.response(tx, {0, 0}, ants);
+  const std::vector<double> heights = {1.5, 2.5};
+  const auto tilted = rig.channel.response(tx, {0, 0}, ants, heights);
+  // Same first antenna (1.5 m = config height), different second.
+  EXPECT_NEAR(std::abs(flat.gains[0] - tilted.gains[0]), 0.0, 1e-12);
+  EXPECT_GT(std::abs(flat.gains[1] - tilted.gains[1]), 1e-9);
+}
+
+}  // namespace
+}  // namespace arraytrack::core

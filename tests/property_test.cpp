@@ -1,0 +1,196 @@
+// Cross-module property tests: invariants that must hold for whole
+// families of inputs rather than single examples.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aoa/music.h"
+#include "channel/channel.h"
+#include "core/synthesis.h"
+#include "dsp/detector.h"
+#include "dsp/noise.h"
+#include "dsp/preamble.h"
+#include "geom/paths.h"
+
+namespace arraytrack {
+namespace {
+
+using geom::Vec2;
+
+// ---------------------------------------------------------------------
+// Fermat's principle: the specular reflection point minimizes the total
+// tx -> wall -> rx path length over all points on the wall.
+class FermatSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FermatSweep, ReflectionPointMinimizesLength) {
+  std::mt19937_64 rng{std::uint64_t(GetParam())};
+  std::uniform_real_distribution<double> u(-8.0, 8.0);
+  geom::Floorplan plan({{-50, -50}, {50, 50}});
+  // Random wall well away from tx/rx.
+  const Vec2 a{u(rng) - 20.0, u(rng) - 20.0};
+  const Vec2 b = a + Vec2{12.0 + u(rng), u(rng)};
+  plan.add_wall(a, b, geom::Material::kMetal);
+  const Vec2 tx{u(rng), u(rng) + 5.0};
+  const Vec2 rx{u(rng) + 6.0, u(rng) + 7.0};
+
+  geom::PathFinderOptions opt;
+  opt.max_order = 1;
+  const auto paths = geom::find_paths(plan, tx, rx, opt);
+  for (const auto& p : paths) {
+    if (p.order() != 1) continue;
+    // Sample alternative bounce points along the wall.
+    for (double t = 0.02; t < 1.0; t += 0.07) {
+      const Vec2 q = a + (b - a) * t;
+      const double alt = geom::distance(tx, q) + geom::distance(q, rx);
+      EXPECT_GE(alt + 1e-9, p.length_m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FermatSweep, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------
+// Channel self-consistency: response() must equal the sum over
+// components() of exact spherical waves from each virtual source.
+class ChannelConsistencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelConsistencySweep, ResponseMatchesComponents) {
+  std::mt19937_64 rng{std::uint64_t(100 + GetParam())};
+  std::uniform_real_distribution<double> u(2.0, 18.0);
+  geom::Floorplan plan({{0, 0}, {20, 20}});
+  plan.add_wall({0, 0}, {20, 0}, geom::Material::kBrick);
+  plan.add_wall({0, 20}, {20, 20}, geom::Material::kGlass);
+
+  channel::ChannelConfig cfg;
+  channel::MultipathChannel chan(&plan, cfg, 5);
+  const Vec2 tx{u(rng), u(rng)};
+  const Vec2 rx{u(rng), u(rng)};
+  const std::vector<Vec2> ants = {rx, rx + Vec2{0.06, 0.0},
+                                  rx + Vec2{0.0, 0.06}};
+
+  const auto resp = chan.response(tx, rx, ants);
+  const auto comps = chan.components(tx, rx);
+  const double lambda = cfg.wavelength_m();
+  for (std::size_t m = 0; m < ants.size(); ++m) {
+    cplx expect{0, 0};
+    for (const auto& pc : comps) {
+      const double d = geom::distance(pc.virtual_source, ants[m]);
+      expect += pc.amplitude_at(d, cfg) *
+                std::exp(kJ * (-kTwoPi * d / lambda + pc.phase_jitter_rad));
+    }
+    EXPECT_NEAR(std::abs(resp.gains[m] - expect), 0.0,
+                1e-9 * (1.0 + std::abs(expect)))
+        << "antenna " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelConsistencySweep,
+                         ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------
+// MUSIC accuracy is monotone-ish in SNR: very high SNR must never be
+// worse than very low SNR for the same geometry.
+class MusicSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MusicSnrSweep, BearingErrorShrinksWithSnr) {
+  const double bearing = deg2rad(GetParam());
+  const double lambda = 0.1226;
+  array::PlacedArray pa(array::ArrayGeometry::uniform_linear(8, lambda / 2),
+                        {0, 0}, 0.0);
+  std::vector<std::size_t> row = {0, 1, 2, 3, 4, 5, 6, 7};
+  aoa::MusicEstimator music(&pa, row, lambda);
+
+  auto mean_err = [&](double snr_db) {
+    double acc = 0.0;
+    const int reps = 8;
+    for (int r = 0; r < reps; ++r) {
+      std::mt19937_64 rng(std::uint64_t(GetParam() * 100 + r +
+                                        std::uint64_t(snr_db * 7)));
+      std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+      std::normal_distribution<double> g(0.0, 1.0);
+      const double sigma = std::pow(10.0, -snr_db / 20.0) / std::sqrt(2.0);
+      const auto a = pa.steering(bearing, lambda);
+      linalg::CMatrix x(8, 10);
+      for (std::size_t k = 0; k < 10; ++k) {
+        const cplx s = std::exp(kJ * uang(rng));
+        for (std::size_t m = 0; m < 8; ++m)
+          x(m, k) = a[m] * s + cplx{sigma * g(rng), sigma * g(rng)};
+      }
+      acc += rad2deg(
+          aoa::bearing_distance(music.spectrum(x).dominant_bearing(), bearing));
+    }
+    return acc / reps;
+  };
+  EXPECT_LE(mean_err(30.0), mean_err(-3.0) + 0.5) << GetParam();
+  EXPECT_LT(mean_err(30.0), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bearings, MusicSnrSweep,
+                         ::testing::Values(35.0, 60.0, 90.0, 120.0, 150.0));
+
+// ---------------------------------------------------------------------
+// Detector ROC: detection probability is non-decreasing in SNR at a
+// fixed threshold (sampled coarsely).
+TEST(DetectorProperty, RocMonotoneInSnr) {
+  dsp::PreambleGenerator gen(2);
+  dsp::MatchedFilterDetector det(gen.short_section(), 0.22);
+  auto rate = [&](double snr_db) {
+    int hits = 0;
+    const int trials = 12;
+    for (int t = 0; t < trials; ++t) {
+      dsp::AwgnSource noise(std::uint64_t(snr_db * 13 + t) + 7777);
+      auto s = noise.generate(2500, dsp::db_to_linear(-snr_db));
+      for (std::size_t i = 0; i < gen.preamble().size(); ++i)
+        s[600 + i] += gen.preamble()[i];
+      const auto d = det.detect(s);
+      if (d && std::llabs(std::int64_t(d->start_index) - 600) <= 3) ++hits;
+    }
+    return double(hits) / trials;
+  };
+  const double lo = rate(-14.0);
+  const double mid = rate(-8.0);
+  const double hi = rate(5.0);
+  EXPECT_LE(lo, mid + 0.25);
+  EXPECT_LE(mid, hi + 1e-9);
+  EXPECT_GE(hi, 0.95);
+}
+
+// ---------------------------------------------------------------------
+// Synthesis: the likelihood at the true position dominates random
+// distant positions when every AP's spectrum points at the truth.
+class SynthesisDominanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisDominanceSweep, TruthDominatesRandomPoints) {
+  std::mt19937_64 rng{std::uint64_t(500 + GetParam())};
+  std::uniform_real_distribution<double> u(1.0, 19.0);
+  const Vec2 truth{u(rng), u(rng) * 0.6};
+
+  auto make_ap = [&](Vec2 pos) {
+    core::ApSpectrum ap;
+    ap.ap_position = pos;
+    ap.orientation_rad = 0.0;
+    aoa::AoaSpectrum s(720);
+    const double b = wrap_2pi((truth - pos).angle());
+    for (std::size_t i = 0; i < s.bins(); ++i) {
+      const double d = aoa::bearing_distance(s.bin_bearing(i), b);
+      s[i] = std::exp(-0.5 * std::pow(d / deg2rad(4.0), 2.0));
+    }
+    ap.spectrum = s;
+    return ap;
+  };
+  std::vector<core::ApSpectrum> aps = {make_ap({0, -2}), make_ap({20, -2}),
+                                       make_ap({10, 14})};
+  core::Localizer loc({{0, 0}, {20, 12}});
+  const double at_truth = loc.likelihood(aps, truth);
+  for (int i = 0; i < 25; ++i) {
+    const Vec2 q{u(rng), u(rng) * 0.6};
+    if (geom::distance(q, truth) < 1.5) continue;
+    EXPECT_GT(at_truth, loc.likelihood(aps, q)) << q.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisDominanceSweep,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace arraytrack

@@ -1,0 +1,115 @@
+// Tests for the PPM image renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/synthesis.h"
+#include "testbed/render.h"
+#include "testbed/scenario.h"
+
+namespace arraytrack::testbed {
+namespace {
+
+TEST(ImageTest, PpmHeaderAndSize) {
+  Image img(4, 3, {1, 2, 3});
+  const auto bytes = img.to_ppm();
+  const std::string header(bytes.begin(), bytes.begin() + 11);
+  EXPECT_EQ(header, "P6\n4 3\n255\n");
+  EXPECT_EQ(bytes.size(), 11u + 4u * 3u * 3u);
+  EXPECT_EQ(bytes[11], 1);
+  EXPECT_EQ(bytes[12], 2);
+  EXPECT_EQ(bytes[13], 3);
+}
+
+TEST(ImageTest, SetClipsOutOfRange) {
+  Image img(4, 4);
+  img.set(-1, 0, {255, 0, 0});
+  img.set(0, 10, {255, 0, 0});
+  img.set(2, 2, {255, 0, 0});
+  EXPECT_EQ(img.at(2, 2).r, 255);
+  int red = 0;
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x)
+      if (img.at(x, y).r == 255) ++red;
+  EXPECT_EQ(red, 1);
+}
+
+TEST(ImageTest, LineDrawsEndpoints) {
+  Image img(10, 10);
+  img.line(1, 1, 8, 6, {0, 255, 0});
+  EXPECT_EQ(img.at(1, 1).g, 255);
+  EXPECT_EQ(img.at(8, 6).g, 255);
+}
+
+TEST(ImageTest, DiscFills) {
+  Image img(11, 11);
+  img.disc(5, 5, 2, {0, 0, 255});
+  EXPECT_EQ(img.at(5, 5).b, 255);
+  EXPECT_EQ(img.at(5, 3).b, 255);
+  EXPECT_EQ(img.at(5, 2).b, 0);
+}
+
+TEST(HeatColorTest, OrderedAndClamped) {
+  const auto low = heat_color(0.0);
+  const auto high = heat_color(1.0);
+  EXPECT_GT(int(high.r), int(low.r));  // red end is hot
+  EXPECT_GT(int(low.b), int(high.b));  // blue end is cold
+  // Out-of-range inputs clamp instead of misbehaving.
+  const auto under = heat_color(-5.0);
+  EXPECT_EQ(under.r, low.r);
+  const auto over = heat_color(7.0);
+  EXPECT_EQ(over.r, high.r);
+}
+
+TEST(RenderTest, HeatmapImageShape) {
+  core::Heatmap map;
+  map.bounds = {{0, 0}, {8, 4}};
+  map.nx = 16;
+  map.ny = 8;
+  map.cells.assign(map.nx * map.ny, 0.1);
+  map.cells[3 * map.nx + 10] = 1.0;  // one hot cell
+
+  geom::Floorplan plan(map.bounds);
+  plan.add_wall({0, 0}, {8, 0}, geom::Material::kBrick);
+  plan.add_pillar({{4, 2}, 0.3, 9.0});
+
+  RenderOptions opt;
+  opt.pixels_per_meter = 8;
+  // No truth marker here: its disc would paint over the hot cell this
+  // test hunts for.
+  const auto img =
+      render_heatmap(map, plan, {{{1, 1}, 0.0}}, nullptr, nullptr, opt);
+  EXPECT_EQ(img.width(), 64u);
+  EXPECT_EQ(img.height(), 32u);
+
+  // The hot cell region must be redder than a cold corner.
+  // Cell (10, 3) center = (5.25, 1.75) -> pixel (42, 31 - 14 = 17)... find
+  // by value instead: hottest pixel must be near that location.
+  std::size_t best_x = 0, best_y = 0;
+  int best_r = -1;
+  for (std::size_t y = 0; y < img.height(); ++y)
+    for (std::size_t x = 0; x < img.width(); ++x)
+      if (int(img.at(x, y).r) - int(img.at(x, y).b) > best_r) {
+        best_r = int(img.at(x, y).r) - int(img.at(x, y).b);
+        best_x = x;
+        best_y = y;
+      }
+  // Expected pixel: x = 5.25 * 8 = 42, y = 31 - 1.75 * 8 = 17.
+  EXPECT_NEAR(double(best_x), 42.0, 6.0);
+  EXPECT_NEAR(double(best_y), 17.0, 6.0);
+}
+
+TEST(RenderTest, WritePpmToDisk) {
+  Image img(8, 8, {10, 20, 30});
+  const std::string path = "/tmp/arraytrack_render_test.ppm";
+  ASSERT_TRUE(img.write_ppm(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(bool(in));
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_FALSE(img.write_ppm("/nonexistent/dir/x.ppm"));
+}
+
+}  // namespace
+}  // namespace arraytrack::testbed

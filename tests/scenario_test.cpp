@@ -1,0 +1,140 @@
+// Tests for scenario file parsing, serialization and system assembly.
+#include <gtest/gtest.h>
+
+#include "testbed/scenario.h"
+
+namespace arraytrack::testbed {
+namespace {
+
+const char* kMinimal = R"(
+# a tiny scenario
+bounds 0 0 10 8
+wall 0 0 10 0 brick
+wall 5 0 5 4 drywall   # partition
+pillar 5 6 0.3 7.5
+ap 1 1 45
+ap 9 1 135
+client 6 5
+tx_power 10
+heights 2.5 1.0
+seed 99
+)";
+
+TEST(ScenarioParseTest, MinimalParses) {
+  ScenarioParseError err;
+  const auto sc = parse_scenario(kMinimal, &err);
+  ASSERT_TRUE(sc.has_value()) << err.message;
+  EXPECT_DOUBLE_EQ(sc->plan.bounds().max.x, 10.0);
+  ASSERT_EQ(sc->plan.walls().size(), 2u);
+  EXPECT_EQ(sc->plan.walls()[1].material, geom::Material::kDrywall);
+  ASSERT_EQ(sc->plan.pillars().size(), 1u);
+  EXPECT_DOUBLE_EQ(sc->plan.pillars()[0].loss_db, 7.5);
+  ASSERT_EQ(sc->ap_sites.size(), 2u);
+  EXPECT_NEAR(sc->ap_sites[0].orientation_rad, deg2rad(45.0), 1e-12);
+  ASSERT_EQ(sc->clients.size(), 1u);
+  EXPECT_DOUBLE_EQ(sc->system.channel.tx_power_dbm, 10.0);
+  EXPECT_DOUBLE_EQ(sc->system.channel.ap_height_m, 2.5);
+  EXPECT_DOUBLE_EQ(sc->system.channel.client_height_m, 1.0);
+  EXPECT_EQ(sc->system.seed, 99u);
+}
+
+TEST(ScenarioParseTest, ErrorsCarryLineNumbers) {
+  ScenarioParseError err;
+  EXPECT_FALSE(parse_scenario("bounds 0 0 10\n", &err).has_value());
+  EXPECT_EQ(err.line, 1u);
+  EXPECT_FALSE(
+      parse_scenario("bounds 0 0 10 10\nap 1 1 0\nwall 1 2 3 4 vibranium\n",
+                     &err)
+          .has_value());
+  EXPECT_EQ(err.line, 3u);
+  EXPECT_NE(err.message.find("vibranium"), std::string::npos);
+  EXPECT_FALSE(
+      parse_scenario("bounds 0 0 5 5\nap 1 1 0\nwarp 1 2\n", &err).has_value());
+  EXPECT_EQ(err.line, 3u);
+}
+
+TEST(ScenarioParseTest, RequiresBoundsAndAps) {
+  ScenarioParseError err;
+  EXPECT_FALSE(parse_scenario("ap 1 1 0\n", &err).has_value());
+  EXPECT_NE(err.message.find("bounds"), std::string::npos);
+  EXPECT_FALSE(parse_scenario("bounds 0 0 5 5\n", &err).has_value());
+  EXPECT_NE(err.message.find("ap"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, InvertedBoundsRejected) {
+  ScenarioParseError err;
+  EXPECT_FALSE(parse_scenario("bounds 5 5 0 0\nap 1 1 0\n", &err).has_value());
+}
+
+TEST(ScenarioSerializeTest, RoundTrip) {
+  const auto sc1 = parse_scenario(kMinimal);
+  ASSERT_TRUE(sc1.has_value());
+  const auto text = serialize_scenario(*sc1);
+  const auto sc2 = parse_scenario(text);
+  ASSERT_TRUE(sc2.has_value());
+  EXPECT_EQ(sc1->plan.walls().size(), sc2->plan.walls().size());
+  EXPECT_EQ(sc1->ap_sites.size(), sc2->ap_sites.size());
+  EXPECT_EQ(sc1->clients.size(), sc2->clients.size());
+  EXPECT_DOUBLE_EQ(sc1->system.channel.tx_power_dbm,
+                   sc2->system.channel.tx_power_dbm);
+  for (std::size_t i = 0; i < sc1->plan.walls().size(); ++i) {
+    EXPECT_EQ(sc1->plan.walls()[i].material, sc2->plan.walls()[i].material);
+    EXPECT_NEAR(geom::distance(sc1->plan.walls()[i].a,
+                               sc2->plan.walls()[i].a),
+                0.0, 1e-9);
+  }
+}
+
+TEST(ScenarioTest, OfficeScenarioMatchesTestbed) {
+  const auto sc = office_scenario();
+  const auto tb = OfficeTestbed::standard();
+  EXPECT_EQ(sc.ap_sites.size(), tb.ap_sites.size());
+  EXPECT_EQ(sc.clients.size(), tb.clients.size());
+  EXPECT_EQ(sc.plan.walls().size(), tb.plan.walls().size());
+  // And it serializes/parses losslessly.
+  const auto rt = parse_scenario(serialize_scenario(sc));
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(rt->clients.size(), sc.clients.size());
+}
+
+TEST(ScenarioTest, MakeSystemLocalizes) {
+  const auto sc = parse_scenario(kMinimal);
+  ASSERT_TRUE(sc.has_value());
+  auto sys = sc->make_system();
+  EXPECT_EQ(sys.num_aps(), 2u);
+  const geom::Vec2 truth = sc->clients[0];
+  sys.transmit(0, truth, 0.0);
+  const auto fix = sys.locate(0, 0.01);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, truth), 1.5);
+}
+
+TEST(ScenarioTest, MaterialNamesRoundTrip) {
+  using geom::Material;
+  for (auto m : {Material::kConcrete, Material::kBrick, Material::kDrywall,
+                 Material::kGlass, Material::kMetal, Material::kWood,
+                 Material::kCubicle})
+    EXPECT_EQ(material_from_name(geom::material_name(m)), m);
+  EXPECT_FALSE(material_from_name("adamantium").has_value());
+}
+
+TEST(ScenarioTest, ShippedScenarioFilesLoad) {
+  for (const char* name : {"office.txt", "small_lab.txt"}) {
+    ScenarioParseError err;
+    const auto sc = load_scenario(
+        std::string(AT_SOURCE_DIR) + "/scenarios/" + name, &err);
+    ASSERT_TRUE(sc.has_value()) << name << ": " << err.message;
+    EXPECT_GE(sc->ap_sites.size(), 3u) << name;
+    EXPECT_FALSE(sc->clients.empty()) << name;
+    EXPECT_GE(sc->plan.walls().size(), 4u) << name;
+  }
+}
+
+TEST(ScenarioTest, LoadMissingFileFails) {
+  ScenarioParseError err;
+  EXPECT_FALSE(load_scenario("/nonexistent/path.txt", &err).has_value());
+  EXPECT_NE(err.message.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arraytrack::testbed

@@ -1,0 +1,96 @@
+// Tests for collision SIC (paper 4.3.5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sic.h"
+
+namespace arraytrack::core {
+namespace {
+
+aoa::AoaSpectrum peak_at(double center_deg, double height,
+                         std::size_t bins = 720, double width_deg = 4.0) {
+  aoa::AoaSpectrum s(bins);
+  const double c = deg2rad(center_deg);
+  const double w = deg2rad(width_deg);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double d = aoa::bearing_distance(s.bin_bearing(i), c);
+    s[i] = height * std::exp(-0.5 * (d / w) * (d / w));
+  }
+  return s;
+}
+
+TEST(SicTest, RemovesFirstPacketBearings) {
+  // Packet 1 arrives from 50 deg; packet 2 from 120 deg. The second
+  // window's spectrum contains both.
+  const auto first = peak_at(50, 1.0);
+  auto contaminated = peak_at(50, 0.9);
+  contaminated += peak_at(120, 1.0);
+  const auto cleaned = sic_cancel(first, contaminated);
+  const auto peaks = cleaned.find_peaks(0.1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(rad2deg(peaks[0].bearing_rad), 120.0, 1.5);
+}
+
+TEST(SicTest, MultipleFirstPacketPeaks) {
+  // Packet 1 has a direct + reflection bearing; both must go.
+  auto first = peak_at(50, 1.0);
+  first += peak_at(200, 0.7);
+  auto contaminated = peak_at(50, 0.8);
+  contaminated += peak_at(200, 0.6);
+  contaminated += peak_at(120, 1.0);
+  const auto cleaned = sic_cancel(first, contaminated);
+  const auto peaks = cleaned.find_peaks(0.1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(rad2deg(peaks[0].bearing_rad), 120.0, 1.5);
+}
+
+TEST(SicTest, DoesNotCarveSecondPacketWhenNoMatch) {
+  // Packet 1's bearing does not appear in the second spectrum at all
+  // (its frame ended before the second preamble): nothing removed.
+  const auto first = peak_at(50, 1.0);
+  auto contaminated = peak_at(120, 1.0);
+  const auto cleaned = sic_cancel(first, contaminated);
+  const auto peaks = cleaned.find_peaks(0.1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(rad2deg(peaks[0].bearing_rad), 120.0, 1.5);
+}
+
+TEST(SicTest, CloseBearingsWithinToleranceCancelled) {
+  SicOptions opt;
+  opt.match_tolerance_rad = deg2rad(5.0);
+  const auto first = peak_at(50, 1.0);
+  auto contaminated = peak_at(53, 0.9);  // same emitter, slight shift
+  contaminated += peak_at(120, 1.0);
+  const auto cleaned = sic_cancel(first, contaminated, opt);
+  EXPECT_EQ(cleaned.find_peaks(0.1).size(), 1u);
+}
+
+TEST(SicTest, OutputNormalized) {
+  const auto first = peak_at(50, 1.0);
+  auto contaminated = peak_at(50, 5.0);
+  contaminated += peak_at(120, 2.0);
+  const auto cleaned = sic_cancel(first, contaminated);
+  EXPECT_NEAR(cleaned.max_value(), 1.0, 1e-9);
+}
+
+TEST(PreambleCollisionTest, PaperNumbers) {
+  // "For collision between two packets of 1000 bytes each, the chance
+  // of preamble colliding is 0.6%." 1000 B at 11 Mbit/s has ~727 us
+  // airtime; 2 x 16 us preamble overlap window / airtime fits 0.6%
+  // only at a particular rate — verify the formula's shape instead:
+  // monotone decreasing in packet size, increasing in preamble length.
+  const double p1 =
+      preamble_collision_probability(1000, 11e6);
+  const double p2 = preamble_collision_probability(2000, 11e6);
+  EXPECT_GT(p1, p2);
+  EXPECT_NEAR(p1, 16e-6 / (1000.0 * 8.0 / 11e6), 1e-12);
+  // At 1000 B / ~22 Mbit/s the number matches the paper's 0.6% within
+  // rounding: airtime 364 us, 16/364 = 4.4%... the paper counts only
+  // same-start alignment; our model reports the raw ratio. Shape checks:
+  EXPECT_LT(p2, p1);
+  EXPECT_LE(preamble_collision_probability(1, 1e3), 1.0);  // clamped
+}
+
+}  // namespace
+}  // namespace arraytrack::core

@@ -1,0 +1,121 @@
+// Tests for the multipath suppression algorithm (paper 2.4, Fig. 8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/suppression.h"
+
+namespace arraytrack::core {
+namespace {
+
+aoa::AoaSpectrum peak_at(std::size_t bins, double center_deg, double width_deg,
+                         double height) {
+  aoa::AoaSpectrum s(bins);
+  const double c = deg2rad(center_deg);
+  const double w = deg2rad(width_deg);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double d = aoa::bearing_distance(s.bin_bearing(i), c);
+    s[i] = height * std::exp(-0.5 * (d / w) * (d / w));
+  }
+  return s;
+}
+
+aoa::AoaSpectrum combine(std::initializer_list<aoa::AoaSpectrum> parts) {
+  aoa::AoaSpectrum out = *parts.begin();
+  bool first = true;
+  for (const auto& p : parts) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    out += p;
+  }
+  return out;
+}
+
+TEST(SuppressionTest, EmptyGroupThrows) {
+  EXPECT_THROW(suppress_multipath({}), std::invalid_argument);
+}
+
+TEST(SuppressionTest, SingletonPassesThrough) {
+  const auto s = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 200, 4, 0.7)});
+  const auto out = suppress_multipath({s});
+  // Step 1 of Fig. 8: no grouping possible -> output unchanged.
+  for (std::size_t i = 0; i < s.bins(); ++i) EXPECT_EQ(out[i], s[i]);
+}
+
+TEST(SuppressionTest, RemovesUnstableReflection) {
+  // Direct path at 60 in both frames; reflection jumps 200 -> 230.
+  const auto f1 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 200, 4, 0.8)});
+  const auto f2 = combine({peak_at(720, 60.8, 4, 1.0), peak_at(720, 230, 4, 0.8)});
+  const auto out = suppress_multipath({f1, f2});
+  const auto peaks = out.find_peaks(0.1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(rad2deg(peaks[0].bearing_rad), 60.0, 1.5);
+}
+
+TEST(SuppressionTest, KeepsStablePeaksEvenIfReflection) {
+  // "For those scenarios in which both the direct-path and
+  // reflection-path peaks are unchanged, we keep all of them."
+  const auto f1 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 200, 4, 0.8)});
+  const auto f2 = combine({peak_at(720, 61, 4, 1.0), peak_at(720, 202, 4, 0.8)});
+  const auto out = suppress_multipath({f1, f2});
+  EXPECT_EQ(out.find_peaks(0.1).size(), 2u);
+}
+
+TEST(SuppressionTest, ThreeFrameGroupMoreSelective) {
+  // Reflection matches frame 2 by luck but not frame 3 -> removed.
+  const auto f1 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 200, 4, 0.8)});
+  const auto f2 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 203, 4, 0.8)});
+  const auto f3 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 260, 4, 0.8)});
+  const auto two = suppress_multipath({f1, f2});
+  EXPECT_EQ(two.find_peaks(0.1).size(), 2u);
+  const auto three = suppress_multipath({f1, f2, f3});
+  ASSERT_EQ(three.find_peaks(0.1).size(), 1u);
+  EXPECT_NEAR(rad2deg(three.find_peaks(0.1)[0].bearing_rad), 60.0, 1.5);
+}
+
+TEST(SuppressionTest, VanishedPeakRemoved) {
+  // The reflection disappears entirely in frame 2.
+  const auto f1 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 200, 4, 0.8)});
+  const auto f2 = peak_at(720, 60, 4, 1.0);
+  const auto out = suppress_multipath({f1, f2});
+  ASSERT_EQ(out.find_peaks(0.1).size(), 1u);
+}
+
+TEST(SuppressionTest, ToleranceBoundary) {
+  SuppressionOptions opt;
+  opt.match_tolerance_rad = deg2rad(5.0);
+  const auto f1 = combine({peak_at(720, 60, 3, 1.0), peak_at(720, 200, 3, 0.8)});
+  // 4 degrees away: within tolerance, kept.
+  const auto near4 = combine({peak_at(720, 60, 3, 1.0), peak_at(720, 204, 3, 0.8)});
+  EXPECT_EQ(suppress_multipath({f1, near4}, opt).find_peaks(0.1).size(), 2u);
+  // 8 degrees away: beyond tolerance, removed.
+  const auto far8 = combine({peak_at(720, 60, 3, 1.0), peak_at(720, 208, 3, 0.8)});
+  EXPECT_EQ(suppress_multipath({f1, far8}, opt).find_peaks(0.1).size(), 1u);
+}
+
+TEST(SuppressionTest, WeakPeaksBelowFloorIgnored) {
+  SuppressionOptions opt;
+  opt.peak_floor = 0.2;
+  // A tiny wiggle at 300 in the primary is below the floor: neither
+  // matched nor removed, just left as-is.
+  auto f1 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 300, 4, 0.05)});
+  const auto f2 = peak_at(720, 60, 4, 1.0);
+  const auto out = suppress_multipath({f1, f2}, opt);
+  EXPECT_GT(out.value_at(deg2rad(300)), 0.0);
+}
+
+TEST(SuppressionTest, MaxGroupLimitsComparisons) {
+  SuppressionOptions opt;
+  opt.max_group = 2;
+  const auto f1 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 200, 4, 0.8)});
+  const auto f2 = combine({peak_at(720, 60, 4, 1.0), peak_at(720, 200, 4, 0.8)});
+  // Frame 3 would kill the 200-degree peak, but max_group=2 ignores it.
+  const auto f3 = peak_at(720, 60, 4, 1.0);
+  const auto out = suppress_multipath({f1, f2, f3}, opt);
+  EXPECT_EQ(out.find_peaks(0.1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace arraytrack::core

@@ -1,0 +1,154 @@
+// Tests for the symmetry removal step (paper 2.3.4).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aoa/covariance.h"
+#include "aoa/music.h"
+#include "aoa/symmetry.h"
+#include "array/geometry.h"
+#include "array/placed_array.h"
+
+namespace arraytrack::aoa {
+namespace {
+
+using array::ArrayGeometry;
+using array::PlacedArray;
+
+constexpr double kLambda = 0.1226;
+
+PlacedArray rect8() {
+  // Quarter-wavelength row gap: the production geometry (see
+  // System::add_ap) — front/back decidable at every bearing.
+  return PlacedArray(ArrayGeometry::rectangular(8, kLambda / 2, kLambda / 4),
+                     {0, 0}, 0.0);
+}
+
+std::vector<std::size_t> all16() {
+  std::vector<std::size_t> v(16);
+  for (std::size_t i = 0; i < 16; ++i) v[i] = i;
+  return v;
+}
+
+// Snapshots over the full 16-element set for one source.
+linalg::CMatrix snapshots16(const PlacedArray& pa, double bearing_rad,
+                            std::size_t n, double snr_db,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uang(0.0, kTwoPi);
+  std::normal_distribution<double> g(0.0, 1.0);
+  const double sigma = std::pow(10.0, -snr_db / 20.0) / std::sqrt(2.0);
+  const auto elements = all16();
+  const auto a = pa.steering_subset(bearing_rad, kLambda, elements);
+  linalg::CMatrix x(16, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx s = std::exp(kJ * uang(rng));
+    for (std::size_t m = 0; m < 16; ++m)
+      x(m, k) = a[m] * s + cplx{sigma * g(rng), sigma * g(rng)};
+  }
+  return x;
+}
+
+struct Resolved {
+  Side side;
+  AoaSpectrum spec;
+  double truth_value;
+  double mirror_value;
+};
+
+Resolved run_resolution(double bearing_deg, std::uint64_t seed) {
+  const auto pa = rect8();
+  const double truth = deg2rad(bearing_deg);
+  std::vector<std::size_t> row = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto x16 = snapshots16(pa, truth, 20, 25, seed);
+  const auto x8 = x16.block(0, 0, 8, x16.cols());
+
+  MusicEstimator music(&pa, row, kLambda);
+  AoaSpectrum spec = music.spectrum(x8);
+  SymmetryResolver resolver(&pa, all16(), kLambda);
+  const Side side = resolver.resolve(sample_covariance(x16), &spec);
+  return {side, spec, spec.value_at(wrap_2pi(truth)),
+          spec.value_at(wrap_2pi(-truth))};
+}
+
+TEST(SymmetryTest, RequiresThreeElements) {
+  const auto pa = rect8();
+  EXPECT_THROW(SymmetryResolver(&pa, {0, 1}, kLambda), std::invalid_argument);
+}
+
+class SymmetrySideSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SymmetrySideSweep, PicksCorrectSideAndSuppressesMirror) {
+  const double bearing_deg = GetParam();
+  const auto r =
+      run_resolution(bearing_deg, std::uint64_t(7000 + bearing_deg));
+  const Side want = std::sin(deg2rad(bearing_deg)) > 0.0 ? Side::kFront
+                                                         : Side::kBack;
+  EXPECT_EQ(r.side, want) << "bearing " << bearing_deg;
+  EXPECT_GT(r.truth_value, 20.0 * r.mirror_value) << "bearing " << bearing_deg;
+}
+
+// The quarter-wavelength row gap keeps the decision well-posed across
+// the full sweep, including broadside.
+INSTANTIATE_TEST_SUITE_P(Bearings, SymmetrySideSweep,
+                         ::testing::Values(30.0, 60.0, 75.0, 90.0, 120.0,
+                                           150.0, -30.0, -60.0, -75.0,
+                                           -90.0, -120.0, -150.0));
+
+TEST(SymmetryTest, HalfWavelengthGapDegeneratesNearBroadside) {
+  // Documents why the production geometry uses a lambda/4 row gap: at
+  // a lambda/2 gap the +/-theta extended steering vectors coincide as
+  // |sin(theta)| -> 1, so a broadside source cannot be sided.
+  PlacedArray pa(ArrayGeometry::rectangular(8, kLambda / 2, kLambda / 2),
+                 {0, 0}, 0.0);
+  const auto elements = all16();
+  const auto front = pa.steering_subset(deg2rad(90.0), kLambda, elements);
+  const auto back = pa.steering_subset(deg2rad(-90.0), kLambda, elements);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < front.size(); ++i)
+    diff += std::abs(front[i] - back[i]);
+  EXPECT_LT(diff, 1e-9);
+  // Whereas the lambda/4 gap separates them by a full pi per off-row
+  // element.
+  const auto pa4 = rect8();
+  const auto f4 = pa4.steering_subset(deg2rad(90.0), kLambda, elements);
+  const auto b4 = pa4.steering_subset(deg2rad(-90.0), kLambda, elements);
+  double diff4 = 0.0;
+  for (std::size_t i = 0; i < f4.size(); ++i) diff4 += std::abs(f4[i] - b4[i]);
+  EXPECT_GT(diff4, 8.0);
+}
+
+TEST(SymmetryTest, ProbePowerPeaksAtSource) {
+  const auto pa = rect8();
+  const auto x = snapshots16(pa, deg2rad(60.0), 20, 25, 77);
+  const auto r = sample_covariance(x);
+  SymmetryResolver resolver(&pa, all16(), kLambda);
+  EXPECT_GT(resolver.probe_power(r, deg2rad(60.0)),
+            2.0 * resolver.probe_power(r, deg2rad(-60.0)));
+  EXPECT_GT(resolver.probe_power(r, deg2rad(60.0)),
+            5.0 * resolver.probe_power(r, deg2rad(150.0)));
+}
+
+TEST(SymmetryTest, CovarianceSizeMismatchThrows) {
+  const auto pa = rect8();
+  SymmetryResolver resolver(&pa, all16(), kLambda);
+  AoaSpectrum spec(720);
+  EXPECT_THROW(resolver.probe_power(linalg::CMatrix(8, 8), 0.0),
+               std::invalid_argument);
+}
+
+TEST(SymmetryTest, AmbiguousSpectrumLeftUntouched) {
+  // A flat (peakless) spectrum gives no evidence: resolver must not
+  // suppress anything.
+  const auto pa = rect8();
+  AoaSpectrum flat(720);
+  for (std::size_t i = 0; i < flat.bins(); ++i) flat[i] = 1.0;
+  SymmetryResolver resolver(&pa, all16(), kLambda);
+  linalg::CMatrix r = linalg::CMatrix::identity(16);
+  const Side side = resolver.resolve(r, &flat);
+  EXPECT_EQ(side, Side::kAmbiguous);
+  for (std::size_t i = 0; i < flat.bins(); ++i) EXPECT_DOUBLE_EQ(flat[i], 1.0);
+}
+
+}  // namespace
+}  // namespace arraytrack::aoa

@@ -1,0 +1,165 @@
+// Tests for AoA spectra synthesis and the grid/hill-climb localizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/synthesis.h"
+
+namespace arraytrack::core {
+namespace {
+
+aoa::AoaSpectrum spectrum_peaking_at(double bearing_rad,
+                                     double width_rad = deg2rad(4.0),
+                                     std::size_t bins = 720) {
+  aoa::AoaSpectrum s(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double d = aoa::bearing_distance(s.bin_bearing(i), bearing_rad);
+    s[i] = std::exp(-0.5 * (d / width_rad) * (d / width_rad));
+  }
+  return s;
+}
+
+// An AP at `pos` (orientation `orient`) whose spectrum points exactly
+// at world point `target`.
+ApSpectrum ap_looking_at(geom::Vec2 pos, double orient, geom::Vec2 target) {
+  ApSpectrum ap;
+  ap.ap_position = pos;
+  ap.orientation_rad = orient;
+  const double world = (target - pos).angle();
+  ap.spectrum = spectrum_peaking_at(wrap_2pi(world - orient));
+  return ap;
+}
+
+TEST(ApSpectrumTest, LikelihoodTowardPeaksAtTarget) {
+  const geom::Vec2 target{5, 5};
+  const auto ap = ap_looking_at({0, 0}, deg2rad(30.0), target);
+  EXPECT_NEAR(ap.likelihood_toward(target, 1e-9), 1.0, 1e-3);
+  // Far off the beam: floored.
+  EXPECT_NEAR(ap.likelihood_toward({-5, -5}, 1e-9), 1e-9, 1e-10);
+}
+
+TEST(LocalizerTest, EmptyInputYieldsNullopt) {
+  Localizer loc({{0, 0}, {10, 10}});
+  EXPECT_FALSE(loc.locate({}).has_value());
+}
+
+TEST(LocalizerTest, TwoApsTriangulate) {
+  const geom::Vec2 truth{6.0, 4.0};
+  std::vector<ApSpectrum> aps = {
+      ap_looking_at({0, 0}, 0.0, truth),
+      ap_looking_at({10, 0}, deg2rad(90.0), truth),
+  };
+  Localizer loc({{0, 0}, {10, 10}});
+  const auto fix = loc.locate(aps);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, truth), 0.15);
+}
+
+TEST(LocalizerTest, MoreApsShrinkError) {
+  const geom::Vec2 truth{12.5, 7.5};
+  std::vector<ApSpectrum> all = {
+      ap_looking_at({0, 0}, 0.0, truth),
+      ap_looking_at({25, 0}, 0.0, truth),
+      ap_looking_at({0, 15}, 0.0, truth),
+      ap_looking_at({25, 15}, 0.0, truth),
+  };
+  Localizer loc({{0, 0}, {25, 15}});
+  const auto two =
+      loc.locate({all[0], all[1]});
+  const auto four = loc.locate(all);
+  ASSERT_TRUE(two && four);
+  EXPECT_LE(geom::distance(four->position, truth),
+            geom::distance(two->position, truth) + 0.05);
+  EXPECT_LT(geom::distance(four->position, truth), 0.15);
+}
+
+TEST(LocalizerTest, HillClimbRefinesBeyondGrid) {
+  // Coarse grid (0.5 m) + hill climbing should still land within a few
+  // centimeters because the likelihood surface is smooth.
+  const geom::Vec2 truth{6.13, 4.27};
+  std::vector<ApSpectrum> aps = {
+      ap_looking_at({0, 0}, 0.0, truth),
+      ap_looking_at({10, 0}, 0.0, truth),
+      ap_looking_at({5, 10}, 0.0, truth),
+  };
+  LocalizerOptions opt;
+  opt.grid_step_m = 0.5;
+  Localizer loc({{0, 0}, {10, 10}}, opt);
+  const auto fix = loc.locate(aps);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, truth), 0.10);
+}
+
+TEST(LocalizerTest, MirroredSpectraCreateGhostWithTwoAps) {
+  // Without symmetry removal a linear array cannot tell front from
+  // back: fuse mirrored spectra and the heatmap has multiple modes.
+  const geom::Vec2 truth{5.0, 3.0};
+  auto make_mirrored = [&](geom::Vec2 pos) {
+    ApSpectrum ap;
+    ap.ap_position = pos;
+    ap.orientation_rad = 0.0;
+    const double local = wrap_2pi((truth - pos).angle());
+    auto s = spectrum_peaking_at(local);
+    // Mirror: theta -> -theta.
+    auto m = spectrum_peaking_at(wrap_2pi(-local));
+    s += m;
+    ap.spectrum = s;
+    return ap;
+  };
+  std::vector<ApSpectrum> aps = {make_mirrored({0, 0}), make_mirrored({10, 0})};
+  Localizer loc({{0, -10}, {10, 10}});
+  const auto map = loc.heatmap(aps);
+  // The ghost (5, -3) should be as likely as the truth.
+  const double at_truth = loc.likelihood(aps, truth);
+  const double at_ghost = loc.likelihood(aps, {5.0, -3.0});
+  EXPECT_NEAR(at_ghost / at_truth, 1.0, 0.15);
+  (void)map;
+}
+
+TEST(LocalizerTest, FloorPreventsSingleApVeto) {
+  // One AP points away from the truth entirely (blocked direct path):
+  // with the floor the other three still dominate.
+  const geom::Vec2 truth{6.0, 6.0};
+  std::vector<ApSpectrum> aps = {
+      ap_looking_at({0, 0}, 0.0, truth),
+      ap_looking_at({12, 0}, 0.0, truth),
+      ap_looking_at({0, 12}, 0.0, truth),
+      ap_looking_at({12, 12}, 0.0, {1.0, 1.0}),  // wrong bearing
+  };
+  Localizer loc({{0, 0}, {12, 12}});
+  const auto fix = loc.locate(aps);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geom::distance(fix->position, truth), 0.3);
+}
+
+TEST(HeatmapTest, GridGeometry) {
+  Localizer loc({{0, 0}, {4, 2}});
+  std::vector<ApSpectrum> aps = {ap_looking_at({0, 0}, 0.0, {2, 1})};
+  const auto map = loc.heatmap(aps);
+  EXPECT_EQ(map.nx, 40u);
+  EXPECT_EQ(map.ny, 20u);
+  EXPECT_EQ(map.cells.size(), 800u);
+  const auto c = map.cell_center(0, 0);
+  EXPECT_NEAR(c.x, 0.05, 1e-12);
+  EXPECT_NEAR(c.y, 0.05, 1e-12);
+  EXPECT_GT(map.max_value(), 0.0);
+  EXPECT_FALSE(map.to_ascii(40).empty());
+}
+
+TEST(HeatmapTest, SingleThreadMatchesMultiThread) {
+  const geom::Vec2 truth{3.3, 1.2};
+  std::vector<ApSpectrum> aps = {ap_looking_at({0, 0}, 0.0, truth),
+                                 ap_looking_at({4, 0}, 0.0, truth)};
+  LocalizerOptions opt1;
+  opt1.threads = 1;
+  LocalizerOptions optn;
+  optn.threads = 4;
+  const auto m1 = Localizer({{0, 0}, {4, 2}}, opt1).heatmap(aps);
+  const auto mn = Localizer({{0, 0}, {4, 2}}, optn).heatmap(aps);
+  ASSERT_EQ(m1.cells.size(), mn.cells.size());
+  for (std::size_t i = 0; i < m1.cells.size(); ++i)
+    EXPECT_DOUBLE_EQ(m1.cells[i], mn.cells[i]);
+}
+
+}  // namespace
+}  // namespace arraytrack::core

@@ -1,0 +1,111 @@
+// Tests for the office testbed and metrics helpers.
+#include <gtest/gtest.h>
+
+#include "testbed/metrics.h"
+#include "testbed/office.h"
+#include "testbed/runner.h"
+
+namespace arraytrack::testbed {
+namespace {
+
+TEST(OfficeTest, StandardLayoutShape) {
+  const auto tb = OfficeTestbed::standard();
+  EXPECT_EQ(tb.ap_sites.size(), 6u);
+  EXPECT_EQ(tb.clients.size(), 41u);
+  EXPECT_GE(tb.plan.walls().size(), 10u);
+  EXPECT_EQ(tb.plan.pillars().size(), 4u);
+  // All clients and APs inside the bounds.
+  for (const auto& c : tb.clients)
+    EXPECT_TRUE(tb.plan.bounds().contains(c)) << c.to_string();
+  for (const auto& ap : tb.ap_sites)
+    EXPECT_TRUE(tb.plan.bounds().contains(ap.position));
+}
+
+TEST(OfficeTest, DeterministicLayout) {
+  const auto a = OfficeTestbed::standard();
+  const auto b = OfficeTestbed::standard();
+  for (std::size_t i = 0; i < a.clients.size(); ++i)
+    EXPECT_EQ(a.clients[i], b.clients[i]);
+}
+
+TEST(OfficeTest, SomeClientsBlockedByPillars) {
+  const auto tb = OfficeTestbed::standard();
+  // At least one AP sees at least one pillar-blocked client (the paper
+  // deliberately places clients behind concrete pillars).
+  std::size_t total_blocked = 0;
+  for (std::size_t a = 0; a < tb.ap_sites.size(); ++a)
+    total_blocked += tb.blocked_clients(a).size();
+  EXPECT_GE(total_blocked, 1u);
+}
+
+TEST(OfficeTest, MaterialVarietyPresent)
+{
+  const auto tb = OfficeTestbed::standard();
+  bool has_metal = false, has_glass = false, has_wood = false,
+       has_cubicle = false;
+  for (const auto& w : tb.plan.walls()) {
+    has_metal |= w.material == geom::Material::kMetal;
+    has_glass |= w.material == geom::Material::kGlass;
+    has_wood |= w.material == geom::Material::kWood;
+    has_cubicle |= w.material == geom::Material::kCubicle;
+  }
+  EXPECT_TRUE(has_metal);
+  EXPECT_TRUE(has_glass);
+  EXPECT_TRUE(has_wood);
+  EXPECT_TRUE(has_cubicle);
+}
+
+TEST(ErrorStatsTest, BasicStatistics) {
+  ErrorStats s({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 1.75);
+}
+
+TEST(ErrorStatsTest, CdfAt) {
+  ErrorStats s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(ErrorStatsTest, EmptyGuards) {
+  ErrorStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_THROW(s.percentile(50), std::out_of_range);
+  EXPECT_NE(s.summary("x").find("no samples"), std::string::npos);
+}
+
+TEST(ErrorStatsTest, ReportStringsContainNumbers) {
+  ErrorStats s({10.0, 20.0, 30.0});
+  const auto table = s.cdf_table({15.0, 25.0});
+  EXPECT_NE(table.find("0.33"), std::string::npos);
+  EXPECT_NE(table.find("0.67"), std::string::npos);
+  EXPECT_NE(s.summary("test").find("median=20.0"), std::string::npos);
+}
+
+TEST(RunnerTest, CombinationsEnumerate) {
+  const auto c0 = ExperimentRunner::combinations(6, 3);
+  EXPECT_EQ(c0.size(), 20u);  // C(6,3)
+  const auto c1 = ExperimentRunner::combinations(6, 6);
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0].size(), 6u);
+  EXPECT_TRUE(ExperimentRunner::combinations(3, 5).empty());
+  // Every combination strictly increasing and in range.
+  for (const auto& comb : c0) {
+    for (std::size_t i = 0; i < comb.size(); ++i) {
+      EXPECT_LT(comb[i], 6u);
+      if (i > 0) {
+        EXPECT_LT(comb[i - 1], comb[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arraytrack::testbed

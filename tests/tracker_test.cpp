@@ -1,0 +1,96 @@
+// Tests for the constant-velocity Kalman location tracker.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/tracker.h"
+
+namespace arraytrack::core {
+namespace {
+
+TEST(TrackerTest, FirstFixInitializes) {
+  LocationTracker t;
+  EXPECT_FALSE(t.initialized());
+  const auto p = t.update({3.0, 4.0}, 0.0);
+  EXPECT_TRUE(t.initialized());
+  EXPECT_DOUBLE_EQ(p.x, 3.0);
+  EXPECT_DOUBLE_EQ(p.y, 4.0);
+  EXPECT_DOUBLE_EQ(t.velocity().norm(), 0.0);
+}
+
+TEST(TrackerTest, LearnsConstantVelocity) {
+  LocationTracker t;
+  for (int k = 0; k <= 30; ++k)
+    t.update({0.1 * k, 0.05 * k}, 0.1 * k);  // 1 m/s x, 0.5 m/s y
+  EXPECT_NEAR(t.velocity().x, 1.0, 0.1);
+  EXPECT_NEAR(t.velocity().y, 0.5, 0.1);
+  // Prediction extrapolates along the velocity.
+  const auto p = t.predict(3.0 + 0.5);
+  EXPECT_NEAR(p.x, 3.5, 0.15);
+  EXPECT_NEAR(p.y, 1.75, 0.1);
+}
+
+TEST(TrackerTest, SmoothsNoisyFixes) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> g(0.0, 0.4);
+  LocationTracker t;
+  double raw_err = 0.0, filt_err = 0.0;
+  int n = 0;
+  for (int k = 0; k <= 200; ++k) {
+    const double time = 0.1 * k;
+    const geom::Vec2 truth{1.0 * time, 2.0};
+    const geom::Vec2 fix{truth.x + g(rng), truth.y + g(rng)};
+    const auto est = t.update(fix, time);
+    if (k > 20) {  // after convergence
+      raw_err += geom::distance(fix, truth);
+      filt_err += geom::distance(est, truth);
+      ++n;
+    }
+  }
+  EXPECT_LT(filt_err / n, 0.6 * (raw_err / n));
+}
+
+TEST(TrackerTest, RejectsOutliers) {
+  LocationTracker t;
+  for (int k = 0; k <= 20; ++k) t.update({0.1 * k, 0.0}, 0.1 * k);
+  // A 10 m ghost fix must be gated out.
+  const auto est = t.update({12.0, 10.0}, 2.2);
+  EXPECT_TRUE(t.last_rejected());
+  EXPECT_LT(geom::distance(est, {2.2, 0.0}), 0.5);
+  // And a sane fix afterwards is accepted again.
+  t.update({2.3, 0.0}, 2.3);
+  EXPECT_FALSE(t.last_rejected());
+}
+
+TEST(TrackerTest, ReinitializesAfterLongGap) {
+  LocationTracker t;
+  for (int k = 0; k <= 10; ++k) t.update({0.1 * k, 0.0}, 0.1 * k);
+  // 10 s silence, then the user reappears across the building: the
+  // stale track must not gate the new fix out.
+  const auto est = t.update({25.0, 9.0}, 11.0);
+  EXPECT_FALSE(t.last_rejected());
+  EXPECT_DOUBLE_EQ(est.x, 25.0);
+  EXPECT_DOUBLE_EQ(est.y, 9.0);
+}
+
+TEST(TrackerTest, ResetClearsState) {
+  LocationTracker t;
+  t.update({1, 1}, 0.0);
+  t.reset();
+  EXPECT_FALSE(t.initialized());
+  const auto p = t.update({5, 5}, 10.0);
+  EXPECT_DOUBLE_EQ(p.x, 5.0);
+}
+
+TEST(TrackerTest, CovarianceStaysBoundedOnStraightTrack) {
+  LocationTracker t;
+  for (int k = 0; k <= 500; ++k) {
+    const auto est = t.update({0.05 * k, 1.0}, 0.05 * k);
+    EXPECT_TRUE(std::isfinite(est.x));
+    EXPECT_TRUE(std::isfinite(est.y));
+  }
+  EXPECT_NEAR(t.position().y, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace arraytrack::core

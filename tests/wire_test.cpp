@@ -1,0 +1,126 @@
+// Tests for the AP-to-server wire format.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aoa/covariance.h"
+#include "phy/wire.h"
+
+namespace arraytrack::phy {
+namespace {
+
+FrameCapture make_frame(std::size_t elements, std::size_t snapshots,
+                        unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1e-4);  // realistic mW-scale IQ
+  FrameCapture f;
+  f.timestamp_s = 12.345;
+  f.snr_db = 27.5;
+  f.client_id = 9;
+  f.samples = linalg::CMatrix(elements, snapshots);
+  f.element_ids.resize(elements);
+  for (std::size_t m = 0; m < elements; ++m) {
+    f.element_ids[m] = m;
+    for (std::size_t k = 0; k < snapshots; ++k)
+      f.samples(m, k) = cplx{g(rng), g(rng)};
+  }
+  return f;
+}
+
+TEST(WireTest, EncodedSizeMatchesPaperAccounting) {
+  // (10 samples)(32 bits/sample)(8 radios) = 320 bytes of payload; the
+  // header adds a fixed overhead.
+  WireFormat wire;  // 16 bits per rail = 32 bits per sample
+  const std::size_t payload = 8 * 10 * 4;
+  const std::size_t size = wire.encoded_size(8, 10);
+  EXPECT_EQ(size, 44 + 4 * 8 + payload);
+  // Tt at the paper's 1 Mbit/s effective link: payload alone is 2.56 ms.
+  EXPECT_NEAR(wire.serialization_s(8, 10, 1e6),
+              double(size) * 8.0 / 1e6, 1e-12);
+  EXPECT_GT(wire.serialization_s(8, 10, 1e6), 2.56e-3);
+}
+
+TEST(WireTest, RoundTripMetadata) {
+  WireFormat wire;
+  const auto f = make_frame(16, 10, 1);
+  const auto bytes = wire.encode(f);
+  ASSERT_EQ(bytes.size(), wire.encoded_size(16, 10));
+  const auto g = wire.decode(bytes);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(g->timestamp_s, f.timestamp_s);
+  EXPECT_DOUBLE_EQ(g->snr_db, f.snr_db);
+  EXPECT_EQ(g->client_id, f.client_id);
+  EXPECT_EQ(g->element_ids, f.element_ids);
+  ASSERT_EQ(g->samples.rows(), 16u);
+  ASSERT_EQ(g->samples.cols(), 10u);
+}
+
+class WireBitDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireBitDepthSweep, QuantizationErrorBounded) {
+  WireFormat wire;
+  wire.bits_per_rail = GetParam();
+  const auto f = make_frame(8, 10, 2);
+  const auto g = wire.decode(wire.encode(f));
+  ASSERT_TRUE(g.has_value());
+  // Worst-case error is half an LSB of the shared full scale.
+  double peak = 0.0;
+  for (std::size_t m = 0; m < 8; ++m)
+    for (std::size_t k = 0; k < 10; ++k) {
+      peak = std::max(peak, std::abs(f.samples(m, k).real()));
+      peak = std::max(peak, std::abs(f.samples(m, k).imag()));
+    }
+  const double lsb = peak / double((1l << (wire.bits_per_rail - 1)) - 1);
+  for (std::size_t m = 0; m < 8; ++m)
+    for (std::size_t k = 0; k < 10; ++k) {
+      EXPECT_LE(std::abs(g->samples(m, k).real() - f.samples(m, k).real()),
+                0.51 * lsb);
+      EXPECT_LE(std::abs(g->samples(m, k).imag() - f.samples(m, k).imag()),
+                0.51 * lsb);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WireBitDepthSweep,
+                         ::testing::Values(8, 12, 16, 24));
+
+TEST(WireTest, SixteenBitPreservesCovariance) {
+  // The covariance (what MUSIC consumes) must survive 16-bit transport
+  // essentially unchanged.
+  WireFormat wire;
+  const auto f = make_frame(8, 10, 3);
+  const auto g = wire.decode(wire.encode(f));
+  ASSERT_TRUE(g.has_value());
+  const auto r1 = aoa::sample_covariance(f.samples);
+  const auto r2 = aoa::sample_covariance(g->samples);
+  EXPECT_LT(r1.max_abs_diff(r2), 1e-4 * r1.frobenius_norm());
+}
+
+TEST(WireTest, RejectsMalformedInput) {
+  WireFormat wire;
+  EXPECT_FALSE(wire.decode({}).has_value());
+  EXPECT_FALSE(wire.decode(std::vector<std::uint8_t>(16, 0)).has_value());
+  auto bytes = wire.encode(make_frame(4, 5, 4));
+  bytes[0] ^= 0xff;  // bad magic
+  EXPECT_FALSE(wire.decode(bytes).has_value());
+  bytes[0] ^= 0xff;
+  bytes.pop_back();  // truncated
+  EXPECT_FALSE(wire.decode(bytes).has_value());
+  bytes.push_back(0);
+  bytes.push_back(0);  // trailing junk
+  EXPECT_FALSE(wire.decode(bytes).has_value());
+}
+
+TEST(WireTest, ZeroFrameSurvives) {
+  WireFormat wire;
+  FrameCapture f;
+  f.samples = linalg::CMatrix(2, 3);
+  f.element_ids = {0, 1};
+  const auto g = wire.decode(wire.encode(f));
+  ASSERT_TRUE(g.has_value());
+  for (std::size_t m = 0; m < 2; ++m)
+    for (std::size_t k = 0; k < 3; ++k)
+      EXPECT_EQ(g->samples(m, k), (cplx{0, 0}));
+}
+
+}  // namespace
+}  // namespace arraytrack::phy

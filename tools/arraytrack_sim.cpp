@@ -1,0 +1,150 @@
+// arraytrack_sim — run an ArrayTrack localization scenario from a file.
+//
+// Usage:
+//   arraytrack_sim <scenario.txt> [options]
+//   arraytrack_sim --office [options]         # built-in office testbed
+//   arraytrack_sim --emit-office              # print the office scenario
+//
+// Options:
+//   --client <i>        localize only client i (default: all)
+//   --frames <n>        frames per client (default 3)
+//   --heatmap <out.ppm> render the (last) client's likelihood heatmap
+//   --aps <k>           use only the first k APs
+//   --quiet             summary line only
+//
+// Exit status: 0 on success, 1 on usage/scenario errors.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "testbed/metrics.h"
+#include "testbed/render.h"
+#include "testbed/scenario.h"
+
+using namespace arraytrack;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: arraytrack_sim <scenario.txt> [--client i] "
+               "[--frames n] [--aps k] [--heatmap out.ppm] [--quiet]\n"
+               "       arraytrack_sim --office [...]\n"
+               "       arraytrack_sim --emit-office\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<testbed::Scenario> scenario;
+  std::string heatmap_path;
+  int only_client = -1;
+  int frames = 3;
+  std::size_t use_aps = 0;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--emit-office") {
+      std::fputs(
+          testbed::serialize_scenario(testbed::office_scenario()).c_str(),
+          stdout);
+      return 0;
+    } else if (arg == "--office") {
+      scenario = testbed::office_scenario();
+    } else if (arg == "--client") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      only_client = std::atoi(v);
+    } else if (arg == "--frames") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      frames = std::atoi(v);
+    } else if (arg == "--aps") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      use_aps = std::size_t(std::atoi(v));
+    } else if (arg == "--heatmap") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      heatmap_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(), 1;
+    } else {
+      testbed::ScenarioParseError err;
+      scenario = testbed::load_scenario(arg, &err);
+      if (!scenario) {
+        std::fprintf(stderr, "%s:%zu: %s\n", arg.c_str(), err.line,
+                     err.message.c_str());
+        return 1;
+      }
+    }
+  }
+  if (!scenario) return usage(), 1;
+  if (scenario->clients.empty()) {
+    std::fprintf(stderr, "scenario has no clients\n");
+    return 1;
+  }
+  if (use_aps > 0 && use_aps < scenario->ap_sites.size())
+    scenario->ap_sites.resize(use_aps);
+
+  auto sys = scenario->make_system();
+  if (!quiet)
+    std::printf("scenario: %.0fx%.0f m, %zu APs, %zu clients, %d frames "
+                "per client\n",
+                scenario->plan.bounds().width(),
+                scenario->plan.bounds().height(), sys.num_aps(),
+                scenario->clients.size(), frames);
+
+  testbed::ErrorStats stats;
+  double t = 0.0;
+  for (std::size_t ci = 0; ci < scenario->clients.size(); ++ci) {
+    if (only_client >= 0 && ci != std::size_t(only_client)) continue;
+    const geom::Vec2 truth = scenario->clients[ci];
+    geom::Vec2 pos = truth;
+    for (int f = 0; f < frames; ++f) {
+      sys.transmit(int(ci), pos, t + 0.03 * f);
+      pos += geom::unit_from_angle(double(f) * 2.1) * 0.035;
+    }
+    const double now = t + 0.03 * frames;
+    const auto fix = sys.locate(int(ci), now);
+    if (fix) {
+      const double err = geom::distance(fix->position, truth);
+      stats.add(err);
+      if (!quiet)
+        std::printf("client %2zu: truth (%6.2f, %5.2f)  est (%6.2f, %5.2f)"
+                    "  err %6.1f cm\n",
+                    ci, truth.x, truth.y, fix->position.x, fix->position.y,
+                    err * 100.0);
+      if (!heatmap_path.empty()) {
+        const auto map = sys.heatmap(int(ci), now);
+        if (map) {
+          const auto img = testbed::render_heatmap(
+              *map, scenario->plan, scenario->ap_sites, &truth,
+              &fix->position);
+          if (!img.write_ppm(heatmap_path))
+            std::fprintf(stderr, "cannot write %s\n", heatmap_path.c_str());
+          else if (!quiet)
+            std::printf("wrote %s (%zux%zu)\n", heatmap_path.c_str(),
+                        img.width(), img.height());
+        }
+      }
+    } else if (!quiet) {
+      std::printf("client %2zu: no fix\n", ci);
+    }
+    t = now + 1.0;
+  }
+  if (stats.empty()) {
+    std::fprintf(stderr, "no location fixes produced\n");
+    return 1;
+  }
+  std::printf("%s\n", stats.summary("localization error", "m").c_str());
+  return 0;
+}
