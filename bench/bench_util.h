@@ -1,9 +1,10 @@
-// Shared helpers for the reproduction benches: consistent headers and
-// paper-vs-measured reporting.
+// Shared helpers for the reproduction benches: consistent headers,
+// paper-vs-measured reporting, and machine-readable perf telemetry.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "testbed/metrics.h"
@@ -22,6 +23,30 @@ inline void paper_note(const std::string& text) {
 
 inline void measured_note(const std::string& text) {
   std::printf("measured: %s\n", text.c_str());
+}
+
+/// Writes a flat one-object JSON file so the perf trajectory of the
+/// latency benches can be tracked across PRs by machine. The schema is
+/// a "bench" name plus numeric fields (NaN/inf are emitted as null,
+/// which JSON requires).
+inline void write_bench_json(
+    const std::string& path, const std::string& bench_name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", bench_name.c_str());
+  for (const auto& [key, value] : fields) {
+    if (value == value && value - value == 0.0)  // finite
+      std::fprintf(f, ",\n  \"%s\": %.6g", key.c_str(), value);
+    else
+      std::fprintf(f, ",\n  \"%s\": null", key.c_str());
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("telemetry: wrote %s\n", path.c_str());
 }
 
 /// CDF rows like the paper's error plots (thresholds in cm, errors in m).

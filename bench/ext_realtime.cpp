@@ -13,8 +13,8 @@ using namespace arraytrack;
 
 namespace {
 
-void run_case(const testbed::OfficeTestbed& tb, double scale,
-              const char* label) {
+core::RealtimeReport run_case(const testbed::OfficeTestbed& tb, double scale,
+                              const char* label) {
   core::SystemConfig cfg;
   core::System sys(&tb.plan, cfg);
   for (const auto& site : tb.ap_sites)
@@ -33,10 +33,13 @@ void run_case(const testbed::OfficeTestbed& tb, double scale,
 
   std::printf(
       "%s: %zu frames -> %zu fixes (%zu coalesced), %.0f fixes/s, "
-      "latency p50/p95 = %.0f/%.0f ms, median error %.0f cm\n",
+      "latency p50/p95 = %.0f/%.0f ms, median error %.0f cm "
+      "(pool width %zu)\n",
       label, report.frames_in, report.fixes.size(), report.jobs_coalesced,
       report.fix_rate_hz(), report.latency_percentile(50) * 1e3,
-      report.latency_percentile(95) * 1e3, report.median_error_m() * 100.0);
+      report.latency_percentile(95) * 1e3, report.median_error_m() * 100.0,
+      report.pool_threads);
+  return report;
 }
 
 }  // namespace
@@ -49,7 +52,19 @@ int main() {
       "verbatim");
 
   const auto tb = testbed::OfficeTestbed::standard();
-  run_case(tb, 1.0, "C++ backend (this machine)   ");
+  const auto native = run_case(tb, 1.0, "C++ backend (this machine)   ");
   run_case(tb, 5.0, "~Matlab-speed backend (x5 Tp)");
+
+  // Perf trajectory telemetry from the native-speed run: end-to-end
+  // fix latency under Poisson load on the 6-AP office testbed.
+  bench::write_bench_json(
+      "BENCH_latency.json", "ext_realtime",
+      {{"median_fix_latency_ms", native.latency_percentile(50) * 1e3},
+       {"p95_fix_latency_ms", native.latency_percentile(95) * 1e3},
+       {"fixes_per_sec", native.fix_rate_hz()},
+       {"frames_in", double(native.frames_in)},
+       {"jobs_coalesced", double(native.jobs_coalesced)},
+       {"median_error_cm", native.median_error_m() * 100.0},
+       {"threads", double(native.pool_threads)}});
   return 0;
 }

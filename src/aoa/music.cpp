@@ -6,6 +6,58 @@
 #include "aoa/covariance.h"
 
 namespace arraytrack::aoa {
+namespace {
+
+// Conjugated, normalized steering vectors as contiguous matrix rows,
+// plus each row's exact squared norm. The projector-form sweep
+// evaluates a^H e as (conj-row) . e, so storing conj(a) makes the
+// inner loop a plain multiply-accumulate over contiguous memory.
+struct SteeringTable {
+  linalg::CMatrix conj_rows;
+  std::vector<double> norm2;
+};
+
+SteeringTable build_table(const array::PlacedArray& array,
+                          const std::vector<std::size_t>& elements,
+                          double lambda_m, std::size_t rows,
+                          std::size_t total_bins) {
+  SteeringTable t;
+  t.conj_rows = linalg::CMatrix(rows, elements.size());
+  t.norm2.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double theta = kTwoPi * double(i) / double(total_bins);
+    const auto a = array.steering_subset(theta, lambda_m, elements).normalized();
+    double n2 = 0.0;
+    for (std::size_t m = 0; m < a.size(); ++m) {
+      t.conj_rows(i, m) = std::conj(a[m]);
+      n2 += std::norm(a[m]);
+    }
+    t.norm2.push_back(n2);
+  }
+  return t;
+}
+
+// Signal-subspace projector evaluation of the MUSIC denominator for
+// one steering row:
+//   a^H E_n E_n^H a = |a|^2 - sum_{s} |e_s^H a|^2
+// with e_s the d signal eigenvectors — d dot products instead of the
+// naive m - d over the noise subspace (d << m - d in practice).
+double projector_denominator(const linalg::CMatrix& conj_rows, std::size_t row,
+                             double norm2, const linalg::CMatrix& eigenvectors,
+                             std::size_t num_signals) {
+  const std::size_t m = conj_rows.cols();
+  double signal = 0.0;
+  for (std::size_t s = 0; s < num_signals; ++s) {
+    const std::size_t col = m - 1 - s;  // largest-eigenvalue columns
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < m; ++k)
+      acc += conj_rows(row, k) * eigenvectors(k, col);
+    signal += std::norm(acc);
+  }
+  return norm2 - signal;
+}
+
+}  // namespace
 
 MusicEstimator::MusicEstimator(const array::PlacedArray* array,
                                std::vector<std::size_t> linear_elements,
@@ -22,12 +74,9 @@ MusicEstimator::MusicEstimator(const array::PlacedArray* array,
   const std::size_t ms = subarray_size();
   const std::vector<std::size_t> sub(elements_.begin(),
                                      elements_.begin() + std::ptrdiff_t(ms));
-  steering_table_.reserve(opt_.bins / 2 + 1);
-  for (std::size_t i = 0; i <= opt_.bins / 2; ++i) {
-    const double theta = kTwoPi * double(i) / double(opt_.bins);
-    steering_table_.push_back(
-        array_->steering_subset(theta, lambda_, sub).normalized());
-  }
+  auto table = build_table(*array_, sub, lambda_, opt_.bins / 2 + 1, opt_.bins);
+  steering_conj_rows_ = std::move(table.conj_rows);
+  steering_norm2_ = std::move(table.norm2);
 }
 
 std::size_t MusicEstimator::estimate_num_signals(
@@ -59,24 +108,13 @@ AoaSpectrum MusicEstimator::spectrum_from_covariance(
   if (opt_.forward_backward) rs = forward_backward(rs);
 
   const auto eig = linalg::eig_hermitian(rs);
-  const std::size_t ms = rs.rows();
   const std::size_t d = estimate_num_signals(eig.eigenvalues);
-  const std::size_t noise_dim = ms - d;
 
-  // Noise subspace: eigenvectors of the smallest ms - d eigenvalues.
-  std::vector<linalg::CVector> en;
-  en.reserve(noise_dim);
-  for (std::size_t i = 0; i < noise_dim; ++i)
-    en.push_back(eig.eigenvectors.col(i));
-
-  // Steering vectors come from the precomputed table (the smoothed
-  // subarray geometry is fixed at construction).
   AoaSpectrum spec(opt_.bins);
   const std::size_t half = opt_.bins / 2;
   for (std::size_t i = 0; i <= half; ++i) {
-    const auto& a = steering_table_[i];
-    double denom = 0.0;
-    for (const auto& e : en) denom += std::norm(e.dot(a));
+    const double denom = projector_denominator(
+        steering_conj_rows_, i, steering_norm2_[i], eig.eigenvectors, d);
     const double p = 1.0 / std::max(denom, 1e-12);
     spec[i] = p;
     // Linear-array mirror: bearing -theta is indistinguishable.
@@ -94,6 +132,9 @@ GeneralMusic::GeneralMusic(const array::PlacedArray* array,
       opt_(opt) {
   if (elements_.size() < 2)
     throw std::invalid_argument("GeneralMusic: need at least two elements");
+  auto table = build_table(*array_, elements_, lambda_, opt_.bins, opt_.bins);
+  steering_conj_rows_ = std::move(table.conj_rows);
+  steering_norm2_ = std::move(table.norm2);
 }
 
 AoaSpectrum GeneralMusic::spectrum(const linalg::CMatrix& snapshots) const {
@@ -115,18 +156,35 @@ AoaSpectrum GeneralMusic::spectrum_from_covariance(
       if (v >= opt_.eig_threshold * eig.eigenvalues.back()) ++d;
   }
   d = std::min(std::max<std::size_t>(d, 1), m - 1);
-  const std::size_t noise_dim = m - d;
 
   AoaSpectrum spec(opt_.bins);
   for (std::size_t i = 0; i < opt_.bins; ++i) {
-    const double theta = kTwoPi * double(i) / double(opt_.bins);
-    const auto a =
-        array_->steering_subset(theta, lambda_, elements_).normalized();
-    double denom = 0.0;
-    for (std::size_t n = 0; n < noise_dim; ++n)
-      denom += std::norm(eig.eigenvectors.col(n).dot(a));
+    const double denom = projector_denominator(
+        steering_conj_rows_, i, steering_norm2_[i], eig.eigenvectors, d);
     spec[i] = 1.0 / std::max(denom, 1e-12);
   }
+  return spec;
+}
+
+linalg::CMatrix bartlett_steering_table(
+    const array::PlacedArray& array, const std::vector<std::size_t>& elements,
+    double lambda_m, std::size_t bins) {
+  linalg::CMatrix rows(bins, elements.size());
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double theta = kTwoPi * double(i) / double(bins);
+    const auto a = array.steering_subset(theta, lambda_m, elements).normalized();
+    for (std::size_t m = 0; m < a.size(); ++m) rows(i, m) = a[m];
+  }
+  return rows;
+}
+
+AoaSpectrum bartlett_spectrum(const linalg::CMatrix& steering_rows,
+                              const linalg::CMatrix& r) {
+  if (r.rows() != steering_rows.cols())
+    throw std::invalid_argument("bartlett_spectrum: covariance size mismatch");
+  AoaSpectrum spec(steering_rows.rows());
+  for (std::size_t i = 0; i < steering_rows.rows(); ++i)
+    spec[i] = linalg::quadratic_form_real(steering_rows.row(i), r);
   return spec;
 }
 
@@ -136,14 +194,8 @@ AoaSpectrum bartlett_spectrum(const array::PlacedArray& array,
                               std::size_t bins) {
   if (r.rows() != elements.size())
     throw std::invalid_argument("bartlett_spectrum: covariance size mismatch");
-  AoaSpectrum spec(bins);
-  for (std::size_t i = 0; i < bins; ++i) {
-    const double theta = kTwoPi * double(i) / double(bins);
-    const auto a =
-        array.steering_subset(theta, lambda_m, elements).normalized();
-    spec[i] = linalg::quadratic_form_real(a, r);
-  }
-  return spec;
+  return bartlett_spectrum(
+      bartlett_steering_table(array, elements, lambda_m, bins), r);
 }
 
 }  // namespace arraytrack::aoa

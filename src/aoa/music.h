@@ -60,10 +60,15 @@ class MusicEstimator {
   std::vector<std::size_t> elements_;
   double lambda_;
   MusicOptions opt_;
-  /// Precomputed normalized subarray steering vectors, one per swept
-  /// bin over [0, pi] — the sweep dominates spectrum cost, and the
+  /// Precomputed steering table: row i holds the *conjugated*
+  /// normalized subarray steering vector for swept bin i over [0, pi],
+  /// stored contiguously ((bins/2 + 1) x subarray_size) so the per-bin
+  /// projector evaluation is one cache-friendly matvec row. The
   /// vectors depend only on (geometry, lambda, bins).
-  std::vector<linalg::CVector> steering_table_;
+  linalg::CMatrix steering_conj_rows_;
+  /// |a_i|^2 per table row (== 1 up to rounding); using the exact
+  /// value keeps the projector identity tight.
+  std::vector<double> steering_norm2_;
 };
 
 /// MUSIC for an arbitrary (non-linear) element set — circular arrays,
@@ -91,6 +96,12 @@ class GeneralMusic {
   std::vector<std::size_t> elements_;
   double lambda_;
   GeneralMusicOptions opt_;
+  /// Conjugated normalized full-circle steering table (bins x m),
+  /// cached at construction — it depends only on (elements, lambda,
+  /// bins), all fixed here, and rebuilding it per spectrum call used
+  /// to dominate the sweep.
+  linalg::CMatrix steering_conj_rows_;
+  std::vector<double> steering_norm2_;
 };
 
 /// Bartlett (conventional beamformer) spectrum over the full circle:
@@ -100,5 +111,19 @@ AoaSpectrum bartlett_spectrum(const array::PlacedArray& array,
                               const std::vector<std::size_t>& elements,
                               double lambda_m, const linalg::CMatrix& r,
                               std::size_t bins = 720);
+
+/// Normalized full-circle steering table (bins x m, row i = a(theta_i))
+/// for the precomputed-table bartlett_spectrum overload below. Build it
+/// once per (array, elements, lambda, bins) when sweeping many
+/// covariances through the beamformer.
+linalg::CMatrix bartlett_steering_table(const array::PlacedArray& array,
+                                        const std::vector<std::size_t>& elements,
+                                        double lambda_m,
+                                        std::size_t bins = 720);
+
+/// Bartlett spectrum from a precomputed steering table; one row of
+/// `steering_rows` per output bin.
+AoaSpectrum bartlett_spectrum(const linalg::CMatrix& steering_rows,
+                              const linalg::CMatrix& r);
 
 }  // namespace arraytrack::aoa

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <deque>
 
+#include "core/thread_pool.h"
+
 namespace arraytrack::core {
 
 double RealtimeReport::latency_percentile(double p) const {
@@ -36,6 +38,7 @@ RealtimeReport RealtimeSimulator::run(
     const std::vector<FrameEvent>& schedule) {
   RealtimeReport report;
   report.frames_in = schedule.size();
+  report.pool_threads = ThreadPool::shared().size();
   if (schedule.empty()) return report;
   report.duration_s = schedule.back().time_s - schedule.front().time_s;
 

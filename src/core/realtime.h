@@ -4,7 +4,9 @@
 // module answers the operational question behind the paper's "100 ms,
 // real-time" claim: when frames arrive on their own schedule, what
 // end-to-end latency does each location fix see, including queueing at
-// a single-threaded backend?
+// a backend that consumes jobs one at a time (each job's per-AP
+// pipelines and grid rows fan out on the shared core::ThreadPool, so
+// the measured Tp reflects the parallel server)?
 //
 // For every transmitted frame: the AoA samples exist Td after the
 // preamble starts, reach the server Tt + Tl later, wait for the server
@@ -51,6 +53,10 @@ struct RealtimeReport {
   std::size_t frames_in = 0;
   std::size_t jobs_coalesced = 0;
   double duration_s = 0.0;
+  /// Width of the shared pool the measured server fanned out on (the
+  /// backend consumes jobs serially, but each job's per-AP pipelines
+  /// and grid rows run pool-parallel).
+  std::size_t pool_threads = 0;
 
   double fix_rate_hz() const {
     return duration_s > 0.0 ? double(fixes.size()) / duration_s : 0.0;

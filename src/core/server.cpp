@@ -1,6 +1,9 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <optional>
+
+#include "core/thread_pool.h"
 
 namespace arraytrack::core {
 
@@ -31,32 +34,46 @@ std::optional<LocationEstimate> ArrayTrackServer::locate_tracked(
 
 std::vector<ApSpectrum> ArrayTrackServer::client_spectra(int client_id,
                                                          double now_s) const {
+  // Per-AP pipelines (detection -> diversity synthesis -> covariance ->
+  // eigendecomposition -> MUSIC -> suppression) are independent
+  // read-only work over disjoint front ends, so they fan out across
+  // the shared pool. Each AP writes its own slot and the slots are
+  // compacted in registration order afterwards, so the result is
+  // identical to the serial loop for any pool width.
+  std::vector<std::optional<ApSpectrum>> slots(aps_.size());
+  ThreadPool::shared().parallel_for(
+      0, aps_.size(), opt_.localizer.threads, [&](std::size_t i) {
+        const auto& entry = aps_[i];
+        auto frames = entry.ap->buffer().recent_from(
+            client_id, now_s, opt_.suppression.max_group_spacing_s);
+        if (frames.empty()) return;
+
+        // Use at most max_group of the newest frames (paper: two to
+        // three).
+        const std::size_t use =
+            std::min(frames.size(), opt_.suppression.max_group);
+        std::vector<aoa::AoaSpectrum> group;
+        group.reserve(use);
+        for (std::size_t k = frames.size() - use; k < frames.size(); ++k)
+          group.push_back(entry.processor->process(frames[k]));
+
+        aoa::AoaSpectrum fused =
+            opt_.multipath_suppression
+                ? suppress_multipath(group, opt_.suppression)
+                : group.front();
+        fused.normalize();
+
+        ApSpectrum tagged;
+        tagged.ap_position = entry.ap->array().position();
+        tagged.orientation_rad = entry.ap->array().orientation();
+        tagged.spectrum = std::move(fused);
+        slots[i] = std::move(tagged);
+      });
+
   std::vector<ApSpectrum> out;
-  for (const auto& entry : aps_) {
-    auto frames = entry.ap->buffer().recent_from(
-        client_id, now_s, opt_.suppression.max_group_spacing_s);
-    if (frames.empty()) continue;
-
-    // Use at most max_group of the newest frames (paper: two to three).
-    const std::size_t use =
-        std::min(frames.size(), opt_.suppression.max_group);
-    std::vector<aoa::AoaSpectrum> group;
-    group.reserve(use);
-    for (std::size_t i = frames.size() - use; i < frames.size(); ++i)
-      group.push_back(entry.processor->process(frames[i]));
-
-    aoa::AoaSpectrum fused =
-        opt_.multipath_suppression
-            ? suppress_multipath(group, opt_.suppression)
-            : group.front();
-    fused.normalize();
-
-    ApSpectrum tagged;
-    tagged.ap_position = entry.ap->array().position();
-    tagged.orientation_rad = entry.ap->array().orientation();
-    tagged.spectrum = std::move(fused);
-    out.push_back(std::move(tagged));
-  }
+  out.reserve(aps_.size());
+  for (auto& slot : slots)
+    if (slot) out.push_back(std::move(*slot));
   return out;
 }
 

@@ -49,7 +49,10 @@ class ArrayTrackServer {
   /// Per-AP fused spectrum for a client: processes the frames the AP
   /// heard from `client_id` within the suppression window ending at
   /// `now_s` and applies multipath suppression across them. Returns
-  /// one tagged spectrum per AP that heard the client.
+  /// one tagged spectrum per AP that heard the client, in registration
+  /// order. The per-AP pipelines run concurrently on the shared
+  /// core::ThreadPool (bounded by LocalizerOptions::threads); results
+  /// are identical to the serial evaluation.
   std::vector<ApSpectrum> client_spectra(int client_id, double now_s) const;
 
   /// End-to-end location estimate (equation 8 + hill climbing).

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
-#include <thread>
+
+#include "core/thread_pool.h"
 
 namespace arraytrack::core {
 
@@ -55,6 +57,36 @@ double Localizer::likelihood(const std::vector<ApSpectrum>& aps,
   return l;
 }
 
+std::shared_ptr<const std::vector<double>> Localizer::bearing_table(
+    const ApSpectrum& ap, std::size_t nx, std::size_t ny) const {
+  const PoseKey key{ap.ap_position.x, ap.ap_position.y, ap.orientation_rad};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = bearing_cache_.find(key);
+    if (it != bearing_cache_.end()) return it->second;
+  }
+
+  // Built outside the lock: two threads may race to build the same
+  // table, but they produce identical values and the map keeps one.
+  Heatmap probe;
+  probe.bounds = bounds_;
+  probe.nx = nx;
+  probe.ny = ny;
+  auto table = std::make_shared<std::vector<double>>(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy)
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const geom::Vec2 x = probe.cell_center(ix, iy);
+      const double world = (x - ap.ap_position).angle();
+      (*table)[iy * nx + ix] = wrap_2pi(world - ap.orientation_rad);
+    }
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // A handful of fixed AP poses is the expected population; a runaway
+  // caller (e.g. sweeping synthetic poses) just flushes the cache.
+  if (bearing_cache_.size() >= 64) bearing_cache_.clear();
+  return bearing_cache_.emplace(key, std::move(table)).first->second;
+}
+
 Heatmap Localizer::heatmap(const std::vector<ApSpectrum>& aps) const {
   Heatmap map;
   map.bounds = bounds_;
@@ -62,31 +94,25 @@ Heatmap Localizer::heatmap(const std::vector<ApSpectrum>& aps) const {
   map.ny = std::max<std::size_t>(1, std::size_t(bounds_.height() / opt_.grid_step_m));
   map.cells.assign(map.nx * map.ny, 0.0);
 
-  std::size_t workers = opt_.threads;
-  if (workers == 0)
-    workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min<std::size_t>(workers, map.ny);
+  std::vector<std::shared_ptr<const std::vector<double>>> bearings;
+  bearings.reserve(aps.size());
+  for (const auto& ap : aps) bearings.push_back(bearing_table(ap, map.nx, map.ny));
 
-  auto run_rows = [&](std::size_t y0, std::size_t y1) {
-    for (std::size_t iy = y0; iy < y1; ++iy)
-      for (std::size_t ix = 0; ix < map.nx; ++ix)
-        map.cells[iy * map.nx + ix] =
-            likelihood(aps, map.cell_center(ix, iy));
-  };
-
-  if (workers <= 1) {
-    run_rows(0, map.ny);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    const std::size_t chunk = (map.ny + workers - 1) / workers;
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t y0 = w * chunk;
-      const std::size_t y1 = std::min(map.ny, y0 + chunk);
-      if (y0 < y1) pool.emplace_back(run_rows, y0, y1);
-    }
-    for (auto& t : pool) t.join();
-  }
+  // Row chunks on the shared pool; every cell is an independent write,
+  // so the chunking (and pool width) cannot change the result.
+  ThreadPool::shared().parallel_ranges(
+      map.ny, opt_.threads, [&](std::size_t y0, std::size_t y1) {
+        for (std::size_t iy = y0; iy < y1; ++iy)
+          for (std::size_t ix = 0; ix < map.nx; ++ix) {
+            const std::size_t cell = iy * map.nx + ix;
+            double l = 1.0;
+            for (std::size_t k = 0; k < aps.size(); ++k)
+              l *= std::max(
+                  aps[k].spectrum.value_at((*bearings[k])[cell]),
+                  opt_.floor);
+            map.cells[cell] = l;
+          }
+      });
   return map;
 }
 
@@ -124,27 +150,44 @@ std::optional<LocationEstimate> Localizer::locate(
   const Heatmap map = heatmap(aps);
 
   // Top-K grid cells, separated so the starts are not adjacent cells of
-  // the same mode.
-  struct Cell {
-    double value;
-    std::size_t ix, iy;
+  // the same mode. The spacing filter only ever looks at the first few
+  // dozen cells, so a bounded partial_sort replaces the full
+  // nx*ny-cell sort; ties break toward the lower cell index to keep
+  // start selection deterministic.
+  std::vector<std::size_t> order(map.cells.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto better = [&map](std::size_t i, std::size_t j) {
+    if (map.cells[i] != map.cells[j]) return map.cells[i] > map.cells[j];
+    return i < j;
   };
-  std::vector<Cell> cells;
-  cells.reserve(map.cells.size());
-  for (std::size_t iy = 0; iy < map.ny; ++iy)
-    for (std::size_t ix = 0; ix < map.nx; ++ix)
-      cells.push_back({map.at(ix, iy), ix, iy});
-  std::sort(cells.begin(), cells.end(),
-            [](const Cell& a, const Cell& b) { return a.value > b.value; });
+  const std::size_t candidates = std::min<std::size_t>(
+      order.size(),
+      std::max<std::size_t>(64, 32 * std::max<std::size_t>(
+                                         1, opt_.hill_climb_starts)));
+  std::partial_sort(order.begin(),
+                    order.begin() + std::ptrdiff_t(candidates), order.end(),
+                    better);
 
-  std::vector<geom::Vec2> starts;
-  for (const auto& c : cells) {
-    if (starts.size() >= opt_.hill_climb_starts) break;
-    const geom::Vec2 p = map.cell_center(c.ix, c.iy);
-    bool close = false;
-    for (const auto& s : starts)
-      if (geom::distance(s, p) < 3.0 * opt_.grid_step_m) close = true;
-    if (!close) starts.push_back(p);
+  auto pick_starts = [&](std::size_t limit) {
+    std::vector<geom::Vec2> starts;
+    for (std::size_t k = 0; k < limit; ++k) {
+      if (starts.size() >= opt_.hill_climb_starts) break;
+      const std::size_t cell = order[k];
+      const geom::Vec2 p = map.cell_center(cell % map.nx, cell / map.nx);
+      bool close = false;
+      for (const auto& s : starts)
+        if (geom::distance(s, p) < 3.0 * opt_.grid_step_m) close = true;
+      if (!close) starts.push_back(p);
+    }
+    return starts;
+  };
+
+  std::vector<geom::Vec2> starts = pick_starts(candidates);
+  if (starts.size() < opt_.hill_climb_starts && candidates < order.size()) {
+    // Pathological spacing rejected most candidates; fall back to the
+    // full ordering rather than under-seeding the hill climb.
+    std::sort(order.begin(), order.end(), better);
+    starts = pick_starts(order.size());
   }
 
   std::optional<LocationEstimate> best;
@@ -152,10 +195,11 @@ std::optional<LocationEstimate> Localizer::locate(
     const LocationEstimate e = hill_climb(aps, s);
     if (!best || e.likelihood > best->likelihood) best = e;
   }
-  if (!best && !cells.empty()) {
+  if (!best && !order.empty()) {
     // hill_climb_starts == 0: grid-only mode (latency ablation).
-    const geom::Vec2 p = map.cell_center(cells[0].ix, cells[0].iy);
-    best = LocationEstimate{p, cells[0].value};
+    const std::size_t cell = order[0];
+    best = LocationEstimate{map.cell_center(cell % map.nx, cell / map.nx),
+                            map.cells[cell]};
   }
   return best;
 }

@@ -5,7 +5,11 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "aoa/spectrum.h"
@@ -33,7 +37,10 @@ struct LocalizerOptions {
   /// zeroing the whole product (the paper's synthesis works because a
   /// disagreeing AP only weakens a location, it does not veto it).
   double floor = 0.05;
-  /// Worker threads for the grid evaluation; 0 = hardware concurrency.
+  /// Parallelism bound for the grid evaluation and the server's per-AP
+  /// fan-out, both serviced by the shared core::ThreadPool; 0 = the
+  /// pool's full width, 1 = serial. Results are identical for every
+  /// value (chunks write disjoint slots).
   std::size_t threads = 0;
 };
 
@@ -80,8 +87,21 @@ class Localizer {
   LocationEstimate hill_climb(const std::vector<ApSpectrum>& aps,
                               geom::Vec2 start) const;
 
+  /// Local bearing from an AP pose toward every grid cell, cached per
+  /// pose: AP poses and the grid are fixed for the life of a server,
+  /// so the atan2 per (cell, AP) — the dominant cost of the grid
+  /// search — is paid once, not on every fix. Values are exactly the
+  /// bearings the uncached path computes, so results are unchanged.
+  std::shared_ptr<const std::vector<double>> bearing_table(
+      const ApSpectrum& ap, std::size_t nx, std::size_t ny) const;
+
   geom::Rect bounds_;
   LocalizerOptions opt_;
+
+  using PoseKey = std::tuple<double, double, double>;  // x, y, orientation
+  mutable std::mutex cache_mutex_;
+  mutable std::map<PoseKey, std::shared_ptr<const std::vector<double>>>
+      bearing_cache_;
 };
 
 }  // namespace arraytrack::core

@@ -1,0 +1,146 @@
+// Tests for the persistent worker pool and, more importantly, for the
+// contract it must keep: routing the server's hot paths through the
+// pool must not change a single output bit, whatever the pool width.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/arraytrack.h"
+#include "core/thread_pool.h"
+
+namespace arraytrack::core {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(0, hits.size(), 0,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RangesCoverExactlyOnce) {
+  ThreadPool pool(2);
+  for (std::size_t n : {1u, 2u, 7u, 64u, 97u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_ranges(n, 0, [&](std::size_t lo, std::size_t hi) {
+      ASSERT_LT(lo, hi);
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, MaxParallelOneIsServedInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(0, 16, 1, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, NestedParallelismDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, 0, [&](std::size_t) {
+    pool.parallel_for(0, 8, 0, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 8, 0,
+                                 [&](std::size_t i) {
+                                   if (i == 5)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 4, 0, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsPersistent) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+// --- Pool-width invariance of the server outputs ------------------------
+
+struct Rig {
+  explicit Rig(std::size_t threads) : plan(make_plan()) {
+    SystemConfig cfg;
+    cfg.server.localizer.grid_step_m = 0.25;  // keep tests quick
+    cfg.server.localizer.threads = threads;
+    sys = std::make_unique<System>(&plan, cfg);
+    sys->add_ap({1, 1}, deg2rad(45.0));
+    sys->add_ap({17, 1}, deg2rad(135.0));
+    sys->add_ap({9, 9.5}, deg2rad(-90.0));
+    for (std::size_t f = 0; f < 3; ++f)
+      sys->transmit(0, {12.0, 6.0}, double(f) * 0.03);
+  }
+  static geom::Floorplan make_plan() {
+    geom::Floorplan plan({{0, 0}, {18, 10}});
+    plan.add_wall({0, 0}, {18, 0}, geom::Material::kBrick);
+    plan.add_wall({18, 0}, {18, 10}, geom::Material::kBrick);
+    plan.add_wall({18, 10}, {0, 10}, geom::Material::kBrick);
+    plan.add_wall({0, 10}, {0, 0}, geom::Material::kBrick);
+    return plan;
+  }
+  geom::Floorplan plan;
+  std::unique_ptr<System> sys;
+};
+
+TEST(PoolDeterminismTest, ClientSpectraIdenticalAcrossPoolWidths) {
+  Rig serial(1);
+  const auto want = serial.sys->server().client_spectra(0, 0.1);
+  ASSERT_EQ(want.size(), 3u);
+
+  for (std::size_t threads : {std::size_t(2), std::size_t(0)}) {
+    Rig rig(threads);
+    const auto got = rig.sys->server().client_spectra(0, 0.1);
+    ASSERT_EQ(got.size(), want.size()) << "threads=" << threads;
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[k].ap_position.x, want[k].ap_position.x);
+      EXPECT_EQ(got[k].ap_position.y, want[k].ap_position.y);
+      EXPECT_EQ(got[k].orientation_rad, want[k].orientation_rad);
+      ASSERT_EQ(got[k].spectrum.bins(), want[k].spectrum.bins());
+      for (std::size_t i = 0; i < want[k].spectrum.bins(); ++i)
+        ASSERT_EQ(got[k].spectrum[i], want[k].spectrum[i])
+            << "threads=" << threads << " ap=" << k << " bin=" << i;
+    }
+  }
+}
+
+TEST(PoolDeterminismTest, HeatmapAndLocateIdenticalAcrossPoolWidths) {
+  Rig serial(1);
+  const auto want_map = serial.sys->heatmap(0, 0.1);
+  const auto want_fix = serial.sys->locate(0, 0.1);
+  ASSERT_TRUE(want_map.has_value());
+  ASSERT_TRUE(want_fix.has_value());
+
+  for (std::size_t threads : {std::size_t(2), std::size_t(0)}) {
+    Rig rig(threads);
+    const auto map = rig.sys->heatmap(0, 0.1);
+    ASSERT_TRUE(map.has_value()) << "threads=" << threads;
+    ASSERT_EQ(map->cells.size(), want_map->cells.size());
+    for (std::size_t i = 0; i < map->cells.size(); ++i)
+      ASSERT_EQ(map->cells[i], want_map->cells[i])
+          << "threads=" << threads << " cell=" << i;
+
+    const auto fix = rig.sys->locate(0, 0.1);
+    ASSERT_TRUE(fix.has_value()) << "threads=" << threads;
+    EXPECT_EQ(fix->position.x, want_fix->position.x);
+    EXPECT_EQ(fix->position.y, want_fix->position.y);
+    EXPECT_EQ(fix->likelihood, want_fix->likelihood);
+  }
+}
+
+}  // namespace
+}  // namespace arraytrack::core
