@@ -28,10 +28,14 @@ inline void measured_note(const std::string& text) {
 /// Writes a flat one-object JSON file so the perf trajectory of the
 /// latency benches can be tracked across PRs by machine. The schema is
 /// a "bench" name plus numeric fields (NaN/inf are emitted as null,
-/// which JSON requires).
+/// which JSON requires) and optional string fields (e.g. the active
+/// SIMD dispatch level). Each bench writes its own BENCH_<name>.json;
+/// two benches must never share a path (last writer wins).
 inline void write_bench_json(
     const std::string& path, const std::string& bench_name,
-    const std::vector<std::pair<std::string, double>>& fields) {
+    const std::vector<std::pair<std::string, double>>& fields,
+    const std::vector<std::pair<std::string, std::string>>& string_fields =
+        {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "write_bench_json: cannot open %s\n", path.c_str());
@@ -44,6 +48,8 @@ inline void write_bench_json(
     else
       std::fprintf(f, ",\n  \"%s\": null", key.c_str());
   }
+  for (const auto& [key, value] : string_fields)
+    std::fprintf(f, ",\n  \"%s\": \"%s\"", key.c_str(), value.c_str());
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("telemetry: wrote %s\n", path.c_str());

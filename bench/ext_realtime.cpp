@@ -6,6 +6,7 @@
 // the paper's Matlab backend.
 #include "bench_util.h"
 #include "core/realtime.h"
+#include "core/simd.h"
 #include "phy/mac.h"
 #include "testbed/office.h"
 
@@ -58,13 +59,14 @@ int main() {
   // Perf trajectory telemetry from the native-speed run: end-to-end
   // fix latency under Poisson load on the 6-AP office testbed.
   bench::write_bench_json(
-      "BENCH_latency.json", "ext_realtime",
+      "BENCH_ext_realtime.json", "ext_realtime",
       {{"median_fix_latency_ms", native.latency_percentile(50) * 1e3},
        {"p95_fix_latency_ms", native.latency_percentile(95) * 1e3},
        {"fixes_per_sec", native.fix_rate_hz()},
        {"frames_in", double(native.frames_in)},
        {"jobs_coalesced", double(native.jobs_coalesced)},
        {"median_error_cm", native.median_error_m() * 100.0},
-       {"threads", double(native.pool_threads)}});
+       {"threads", double(native.pool_threads)}},
+      {{"simd_level", core::simd::name(core::simd::active())}});
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "core/latency.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
 #include "testbed/runner.h"
 
@@ -85,8 +86,9 @@ void BM_SingleMusicSpectrum(benchmark::State& state) {
 BENCHMARK(BM_SingleMusicSpectrum)->Unit(benchmark::kMillisecond);
 
 // Measures the steady-state server on `sys` and writes
-// BENCH_latency.json: per-fix latency percentiles, spectra/sec,
-// heatmap cells/sec, and the pool width that produced them.
+// BENCH_fig21_latency.json: per-fix latency percentiles, spectra/sec,
+// heatmap cells/sec, and the pool width + SIMD dispatch level that
+// produced them.
 void emit_telemetry(core::System& sys, int reps, const char* mode) {
   using clock = std::chrono::steady_clock;
   auto seconds = [](clock::duration d) {
@@ -129,18 +131,20 @@ void emit_telemetry(core::System& sys, int reps, const char* mode) {
   const double cells_per_sec = double(cells) / seconds(clock::now() - th0);
 
   bench::write_bench_json(
-      "BENCH_latency.json", std::string("fig21_latency_") + mode,
+      "BENCH_fig21_latency.json", std::string("fig21_latency_") + mode,
       {{"median_fix_latency_ms", median},
        {"p95_fix_latency_ms", p95},
        {"spectra_per_sec", spectra_per_sec},
        {"heatmap_cells_per_sec", cells_per_sec},
        {"threads", double(core::ThreadPool::shared().size())},
-       {"num_aps", double(sys.num_aps())}});
+       {"num_aps", double(sys.num_aps())}},
+      {{"simd_level", core::simd::name(core::simd::active())}});
   std::printf(
       "per-fix Tp: median %.2f ms, p95 %.2f ms | %.0f spectra/s | "
-      "%.3g heatmap cells/s | pool width %zu\n",
+      "%.3g heatmap cells/s | pool width %zu | simd %s\n",
       median, p95, spectra_per_sec, cells_per_sec,
-      core::ThreadPool::shared().size());
+      core::ThreadPool::shared().size(),
+      core::simd::name(core::simd::active()));
 }
 
 // Tiny scenario for the bench_smoke ctest: three APs in a small room,

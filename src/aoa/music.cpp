@@ -4,16 +4,19 @@
 #include <stdexcept>
 
 #include "aoa/covariance.h"
+#include "linalg/kernels.h"
 
 namespace arraytrack::aoa {
 namespace {
 
-// Conjugated, normalized steering vectors as contiguous matrix rows,
-// plus each row's exact squared norm. The projector-form sweep
-// evaluates a^H e as (conj-row) . e, so storing conj(a) makes the
-// inner loop a plain multiply-accumulate over contiguous memory.
+// Conjugated, normalized steering vectors stored split-complex
+// (antenna-major planes), plus each row's exact squared norm. The
+// projector-form sweep evaluates a^H e as (conj-row) . e, so storing
+// conj(a) makes the inner loop a plain multiply-accumulate; the SoA
+// layout lets kernels::projector_power run it as contiguous FMA
+// streams over adjacent bins.
 struct SteeringTable {
-  linalg::CMatrix conj_rows;
+  linalg::SplitPlanes conj_planes;
   std::vector<double> norm2;
 };
 
@@ -22,14 +25,14 @@ SteeringTable build_table(const array::PlacedArray& array,
                           double lambda_m, std::size_t rows,
                           std::size_t total_bins) {
   SteeringTable t;
-  t.conj_rows = linalg::CMatrix(rows, elements.size());
+  t.conj_planes.resize(rows, elements.size());
   t.norm2.reserve(rows);
   for (std::size_t i = 0; i < rows; ++i) {
     const double theta = kTwoPi * double(i) / double(total_bins);
     const auto a = array.steering_subset(theta, lambda_m, elements).normalized();
     double n2 = 0.0;
     for (std::size_t m = 0; m < a.size(); ++m) {
-      t.conj_rows(i, m) = std::conj(a[m]);
+      t.conj_planes.set(m, i, std::conj(a[m]));
       n2 += std::norm(a[m]);
     }
     t.norm2.push_back(n2);
@@ -37,24 +40,31 @@ SteeringTable build_table(const array::PlacedArray& array,
   return t;
 }
 
-// Signal-subspace projector evaluation of the MUSIC denominator for
-// one steering row:
-//   a^H E_n E_n^H a = |a|^2 - sum_{s} |e_s^H a|^2
-// with e_s the d signal eigenvectors — d dot products instead of the
-// naive m - d over the noise subspace (d << m - d in practice).
-double projector_denominator(const linalg::CMatrix& conj_rows, std::size_t row,
-                             double norm2, const linalg::CMatrix& eigenvectors,
-                             std::size_t num_signals) {
-  const std::size_t m = conj_rows.cols();
-  double signal = 0.0;
+// Signal-subspace power of every swept bin against the d dominant
+// eigenvectors, via the dispatched SIMD kernel:
+//   signal[i] = sum_{s} |e_s^H a_i|^2,
+// so the MUSIC denominator is |a_i|^2 - signal[i] — d dot products per
+// bin instead of the naive m - d over the noise subspace (d << m - d
+// in practice).
+std::vector<double> projector_signal_power(const linalg::SplitPlanes& table,
+                                           const linalg::CMatrix& eigenvectors,
+                                           std::size_t num_signals) {
+  const std::size_t m = table.m;
+  // Pack the signal eigenvectors (largest-eigenvalue columns) into
+  // vector-major split-complex arrays for the kernel broadcast loop.
+  std::vector<double> ev_re(num_signals * m), ev_im(num_signals * m);
   for (std::size_t s = 0; s < num_signals; ++s) {
-    const std::size_t col = m - 1 - s;  // largest-eigenvalue columns
-    cplx acc{0.0, 0.0};
-    for (std::size_t k = 0; k < m; ++k)
-      acc += conj_rows(row, k) * eigenvectors(k, col);
-    signal += std::norm(acc);
+    const std::size_t col = m - 1 - s;
+    for (std::size_t k = 0; k < m; ++k) {
+      const cplx e = eigenvectors(k, col);
+      ev_re[s * m + k] = e.real();
+      ev_im[s * m + k] = e.imag();
+    }
   }
-  return norm2 - signal;
+  std::vector<double> signal(table.rows);
+  linalg::kernels::projector_power(table, ev_re.data(), ev_im.data(),
+                                   num_signals, signal.data());
+  return signal;
 }
 
 }  // namespace
@@ -75,7 +85,7 @@ MusicEstimator::MusicEstimator(const array::PlacedArray* array,
   const std::vector<std::size_t> sub(elements_.begin(),
                                      elements_.begin() + std::ptrdiff_t(ms));
   auto table = build_table(*array_, sub, lambda_, opt_.bins / 2 + 1, opt_.bins);
-  steering_conj_rows_ = std::move(table.conj_rows);
+  steering_conj_ = std::move(table.conj_planes);
   steering_norm2_ = std::move(table.norm2);
 }
 
@@ -109,12 +119,12 @@ AoaSpectrum MusicEstimator::spectrum_from_covariance(
 
   const auto eig = linalg::eig_hermitian(rs);
   const std::size_t d = estimate_num_signals(eig.eigenvalues);
+  const auto signal = projector_signal_power(steering_conj_, eig.eigenvectors, d);
 
   AoaSpectrum spec(opt_.bins);
   const std::size_t half = opt_.bins / 2;
   for (std::size_t i = 0; i <= half; ++i) {
-    const double denom = projector_denominator(
-        steering_conj_rows_, i, steering_norm2_[i], eig.eigenvectors, d);
+    const double denom = steering_norm2_[i] - signal[i];
     const double p = 1.0 / std::max(denom, 1e-12);
     spec[i] = p;
     // Linear-array mirror: bearing -theta is indistinguishable.
@@ -133,7 +143,7 @@ GeneralMusic::GeneralMusic(const array::PlacedArray* array,
   if (elements_.size() < 2)
     throw std::invalid_argument("GeneralMusic: need at least two elements");
   auto table = build_table(*array_, elements_, lambda_, opt_.bins, opt_.bins);
-  steering_conj_rows_ = std::move(table.conj_rows);
+  steering_conj_ = std::move(table.conj_planes);
   steering_norm2_ = std::move(table.norm2);
 }
 
@@ -157,10 +167,10 @@ AoaSpectrum GeneralMusic::spectrum_from_covariance(
   }
   d = std::min(std::max<std::size_t>(d, 1), m - 1);
 
+  const auto signal = projector_signal_power(steering_conj_, eig.eigenvectors, d);
   AoaSpectrum spec(opt_.bins);
   for (std::size_t i = 0; i < opt_.bins; ++i) {
-    const double denom = projector_denominator(
-        steering_conj_rows_, i, steering_norm2_[i], eig.eigenvectors, d);
+    const double denom = steering_norm2_[i] - signal[i];
     spec[i] = 1.0 / std::max(denom, 1e-12);
   }
   return spec;
@@ -178,14 +188,38 @@ linalg::CMatrix bartlett_steering_table(
   return rows;
 }
 
+linalg::SplitPlanes bartlett_split_table(
+    const array::PlacedArray& array, const std::vector<std::size_t>& elements,
+    double lambda_m, std::size_t bins) {
+  linalg::SplitPlanes planes(bins, elements.size());
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double theta = kTwoPi * double(i) / double(bins);
+    const auto a = array.steering_subset(theta, lambda_m, elements).normalized();
+    for (std::size_t m = 0; m < a.size(); ++m) planes.set(m, i, a[m]);
+  }
+  return planes;
+}
+
+AoaSpectrum bartlett_spectrum(const linalg::SplitPlanes& steering,
+                              const linalg::CMatrix& r) {
+  if (r.rows() != steering.m)
+    throw std::invalid_argument("bartlett_spectrum: covariance size mismatch");
+  AoaSpectrum spec(steering.rows);
+  linalg::kernels::bartlett_power(steering, r.data(), &spec[0]);
+  return spec;
+}
+
 AoaSpectrum bartlett_spectrum(const linalg::CMatrix& steering_rows,
                               const linalg::CMatrix& r) {
   if (r.rows() != steering_rows.cols())
     throw std::invalid_argument("bartlett_spectrum: covariance size mismatch");
-  AoaSpectrum spec(steering_rows.rows());
+  // Re-lay the rows split-complex; the copy is O(bins * m) against the
+  // O(bins * m^2) sweep it feeds.
+  linalg::SplitPlanes planes(steering_rows.rows(), steering_rows.cols());
   for (std::size_t i = 0; i < steering_rows.rows(); ++i)
-    spec[i] = linalg::quadratic_form_real(steering_rows.row(i), r);
-  return spec;
+    for (std::size_t m = 0; m < steering_rows.cols(); ++m)
+      planes.set(m, i, steering_rows(i, m));
+  return bartlett_spectrum(planes, r);
 }
 
 AoaSpectrum bartlett_spectrum(const array::PlacedArray& array,
@@ -194,8 +228,8 @@ AoaSpectrum bartlett_spectrum(const array::PlacedArray& array,
                               std::size_t bins) {
   if (r.rows() != elements.size())
     throw std::invalid_argument("bartlett_spectrum: covariance size mismatch");
-  return bartlett_spectrum(
-      bartlett_steering_table(array, elements, lambda_m, bins), r);
+  return bartlett_spectrum(bartlett_split_table(array, elements, lambda_m, bins),
+                           r);
 }
 
 }  // namespace arraytrack::aoa

@@ -7,6 +7,7 @@
 #include "aoa/spectrum.h"
 #include "array/placed_array.h"
 #include "linalg/eigen.h"
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 
 namespace arraytrack::aoa {
@@ -60,12 +61,13 @@ class MusicEstimator {
   std::vector<std::size_t> elements_;
   double lambda_;
   MusicOptions opt_;
-  /// Precomputed steering table: row i holds the *conjugated*
-  /// normalized subarray steering vector for swept bin i over [0, pi],
-  /// stored contiguously ((bins/2 + 1) x subarray_size) so the per-bin
-  /// projector evaluation is one cache-friendly matvec row. The
-  /// vectors depend only on (geometry, lambda, bins).
-  linalg::CMatrix steering_conj_rows_;
+  /// Precomputed steering table: plane k holds the *conjugated*
+  /// normalized subarray steering component for antenna k across all
+  /// swept bins over [0, pi], split-complex (separate re/im planes) so
+  /// the projector sweep runs as contiguous FMA streams over adjacent
+  /// bins (kernels::projector_power). The values depend only on
+  /// (geometry, lambda, bins).
+  linalg::SplitPlanes steering_conj_;
   /// |a_i|^2 per table row (== 1 up to rounding); using the exact
   /// value keeps the projector identity tight.
   std::vector<double> steering_norm2_;
@@ -96,11 +98,11 @@ class GeneralMusic {
   std::vector<std::size_t> elements_;
   double lambda_;
   GeneralMusicOptions opt_;
-  /// Conjugated normalized full-circle steering table (bins x m),
-  /// cached at construction — it depends only on (elements, lambda,
-  /// bins), all fixed here, and rebuilding it per spectrum call used
-  /// to dominate the sweep.
-  linalg::CMatrix steering_conj_rows_;
+  /// Conjugated normalized full-circle steering table (split-complex,
+  /// bins rows x m planes), cached at construction — it depends only
+  /// on (elements, lambda, bins), all fixed here, and rebuilding it
+  /// per spectrum call used to dominate the sweep.
+  linalg::SplitPlanes steering_conj_;
   std::vector<double> steering_norm2_;
 };
 
@@ -121,9 +123,20 @@ linalg::CMatrix bartlett_steering_table(const array::PlacedArray& array,
                                         double lambda_m,
                                         std::size_t bins = 720);
 
+/// Split-complex variant of bartlett_steering_table: plane k holds
+/// antenna k across all bins, feeding the vectorized sweep directly
+/// with no per-call relayout.
+linalg::SplitPlanes bartlett_split_table(
+    const array::PlacedArray& array, const std::vector<std::size_t>& elements,
+    double lambda_m, std::size_t bins = 720);
+
 /// Bartlett spectrum from a precomputed steering table; one row of
 /// `steering_rows` per output bin.
 AoaSpectrum bartlett_spectrum(const linalg::CMatrix& steering_rows,
+                              const linalg::CMatrix& r);
+
+/// Bartlett spectrum from a precomputed split-complex steering table.
+AoaSpectrum bartlett_spectrum(const linalg::SplitPlanes& steering,
                               const linalg::CMatrix& r);
 
 }  // namespace arraytrack::aoa

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/thread_pool.h"
+#include "linalg/kernels.h"
 
 namespace arraytrack::core {
 
@@ -57,9 +58,11 @@ double Localizer::likelihood(const std::vector<ApSpectrum>& aps,
   return l;
 }
 
-std::shared_ptr<const std::vector<double>> Localizer::bearing_table(
+std::shared_ptr<const Localizer::BearingLut> Localizer::bearing_lut(
     const ApSpectrum& ap, std::size_t nx, std::size_t ny) const {
-  const PoseKey key{ap.ap_position.x, ap.ap_position.y, ap.orientation_rad};
+  const std::size_t bins = ap.spectrum.bins();
+  const LutKey key{ap.ap_position.x, ap.ap_position.y, ap.orientation_rad,
+                   bins};
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = bearing_cache_.find(key);
@@ -72,19 +75,30 @@ std::shared_ptr<const std::vector<double>> Localizer::bearing_table(
   probe.bounds = bounds_;
   probe.nx = nx;
   probe.ny = ny;
-  auto table = std::make_shared<std::vector<double>>(nx * ny);
+  auto lut = std::make_shared<BearingLut>();
+  lut->bin0.resize(nx * ny);
+  lut->bin1.resize(nx * ny);
+  lut->frac.resize(nx * ny);
+  const double bin_width = kTwoPi / double(bins);
   for (std::size_t iy = 0; iy < ny; ++iy)
     for (std::size_t ix = 0; ix < nx; ++ix) {
       const geom::Vec2 x = probe.cell_center(ix, iy);
       const double world = (x - ap.ap_position).angle();
-      (*table)[iy * nx + ix] = wrap_2pi(world - ap.orientation_rad);
+      // Exactly AoaSpectrum::value_at's bin/weight derivation applied
+      // to the bearing the uncached path would pass it.
+      const double w = wrap_2pi(world - ap.orientation_rad) / bin_width;
+      const std::size_t i0 = std::size_t(w) % bins;
+      const std::size_t cell = iy * nx + ix;
+      lut->bin0[cell] = std::int32_t(i0);
+      lut->bin1[cell] = std::int32_t((i0 + 1) % bins);
+      lut->frac[cell] = w - std::floor(w);
     }
 
   std::lock_guard<std::mutex> lock(cache_mutex_);
   // A handful of fixed AP poses is the expected population; a runaway
   // caller (e.g. sweeping synthetic poses) just flushes the cache.
   if (bearing_cache_.size() >= 64) bearing_cache_.clear();
-  return bearing_cache_.emplace(key, std::move(table)).first->second;
+  return bearing_cache_.emplace(key, std::move(lut)).first->second;
 }
 
 Heatmap Localizer::heatmap(const std::vector<ApSpectrum>& aps) const {
@@ -92,26 +106,31 @@ Heatmap Localizer::heatmap(const std::vector<ApSpectrum>& aps) const {
   map.bounds = bounds_;
   map.nx = std::max<std::size_t>(1, std::size_t(bounds_.width() / opt_.grid_step_m));
   map.ny = std::max<std::size_t>(1, std::size_t(bounds_.height() / opt_.grid_step_m));
-  map.cells.assign(map.nx * map.ny, 0.0);
+  map.cells.assign(map.nx * map.ny, 1.0);
 
-  std::vector<std::shared_ptr<const std::vector<double>>> bearings;
-  bearings.reserve(aps.size());
-  for (const auto& ap : aps) bearings.push_back(bearing_table(ap, map.nx, map.ny));
+  std::vector<std::shared_ptr<const BearingLut>> luts(aps.size());
+  for (std::size_t k = 0; k < aps.size(); ++k)
+    if (!aps[k].spectrum.empty()) luts[k] = bearing_lut(aps[k], map.nx, map.ny);
 
   // Row chunks on the shared pool; every cell is an independent write,
-  // so the chunking (and pool width) cannot change the result.
+  // and the kernel's remainder lanes round exactly like its full
+  // lanes, so the chunking (and pool width) cannot change the result.
   ThreadPool::shared().parallel_ranges(
       map.ny, opt_.threads, [&](std::size_t y0, std::size_t y1) {
-        for (std::size_t iy = y0; iy < y1; ++iy)
-          for (std::size_t ix = 0; ix < map.nx; ++ix) {
-            const std::size_t cell = iy * map.nx + ix;
-            double l = 1.0;
-            for (std::size_t k = 0; k < aps.size(); ++k)
-              l *= std::max(
-                  aps[k].spectrum.value_at((*bearings[k])[cell]),
-                  opt_.floor);
-            map.cells[cell] = l;
+        const std::size_t c0 = y0 * map.nx;
+        const std::size_t count = (y1 - y0) * map.nx;
+        for (std::size_t k = 0; k < aps.size(); ++k) {
+          if (!luts[k]) {
+            // Empty spectrum: value_at reads 0, clamped to the floor.
+            const double v = std::max(0.0, opt_.floor);
+            for (std::size_t c = c0; c < c0 + count; ++c) map.cells[c] *= v;
+            continue;
           }
+          linalg::kernels::gather_lerp_product(
+              aps[k].spectrum.values().data(), luts[k]->bin0.data() + c0,
+              luts[k]->bin1.data() + c0, luts[k]->frac.data() + c0, count,
+              opt_.floor, map.cells.data() + c0);
+        }
       });
   return map;
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -87,21 +88,33 @@ class Localizer {
   LocationEstimate hill_climb(const std::vector<ApSpectrum>& aps,
                               geom::Vec2 start) const;
 
-  /// Local bearing from an AP pose toward every grid cell, cached per
-  /// pose: AP poses and the grid are fixed for the life of a server,
-  /// so the atan2 per (cell, AP) — the dominant cost of the grid
-  /// search — is paid once, not on every fix. Values are exactly the
-  /// bearings the uncached path computes, so results are unchanged.
-  std::shared_ptr<const std::vector<double>> bearing_table(
-      const ApSpectrum& ap, std::size_t nx, std::size_t ny) const;
+  /// Per-cell spectrum lookup, precomputed: the interpolation bin pair
+  /// and lerp weight that AoaSpectrum::value_at would derive from the
+  /// bearing toward the cell. Flat arrays so the heatmap inner loop is
+  /// a branch-free gather + lerp + product (kernels::gather_lerp_product)
+  /// instead of wrap_2pi + value_at per (cell, AP).
+  struct BearingLut {
+    std::vector<std::int32_t> bin0, bin1;
+    std::vector<double> frac;
+  };
+
+  /// The lookup table from an AP pose toward every grid cell, cached
+  /// per (pose, spectrum bin count): AP poses and the grid are fixed
+  /// for the life of a server, so the atan2 per (cell, AP) — the
+  /// dominant cost of the grid search — is paid once, not on every
+  /// fix. The stored (bin, weight) pairs are exactly what the uncached
+  /// value_at path computes, so results are unchanged.
+  std::shared_ptr<const BearingLut> bearing_lut(const ApSpectrum& ap,
+                                                std::size_t nx,
+                                                std::size_t ny) const;
 
   geom::Rect bounds_;
   LocalizerOptions opt_;
 
-  using PoseKey = std::tuple<double, double, double>;  // x, y, orientation
+  // x, y, orientation, spectrum bins
+  using LutKey = std::tuple<double, double, double, std::size_t>;
   mutable std::mutex cache_mutex_;
-  mutable std::map<PoseKey, std::shared_ptr<const std::vector<double>>>
-      bearing_cache_;
+  mutable std::map<LutKey, std::shared_ptr<const BearingLut>> bearing_cache_;
 };
 
 }  // namespace arraytrack::core

@@ -2,8 +2,9 @@
 //
 // ArrayTrack's heaviest numerical kernel is MUSIC on an MxM antenna
 // covariance matrix with M <= 16, so this module favours clarity and
-// exact semantics over blocking/SIMD tricks. Storage is row-major,
-// owned by a std::vector (RAII, value semantics).
+// exact semantics; the dense sweep hot loops live in the SIMD kernel
+// layer (kernels.h) instead. Storage is row-major, owned by a
+// std::vector (RAII, value semantics).
 #pragma once
 
 #include <cassert>
@@ -104,6 +105,10 @@ class CMatrix {
     assert(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
+
+  /// Raw row-major storage, for the SIMD kernel layer (kernels.h).
+  const cplx* data() const { return data_.data(); }
+  cplx* data() { return data_.data(); }
 
   CMatrix& operator+=(const CMatrix& rhs);
   CMatrix& operator-=(const CMatrix& rhs);

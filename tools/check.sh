@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 gate, run twice:
+#
+#   pass 1  default Release configuration, full ctest — what CI and the
+#           driver run.
+#   pass 2  UBSan build (ARRAYTRACK_SANITIZE=undefined) with the kernel
+#           layer forced to its scalar paths via ARRAYTRACK_FORCE_SCALAR=1.
+#           The dispatch-override tests force SSE2/AVX2 programmatically
+#           (simd::force beats the environment), so the intrinsics paths
+#           still execute under UBSan even though the ambient level is
+#           scalar.
+#
+# Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prefix="${1:-build-check}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_pass() {
+  local dir="$1"; shift
+  local label="$1"; shift
+  echo "=== ${label} (${dir}) ==="
+  cmake -B "${dir}" -S . "$@"
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure
+}
+
+run_pass "${prefix}" "pass 1: default build + ctest"
+
+ARRAYTRACK_FORCE_SCALAR=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  run_pass "${prefix}-ubsan" \
+           "pass 2: UBSan build + ctest (scalar dispatch)" \
+           -DARRAYTRACK_SANITIZE=undefined
+
+echo "=== all checks passed ==="
