@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixA_height_error.dir/appendixA_height_error.cpp.o"
+  "CMakeFiles/appendixA_height_error.dir/appendixA_height_error.cpp.o.d"
+  "appendixA_height_error"
+  "appendixA_height_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_height_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

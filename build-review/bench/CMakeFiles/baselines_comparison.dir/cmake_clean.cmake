@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_comparison.dir/baselines_comparison.cpp.o"
+  "CMakeFiles/baselines_comparison.dir/baselines_comparison.cpp.o.d"
+  "baselines_comparison"
+  "baselines_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext3d_height.dir/ext3d_height.cpp.o"
+  "CMakeFiles/ext3d_height.dir/ext3d_height.cpp.o.d"
+  "ext3d_height"
+  "ext3d_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3d_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext3d_height.
+# This may be replaced when dependencies are built.

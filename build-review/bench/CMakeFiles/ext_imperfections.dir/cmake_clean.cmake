@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_imperfections.dir/ext_imperfections.cpp.o"
+  "CMakeFiles/ext_imperfections.dir/ext_imperfections.cpp.o.d"
+  "ext_imperfections"
+  "ext_imperfections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_imperfections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_realtime.dir/ext_realtime.cpp.o"
+  "CMakeFiles/ext_realtime.dir/ext_realtime.cpp.o.d"
+  "ext_realtime"
+  "ext_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

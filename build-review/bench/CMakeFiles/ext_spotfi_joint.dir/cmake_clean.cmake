@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spotfi_joint.dir/ext_spotfi_joint.cpp.o"
+  "CMakeFiles/ext_spotfi_joint.dir/ext_spotfi_joint.cpp.o.d"
+  "ext_spotfi_joint"
+  "ext_spotfi_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spotfi_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_traffic.dir/ext_traffic.cpp.o"
+  "CMakeFiles/ext_traffic.dir/ext_traffic.cpp.o.d"
+  "ext_traffic"
+  "ext_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_static_cdf.dir/fig13_static_cdf.cpp.o"
+  "CMakeFiles/fig13_static_cdf.dir/fig13_static_cdf.cpp.o.d"
+  "fig13_static_cdf"
+  "fig13_static_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_static_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_heatmaps.dir/fig14_heatmaps.cpp.o"
+  "CMakeFiles/fig14_heatmaps.dir/fig14_heatmaps.cpp.o.d"
+  "fig14_heatmaps"
+  "fig14_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_arraytrack_cdf.dir/fig15_arraytrack_cdf.cpp.o"
+  "CMakeFiles/fig15_arraytrack_cdf.dir/fig15_arraytrack_cdf.cpp.o.d"
+  "fig15_arraytrack_cdf"
+  "fig15_arraytrack_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_arraytrack_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

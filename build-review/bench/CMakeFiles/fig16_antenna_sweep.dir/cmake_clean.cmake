@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_antenna_sweep.dir/fig16_antenna_sweep.cpp.o"
+  "CMakeFiles/fig16_antenna_sweep.dir/fig16_antenna_sweep.cpp.o.d"
+  "fig16_antenna_sweep"
+  "fig16_antenna_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_antenna_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_pillar_blocking.dir/fig17_pillar_blocking.cpp.o"
+  "CMakeFiles/fig17_pillar_blocking.dir/fig17_pillar_blocking.cpp.o.d"
+  "fig17_pillar_blocking"
+  "fig17_pillar_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_pillar_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_robustness.dir/fig18_robustness.cpp.o"
+  "CMakeFiles/fig18_robustness.dir/fig18_robustness.cpp.o.d"
+  "fig18_robustness"
+  "fig18_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

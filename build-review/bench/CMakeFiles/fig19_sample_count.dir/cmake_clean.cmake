@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_sample_count.dir/fig19_sample_count.cpp.o"
+  "CMakeFiles/fig19_sample_count.dir/fig19_sample_count.cpp.o.d"
+  "fig19_sample_count"
+  "fig19_sample_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_sample_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

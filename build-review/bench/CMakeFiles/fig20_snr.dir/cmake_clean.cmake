@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_snr.dir/fig20_snr.cpp.o"
+  "CMakeFiles/fig20_snr.dir/fig20_snr.cpp.o.d"
+  "fig20_snr"
+  "fig20_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_latency.dir/fig21_latency.cpp.o"
+  "CMakeFiles/fig21_latency.dir/fig21_latency.cpp.o.d"
+  "fig21_latency"
+  "fig21_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

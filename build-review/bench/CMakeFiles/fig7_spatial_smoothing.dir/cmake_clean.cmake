@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spatial_smoothing.dir/fig7_spatial_smoothing.cpp.o"
+  "CMakeFiles/fig7_spatial_smoothing.dir/fig7_spatial_smoothing.cpp.o.d"
+  "fig7_spatial_smoothing"
+  "fig7_spatial_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spatial_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

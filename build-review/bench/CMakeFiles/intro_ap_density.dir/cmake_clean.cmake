@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_ap_density.dir/intro_ap_density.cpp.o"
+  "CMakeFiles/intro_ap_density.dir/intro_ap_density.cpp.o.d"
+  "intro_ap_density"
+  "intro_ap_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_ap_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

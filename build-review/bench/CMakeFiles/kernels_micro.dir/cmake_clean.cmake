@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_micro.dir/kernels_micro.cpp.o"
+  "CMakeFiles/kernels_micro.dir/kernels_micro.cpp.o.d"
+  "kernels_micro"
+  "kernels_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

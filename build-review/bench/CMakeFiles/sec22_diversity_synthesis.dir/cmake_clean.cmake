@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_diversity_synthesis.dir/sec22_diversity_synthesis.cpp.o"
+  "CMakeFiles/sec22_diversity_synthesis.dir/sec22_diversity_synthesis.cpp.o.d"
+  "sec22_diversity_synthesis"
+  "sec22_diversity_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_diversity_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

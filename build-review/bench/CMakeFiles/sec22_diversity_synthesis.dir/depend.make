@@ -1,0 +1,2 @@
+# Empty dependencies file for sec22_diversity_synthesis.
+# This may be replaced when dependencies are built.

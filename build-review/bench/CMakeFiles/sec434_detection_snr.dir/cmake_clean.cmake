@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec434_detection_snr.dir/sec434_detection_snr.cpp.o"
+  "CMakeFiles/sec434_detection_snr.dir/sec434_detection_snr.cpp.o.d"
+  "sec434_detection_snr"
+  "sec434_detection_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec434_detection_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

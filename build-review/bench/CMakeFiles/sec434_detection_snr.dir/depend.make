@@ -1,0 +1,2 @@
+# Empty dependencies file for sec434_detection_snr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec435_collision_sic.cpp" "bench/CMakeFiles/sec435_collision_sic.dir/sec435_collision_sic.cpp.o" "gcc" "bench/CMakeFiles/sec435_collision_sic.dir/sec435_collision_sic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/testbed/CMakeFiles/at_testbed.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/at_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/at_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/aoa/CMakeFiles/at_aoa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/at_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/channel/CMakeFiles/at_channel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/array/CMakeFiles/at_array.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geom/CMakeFiles/at_geom.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/at_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/at_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

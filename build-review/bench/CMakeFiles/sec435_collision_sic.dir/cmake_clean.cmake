@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec435_collision_sic.dir/sec435_collision_sic.cpp.o"
+  "CMakeFiles/sec435_collision_sic.dir/sec435_collision_sic.cpp.o.d"
+  "sec435_collision_sic"
+  "sec435_collision_sic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec435_collision_sic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec435_collision_sic.
+# This may be replaced when dependencies are built.

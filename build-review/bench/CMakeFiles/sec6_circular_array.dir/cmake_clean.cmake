@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_circular_array.dir/sec6_circular_array.cpp.o"
+  "CMakeFiles/sec6_circular_array.dir/sec6_circular_array.cpp.o.d"
+  "sec6_circular_array"
+  "sec6_circular_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_circular_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

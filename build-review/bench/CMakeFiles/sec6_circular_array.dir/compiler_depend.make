@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec6_circular_array.
+# This may be replaced when dependencies are built.

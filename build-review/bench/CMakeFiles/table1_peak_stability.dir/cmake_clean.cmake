@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_peak_stability.dir/table1_peak_stability.cpp.o"
+  "CMakeFiles/table1_peak_stability.dir/table1_peak_stability.cpp.o.d"
+  "table1_peak_stability"
+  "table1_peak_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_peak_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/root/repo/build-review/bench/fig21_latency" "--smoke")
+set_tests_properties(bench_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(kernels_smoke "/root/repo/build-review/bench/kernels_micro" "--smoke")
+set_tests_properties(kernels_smoke PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;51;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_sic.dir/collision_sic.cpp.o"
+  "CMakeFiles/collision_sic.dir/collision_sic.cpp.o.d"
+  "collision_sic"
+  "collision_sic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_sic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for collision_sic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elevation_3d.dir/elevation_3d.cpp.o"
+  "CMakeFiles/elevation_3d.dir/elevation_3d.cpp.o.d"
+  "elevation_3d"
+  "elevation_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elevation_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

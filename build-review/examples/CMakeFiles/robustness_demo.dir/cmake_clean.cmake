@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_demo.dir/robustness_demo.cpp.o"
+  "CMakeFiles/robustness_demo.dir/robustness_demo.cpp.o.d"
+  "robustness_demo"
+  "robustness_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aoa/covariance.cpp" "src/aoa/CMakeFiles/at_aoa.dir/covariance.cpp.o" "gcc" "src/aoa/CMakeFiles/at_aoa.dir/covariance.cpp.o.d"
+  "/root/repo/src/aoa/elevation.cpp" "src/aoa/CMakeFiles/at_aoa.dir/elevation.cpp.o" "gcc" "src/aoa/CMakeFiles/at_aoa.dir/elevation.cpp.o.d"
+  "/root/repo/src/aoa/joint.cpp" "src/aoa/CMakeFiles/at_aoa.dir/joint.cpp.o" "gcc" "src/aoa/CMakeFiles/at_aoa.dir/joint.cpp.o.d"
+  "/root/repo/src/aoa/music.cpp" "src/aoa/CMakeFiles/at_aoa.dir/music.cpp.o" "gcc" "src/aoa/CMakeFiles/at_aoa.dir/music.cpp.o.d"
+  "/root/repo/src/aoa/spectrum.cpp" "src/aoa/CMakeFiles/at_aoa.dir/spectrum.cpp.o" "gcc" "src/aoa/CMakeFiles/at_aoa.dir/spectrum.cpp.o.d"
+  "/root/repo/src/aoa/symmetry.cpp" "src/aoa/CMakeFiles/at_aoa.dir/symmetry.cpp.o" "gcc" "src/aoa/CMakeFiles/at_aoa.dir/symmetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/array/CMakeFiles/at_array.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/at_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geom/CMakeFiles/at_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

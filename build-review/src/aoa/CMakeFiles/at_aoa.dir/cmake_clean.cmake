@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_aoa.dir/covariance.cpp.o"
+  "CMakeFiles/at_aoa.dir/covariance.cpp.o.d"
+  "CMakeFiles/at_aoa.dir/elevation.cpp.o"
+  "CMakeFiles/at_aoa.dir/elevation.cpp.o.d"
+  "CMakeFiles/at_aoa.dir/joint.cpp.o"
+  "CMakeFiles/at_aoa.dir/joint.cpp.o.d"
+  "CMakeFiles/at_aoa.dir/music.cpp.o"
+  "CMakeFiles/at_aoa.dir/music.cpp.o.d"
+  "CMakeFiles/at_aoa.dir/spectrum.cpp.o"
+  "CMakeFiles/at_aoa.dir/spectrum.cpp.o.d"
+  "CMakeFiles/at_aoa.dir/symmetry.cpp.o"
+  "CMakeFiles/at_aoa.dir/symmetry.cpp.o.d"
+  "libat_aoa.a"
+  "libat_aoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_aoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

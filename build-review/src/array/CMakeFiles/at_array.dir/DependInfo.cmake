@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/calibration.cpp" "src/array/CMakeFiles/at_array.dir/calibration.cpp.o" "gcc" "src/array/CMakeFiles/at_array.dir/calibration.cpp.o.d"
+  "/root/repo/src/array/geometry.cpp" "src/array/CMakeFiles/at_array.dir/geometry.cpp.o" "gcc" "src/array/CMakeFiles/at_array.dir/geometry.cpp.o.d"
+  "/root/repo/src/array/placed_array.cpp" "src/array/CMakeFiles/at_array.dir/placed_array.cpp.o" "gcc" "src/array/CMakeFiles/at_array.dir/placed_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/geom/CMakeFiles/at_geom.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/at_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_array.dir/calibration.cpp.o"
+  "CMakeFiles/at_array.dir/calibration.cpp.o.d"
+  "CMakeFiles/at_array.dir/geometry.cpp.o"
+  "CMakeFiles/at_array.dir/geometry.cpp.o.d"
+  "CMakeFiles/at_array.dir/placed_array.cpp.o"
+  "CMakeFiles/at_array.dir/placed_array.cpp.o.d"
+  "libat_array.a"
+  "libat_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

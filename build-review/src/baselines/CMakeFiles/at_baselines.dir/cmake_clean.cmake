@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_baselines.dir/fingerprint.cpp.o"
+  "CMakeFiles/at_baselines.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/at_baselines.dir/phase_aoa.cpp.o"
+  "CMakeFiles/at_baselines.dir/phase_aoa.cpp.o.d"
+  "CMakeFiles/at_baselines.dir/rssi.cpp.o"
+  "CMakeFiles/at_baselines.dir/rssi.cpp.o.d"
+  "libat_baselines.a"
+  "libat_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

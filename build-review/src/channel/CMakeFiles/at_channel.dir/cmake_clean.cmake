@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_channel.dir/channel.cpp.o"
+  "CMakeFiles/at_channel.dir/channel.cpp.o.d"
+  "CMakeFiles/at_channel.dir/spatial_field.cpp.o"
+  "CMakeFiles/at_channel.dir/spatial_field.cpp.o.d"
+  "libat_channel.a"
+  "libat_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

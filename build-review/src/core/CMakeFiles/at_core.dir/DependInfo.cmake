@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arraytrack.cpp" "src/core/CMakeFiles/at_core.dir/arraytrack.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/arraytrack.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/at_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/localize3d.cpp" "src/core/CMakeFiles/at_core.dir/localize3d.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/localize3d.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/at_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/realtime.cpp" "src/core/CMakeFiles/at_core.dir/realtime.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/realtime.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/at_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/sic.cpp" "src/core/CMakeFiles/at_core.dir/sic.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/sic.cpp.o.d"
+  "/root/repo/src/core/suppression.cpp" "src/core/CMakeFiles/at_core.dir/suppression.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/suppression.cpp.o.d"
+  "/root/repo/src/core/synthesis.cpp" "src/core/CMakeFiles/at_core.dir/synthesis.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/synthesis.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/at_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/at_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/at_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/aoa/CMakeFiles/at_aoa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/phy/CMakeFiles/at_phy.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/channel/CMakeFiles/at_channel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/array/CMakeFiles/at_array.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geom/CMakeFiles/at_geom.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/at_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/at_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

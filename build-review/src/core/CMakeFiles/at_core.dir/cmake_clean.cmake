@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_core.dir/arraytrack.cpp.o"
+  "CMakeFiles/at_core.dir/arraytrack.cpp.o.d"
+  "CMakeFiles/at_core.dir/latency.cpp.o"
+  "CMakeFiles/at_core.dir/latency.cpp.o.d"
+  "CMakeFiles/at_core.dir/localize3d.cpp.o"
+  "CMakeFiles/at_core.dir/localize3d.cpp.o.d"
+  "CMakeFiles/at_core.dir/pipeline.cpp.o"
+  "CMakeFiles/at_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/at_core.dir/realtime.cpp.o"
+  "CMakeFiles/at_core.dir/realtime.cpp.o.d"
+  "CMakeFiles/at_core.dir/server.cpp.o"
+  "CMakeFiles/at_core.dir/server.cpp.o.d"
+  "CMakeFiles/at_core.dir/sic.cpp.o"
+  "CMakeFiles/at_core.dir/sic.cpp.o.d"
+  "CMakeFiles/at_core.dir/suppression.cpp.o"
+  "CMakeFiles/at_core.dir/suppression.cpp.o.d"
+  "CMakeFiles/at_core.dir/synthesis.cpp.o"
+  "CMakeFiles/at_core.dir/synthesis.cpp.o.d"
+  "CMakeFiles/at_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/at_core.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/at_core.dir/tracker.cpp.o"
+  "CMakeFiles/at_core.dir/tracker.cpp.o.d"
+  "libat_core.a"
+  "libat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

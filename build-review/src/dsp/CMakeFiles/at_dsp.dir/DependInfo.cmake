@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/cfo.cpp" "src/dsp/CMakeFiles/at_dsp.dir/cfo.cpp.o" "gcc" "src/dsp/CMakeFiles/at_dsp.dir/cfo.cpp.o.d"
+  "/root/repo/src/dsp/detector.cpp" "src/dsp/CMakeFiles/at_dsp.dir/detector.cpp.o" "gcc" "src/dsp/CMakeFiles/at_dsp.dir/detector.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/at_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/at_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/noise.cpp" "src/dsp/CMakeFiles/at_dsp.dir/noise.cpp.o" "gcc" "src/dsp/CMakeFiles/at_dsp.dir/noise.cpp.o.d"
+  "/root/repo/src/dsp/preamble.cpp" "src/dsp/CMakeFiles/at_dsp.dir/preamble.cpp.o" "gcc" "src/dsp/CMakeFiles/at_dsp.dir/preamble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linalg/CMakeFiles/at_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

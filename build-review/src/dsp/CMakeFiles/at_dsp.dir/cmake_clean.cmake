@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_dsp.dir/cfo.cpp.o"
+  "CMakeFiles/at_dsp.dir/cfo.cpp.o.d"
+  "CMakeFiles/at_dsp.dir/detector.cpp.o"
+  "CMakeFiles/at_dsp.dir/detector.cpp.o.d"
+  "CMakeFiles/at_dsp.dir/fft.cpp.o"
+  "CMakeFiles/at_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/at_dsp.dir/noise.cpp.o"
+  "CMakeFiles/at_dsp.dir/noise.cpp.o.d"
+  "CMakeFiles/at_dsp.dir/preamble.cpp.o"
+  "CMakeFiles/at_dsp.dir/preamble.cpp.o.d"
+  "libat_dsp.a"
+  "libat_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/floorplan.cpp" "src/geom/CMakeFiles/at_geom.dir/floorplan.cpp.o" "gcc" "src/geom/CMakeFiles/at_geom.dir/floorplan.cpp.o.d"
+  "/root/repo/src/geom/paths.cpp" "src/geom/CMakeFiles/at_geom.dir/paths.cpp.o" "gcc" "src/geom/CMakeFiles/at_geom.dir/paths.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "src/geom/CMakeFiles/at_geom.dir/vec2.cpp.o" "gcc" "src/geom/CMakeFiles/at_geom.dir/vec2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linalg/CMakeFiles/at_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

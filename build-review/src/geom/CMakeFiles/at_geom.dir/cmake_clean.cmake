@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_geom.dir/floorplan.cpp.o"
+  "CMakeFiles/at_geom.dir/floorplan.cpp.o.d"
+  "CMakeFiles/at_geom.dir/paths.cpp.o"
+  "CMakeFiles/at_geom.dir/paths.cpp.o.d"
+  "CMakeFiles/at_geom.dir/vec2.cpp.o"
+  "CMakeFiles/at_geom.dir/vec2.cpp.o.d"
+  "libat_geom.a"
+  "libat_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

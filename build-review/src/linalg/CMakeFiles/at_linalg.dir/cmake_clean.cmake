@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/at_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/at_linalg.dir/kernels.cpp.o"
+  "CMakeFiles/at_linalg.dir/kernels.cpp.o.d"
+  "CMakeFiles/at_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/at_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/at_linalg.dir/types.cpp.o"
+  "CMakeFiles/at_linalg.dir/types.cpp.o.d"
+  "libat_linalg.a"
+  "libat_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

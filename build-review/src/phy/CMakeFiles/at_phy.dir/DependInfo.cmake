@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/csi.cpp" "src/phy/CMakeFiles/at_phy.dir/csi.cpp.o" "gcc" "src/phy/CMakeFiles/at_phy.dir/csi.cpp.o.d"
+  "/root/repo/src/phy/frame_buffer.cpp" "src/phy/CMakeFiles/at_phy.dir/frame_buffer.cpp.o" "gcc" "src/phy/CMakeFiles/at_phy.dir/frame_buffer.cpp.o.d"
+  "/root/repo/src/phy/frontend.cpp" "src/phy/CMakeFiles/at_phy.dir/frontend.cpp.o" "gcc" "src/phy/CMakeFiles/at_phy.dir/frontend.cpp.o.d"
+  "/root/repo/src/phy/mac.cpp" "src/phy/CMakeFiles/at_phy.dir/mac.cpp.o" "gcc" "src/phy/CMakeFiles/at_phy.dir/mac.cpp.o.d"
+  "/root/repo/src/phy/wire.cpp" "src/phy/CMakeFiles/at_phy.dir/wire.cpp.o" "gcc" "src/phy/CMakeFiles/at_phy.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/array/CMakeFiles/at_array.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/channel/CMakeFiles/at_channel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dsp/CMakeFiles/at_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linalg/CMakeFiles/at_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geom/CMakeFiles/at_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

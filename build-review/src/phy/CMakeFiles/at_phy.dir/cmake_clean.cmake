@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_phy.dir/csi.cpp.o"
+  "CMakeFiles/at_phy.dir/csi.cpp.o.d"
+  "CMakeFiles/at_phy.dir/frame_buffer.cpp.o"
+  "CMakeFiles/at_phy.dir/frame_buffer.cpp.o.d"
+  "CMakeFiles/at_phy.dir/frontend.cpp.o"
+  "CMakeFiles/at_phy.dir/frontend.cpp.o.d"
+  "CMakeFiles/at_phy.dir/mac.cpp.o"
+  "CMakeFiles/at_phy.dir/mac.cpp.o.d"
+  "CMakeFiles/at_phy.dir/wire.cpp.o"
+  "CMakeFiles/at_phy.dir/wire.cpp.o.d"
+  "libat_phy.a"
+  "libat_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

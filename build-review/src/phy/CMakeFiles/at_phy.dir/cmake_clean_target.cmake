@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libat_phy.a"
+)

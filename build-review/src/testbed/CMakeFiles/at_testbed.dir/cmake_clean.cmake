@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/at_testbed.dir/metrics.cpp.o"
+  "CMakeFiles/at_testbed.dir/metrics.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/office.cpp.o"
+  "CMakeFiles/at_testbed.dir/office.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/render.cpp.o"
+  "CMakeFiles/at_testbed.dir/render.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/runner.cpp.o"
+  "CMakeFiles/at_testbed.dir/runner.cpp.o.d"
+  "CMakeFiles/at_testbed.dir/scenario.cpp.o"
+  "CMakeFiles/at_testbed.dir/scenario.cpp.o.d"
+  "libat_testbed.a"
+  "libat_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/at_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

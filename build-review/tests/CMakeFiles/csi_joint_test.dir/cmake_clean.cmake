@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_joint_test.dir/csi_joint_test.cpp.o"
+  "CMakeFiles/csi_joint_test.dir/csi_joint_test.cpp.o.d"
+  "csi_joint_test"
+  "csi_joint_test.pdb"
+  "csi_joint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_joint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

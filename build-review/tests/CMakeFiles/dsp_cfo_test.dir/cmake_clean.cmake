@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_cfo_test.dir/dsp_cfo_test.cpp.o"
+  "CMakeFiles/dsp_cfo_test.dir/dsp_cfo_test.cpp.o.d"
+  "dsp_cfo_test"
+  "dsp_cfo_test.pdb"
+  "dsp_cfo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_cfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_detector_test.dir/dsp_detector_test.cpp.o"
+  "CMakeFiles/dsp_detector_test.dir/dsp_detector_test.cpp.o.d"
+  "dsp_detector_test"
+  "dsp_detector_test.pdb"
+  "dsp_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_noise_test.dir/dsp_noise_test.cpp.o"
+  "CMakeFiles/dsp_noise_test.dir/dsp_noise_test.cpp.o.d"
+  "dsp_noise_test"
+  "dsp_noise_test.pdb"
+  "dsp_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

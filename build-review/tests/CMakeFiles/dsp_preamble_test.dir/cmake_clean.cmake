@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_preamble_test.dir/dsp_preamble_test.cpp.o"
+  "CMakeFiles/dsp_preamble_test.dir/dsp_preamble_test.cpp.o.d"
+  "dsp_preamble_test"
+  "dsp_preamble_test.pdb"
+  "dsp_preamble_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_preamble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_music_test.dir/general_music_test.cpp.o"
+  "CMakeFiles/general_music_test.dir/general_music_test.cpp.o.d"
+  "general_music_test"
+  "general_music_test.pdb"
+  "general_music_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_music_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horus_test.dir/horus_test.cpp.o"
+  "CMakeFiles/horus_test.dir/horus_test.cpp.o.d"
+  "horus_test"
+  "horus_test.pdb"
+  "horus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localize3d_test.dir/localize3d_test.cpp.o"
+  "CMakeFiles/localize3d_test.dir/localize3d_test.cpp.o.d"
+  "localize3d_test"
+  "localize3d_test.pdb"
+  "localize3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localize3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projector_equivalence_test.dir/projector_equivalence_test.cpp.o"
+  "CMakeFiles/projector_equivalence_test.dir/projector_equivalence_test.cpp.o.d"
+  "projector_equivalence_test"
+  "projector_equivalence_test.pdb"
+  "projector_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projector_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_test.dir/realtime_test.cpp.o"
+  "CMakeFiles/realtime_test.dir/realtime_test.cpp.o.d"
+  "realtime_test"
+  "realtime_test.pdb"
+  "realtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sic_test.dir/sic_test.cpp.o"
+  "CMakeFiles/sic_test.dir/sic_test.cpp.o.d"
+  "sic_test"
+  "sic_test.pdb"
+  "sic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_kernels_test.dir/simd_kernels_test.cpp.o"
+  "CMakeFiles/simd_kernels_test.dir/simd_kernels_test.cpp.o.d"
+  "simd_kernels_test"
+  "simd_kernels_test.pdb"
+  "simd_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

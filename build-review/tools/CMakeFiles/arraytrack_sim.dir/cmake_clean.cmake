@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arraytrack_sim.dir/arraytrack_sim.cpp.o"
+  "CMakeFiles/arraytrack_sim.dir/arraytrack_sim.cpp.o.d"
+  "arraytrack_sim"
+  "arraytrack_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arraytrack_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
