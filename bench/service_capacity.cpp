@@ -1,0 +1,204 @@
+// Extension bench: capacity of the concurrent location service.
+//
+// ext_realtime answers the paper's 4.4 latency question with one
+// backend worker; this bench asks the operational follow-up: how many
+// fixes per second can the service sustain inside a latency SLO, and
+// how does that capacity scale with backend workers?
+//
+// This machine has a single core, so wall-clock multi-worker scaling
+// cannot be measured honestly here. Instead the bench calibrates the
+// real serial pipeline cost (localizer.threads = 1, measured with a
+// steady clock) and feeds it to the service's virtual-clock
+// discrete-event scheduler: admission, queueing, shedding and
+// completion times are modeled over N workers at the measured per-job
+// cost, while every admitted job still executes the real pipeline.
+// The reported rates are modeled throughput at real per-fix cost.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/simd.h"
+#include "core/thread_pool.h"
+#include "phy/mac.h"
+#include "service/service.h"
+#include "testbed/office.h"
+
+using namespace arraytrack;
+
+namespace {
+
+core::SystemConfig system_config() {
+  core::SystemConfig cfg;
+  // Serial per-job pipeline: cross-job parallelism is the service's
+  // worker pool, the knob this bench sweeps.
+  cfg.server.localizer.threads = 1;
+  return cfg;
+}
+
+std::unique_ptr<core::System> make_system(const testbed::OfficeTestbed& tb) {
+  auto sys = std::make_unique<core::System>(&tb.plan, system_config());
+  for (const auto& site : tb.ap_sites)
+    sys->add_ap(site.position, site.orientation_rad);
+  return sys;
+}
+
+/// Median serial cost of one pipeline job (transmit + snapshot +
+/// locate), after warming the bearing caches.
+double calibrate_job_cost_s(const testbed::OfficeTestbed& tb) {
+  auto sys = make_system(tb);
+  std::vector<double> costs;
+  const int trials = 8;
+  for (int k = 0; k < trials + 2; ++k) {
+    const std::size_t c = std::size_t(k) % tb.clients.size();
+    const double t = 0.5 * k;
+    sys->transmit(int(c), tb.clients[c], t);
+    const auto frames = sys->server().snapshot_frames(int(c), t + 1e-4);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto fix = sys->server().locate_frames(frames);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (k >= 2 && fix) costs.push_back(dt);  // skip cache-cold warmups
+  }
+  std::sort(costs.begin(), costs.end());
+  return costs.empty() ? 0.02 : costs[costs.size() / 2];
+}
+
+struct LoadPoint {
+  double load_factor = 0.0;  // offered / 4-worker capacity
+  double offered_hz = 0.0;   // aggregate frames/s
+  double fix_rate_hz = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double shed_frac = 0.0;
+  double coalesce_frac = 0.0;
+};
+
+LoadPoint run_point(const testbed::OfficeTestbed& tb, std::size_t workers,
+                    double load_factor, double offered_hz, double cost_s,
+                    double slo_s, double duration_s) {
+  // A fresh system per run: identical channel draws for every worker
+  // count, so points are comparable across the sweep.
+  auto sys = make_system(tb);
+
+  const double per_client_hz = offered_hz / double(tb.clients.size());
+  phy::TrafficSource traffic(tb.clients.size(), per_client_hz, 99);
+  std::vector<core::FrameEvent> schedule;
+  for (const auto& ev : traffic.schedule(duration_s))
+    schedule.push_back(
+        {ev.time_s, ev.client_id, tb.clients[std::size_t(ev.client_id)]});
+
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.latency_slo_s = slo_s;
+  opt.virtual_clock = true;
+  opt.virtual_cost_s = cost_s;
+  service::LocationService svc(sys.get(), opt);
+  const auto rep = svc.run(schedule);
+
+  LoadPoint pt;
+  pt.load_factor = load_factor;
+  pt.offered_hz = offered_hz;
+  pt.fix_rate_hz = rep.fix_rate_hz();
+  pt.p50_ms = rep.latency_percentile(50) * 1e3;
+  pt.p99_ms = rep.latency_percentile(99) * 1e3;
+  const double jobs = double(rep.jobs_enqueued);
+  pt.shed_frac =
+      jobs > 0.0 ? double(rep.shed_deadline + rep.shed_queue_full) / jobs : 0.0;
+  pt.coalesce_frac = rep.frames_in > 0
+                         ? double(rep.jobs_coalesced) / double(rep.frames_in)
+                         : 0.0;
+  return pt;
+}
+
+/// Highest-rate point that stays inside the SLO with <= 1% shedding.
+const LoadPoint* max_sustainable(const std::vector<LoadPoint>& points,
+                                 double slo_s) {
+  const LoadPoint* best = nullptr;
+  for (const auto& pt : points)
+    if (pt.shed_frac <= 0.01 && pt.p99_ms <= slo_s * 1e3 &&
+        (!best || pt.fix_rate_hz > best->fix_rate_hz))
+      best = &pt;
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  bench::banner("Extension: service capacity",
+                "sustainable fix rate vs backend workers under a 250 ms SLO");
+  bench::paper_note(
+      "4.4: one Matlab backend sustains ~10 fixes/s at ~100 ms each; "
+      "the service layer's question is how capacity scales when the "
+      "backend is a worker pool");
+
+  const auto tb = testbed::OfficeTestbed::standard();
+  const double slo_s = 0.25;
+  const double duration_s = smoke ? 0.5 : 2.0;
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+  const std::vector<double> load_factors =
+      smoke ? std::vector<double>{0.25}
+            : std::vector<double>{0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+
+  const double cost_s = calibrate_job_cost_s(tb);
+  const double cap4_hz = 4.0 / cost_s;  // 4-worker modeled capacity
+  bench::measured_note(
+      "serial pipeline cost " + std::to_string(cost_s * 1e3) +
+      " ms/job -> 4-worker capacity " + std::to_string(cap4_hz) + " jobs/s");
+
+  std::vector<std::pair<std::string, double>> fields;
+  fields.emplace_back("threads", double(core::ThreadPool::shared().size()));
+  fields.emplace_back("virtual_cost_ms", cost_s * 1e3);
+  fields.emplace_back("slo_ms", slo_s * 1e3);
+  fields.emplace_back("clients", double(tb.clients.size()));
+
+  double rate_w1 = 0.0, rate_w4 = 0.0;
+  for (const std::size_t workers : worker_counts) {
+    std::printf("\nworkers = %zu\n", workers);
+    std::printf("  %-8s %-12s %-12s %-10s %-10s %-8s %-10s\n", "load",
+                "offered/s", "fixes/s", "p50 ms", "p99 ms", "shed%", "coalesce%");
+    std::vector<LoadPoint> points;
+    for (const double f : load_factors) {
+      points.push_back(
+          run_point(tb, workers, f, f * cap4_hz, cost_s, slo_s, duration_s));
+      const auto& pt = points.back();
+      std::printf("  %-8.3f %-12.1f %-12.1f %-10.1f %-10.1f %-8.2f %-10.2f\n",
+                  pt.load_factor, pt.offered_hz, pt.fix_rate_hz, pt.p50_ms,
+                  pt.p99_ms, pt.shed_frac * 100.0, pt.coalesce_frac * 100.0);
+      const std::string key =
+          "w" + std::to_string(workers) + "_load" +
+          std::to_string(int(pt.load_factor * 1000.0));  // e.g. w4_load250
+      fields.emplace_back(key + "_p99_ms", pt.p99_ms);
+      fields.emplace_back(key + "_shed_pct", pt.shed_frac * 100.0);
+    }
+    const LoadPoint* best = max_sustainable(points, slo_s);
+    const double rate = best ? best->fix_rate_hz : 0.0;
+    std::printf("  max sustainable: %.1f fixes/s (p50 %.1f ms, p99 %.1f ms)\n",
+                rate, best ? best->p50_ms : 0.0, best ? best->p99_ms : 0.0);
+    const std::string w = "w" + std::to_string(workers);
+    fields.emplace_back(w + "_max_sustainable_fixes_per_sec", rate);
+    fields.emplace_back(w + "_p50_ms_at_max", best ? best->p50_ms : 0.0);
+    fields.emplace_back(w + "_p99_ms_at_max", best ? best->p99_ms : 0.0);
+    if (workers == 1) rate_w1 = rate;
+    if (workers == 4) rate_w4 = rate;
+  }
+
+  if (!smoke && rate_w1 > 0.0) {
+    const double scaling = rate_w4 / rate_w1;
+    bench::measured_note("1 -> 4 worker scaling: " + std::to_string(scaling) +
+                         "x sustainable fix rate");
+    fields.emplace_back("scaling_1_to_4", scaling);
+  }
+
+  bench::write_bench_json(
+      smoke ? "BENCH_service_smoke.json" : "BENCH_service.json", "service",
+      fields, {{"simd_level", core::simd::name(core::simd::active())}});
+  return 0;
+}

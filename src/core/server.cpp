@@ -34,18 +34,32 @@ std::optional<LocationEstimate> ArrayTrackServer::locate_tracked(
 
 std::vector<ApSpectrum> ArrayTrackServer::client_spectra(int client_id,
                                                          double now_s) const {
+  return spectra_from_frames(snapshot_frames(client_id, now_s));
+}
+
+FrameGroup ArrayTrackServer::snapshot_frames(int client_id,
+                                             double now_s) const {
+  FrameGroup group(aps_.size());
+  for (std::size_t i = 0; i < aps_.size(); ++i)
+    group[i] = aps_[i].ap->buffer().recent_from(
+        client_id, now_s, opt_.suppression.max_group_spacing_s);
+  return group;
+}
+
+std::vector<ApSpectrum> ArrayTrackServer::spectra_from_frames(
+    const FrameGroup& frames_per_ap) const {
   // Per-AP pipelines (detection -> diversity synthesis -> covariance ->
   // eigendecomposition -> MUSIC -> suppression) are independent
   // read-only work over disjoint front ends, so they fan out across
   // the shared pool. Each AP writes its own slot and the slots are
   // compacted in registration order afterwards, so the result is
   // identical to the serial loop for any pool width.
-  std::vector<std::optional<ApSpectrum>> slots(aps_.size());
+  const std::size_t n = std::min(aps_.size(), frames_per_ap.size());
+  std::vector<std::optional<ApSpectrum>> slots(n);
   ThreadPool::shared().parallel_for(
-      0, aps_.size(), opt_.localizer.threads, [&](std::size_t i) {
+      0, n, opt_.localizer.threads, [&](std::size_t i) {
         const auto& entry = aps_[i];
-        auto frames = entry.ap->buffer().recent_from(
-            client_id, now_s, opt_.suppression.max_group_spacing_s);
+        const auto& frames = frames_per_ap[i];
         if (frames.empty()) return;
 
         // Use at most max_group of the newest frames (paper: two to
@@ -71,7 +85,7 @@ std::vector<ApSpectrum> ArrayTrackServer::client_spectra(int client_id,
       });
 
   std::vector<ApSpectrum> out;
-  out.reserve(aps_.size());
+  out.reserve(n);
   for (auto& slot : slots)
     if (slot) out.push_back(std::move(*slot));
   return out;
@@ -80,6 +94,13 @@ std::vector<ApSpectrum> ArrayTrackServer::client_spectra(int client_id,
 std::optional<LocationEstimate> ArrayTrackServer::locate(int client_id,
                                                          double now_s) const {
   const auto spectra = client_spectra(client_id, now_s);
+  if (spectra.empty()) return std::nullopt;
+  return localizer_.locate(spectra);
+}
+
+std::optional<LocationEstimate> ArrayTrackServer::locate_frames(
+    const FrameGroup& frames) const {
+  const auto spectra = spectra_from_frames(frames);
   if (spectra.empty()) return std::nullopt;
   return localizer_.locate(spectra);
 }

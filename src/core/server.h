@@ -27,6 +27,13 @@ struct ServerOptions {
   bool multipath_suppression = true;
 };
 
+/// The input of one pipeline job: each registered AP's frames for one
+/// client, in registration order (oldest first within an AP; an AP
+/// that heard nothing contributes an empty inner vector). Snapshotted
+/// out of the live circular buffers so a backend worker can run the
+/// pipeline while ingest keeps appending frames.
+using FrameGroup = std::vector<std::vector<phy::FrameCapture>>;
+
 class ArrayTrackServer {
  public:
   ArrayTrackServer(geom::Rect bounds, ServerOptions opt = {});
@@ -55,8 +62,23 @@ class ArrayTrackServer {
   /// are identical to the serial evaluation.
   std::vector<ApSpectrum> client_spectra(int client_id, double now_s) const;
 
+  /// Copies every AP's frames from `client_id` within the suppression
+  /// window ending at `now_s` out of the circular buffers — the
+  /// snapshot half of client_spectra(), run on the ingest thread so
+  /// the compute half can run elsewhere.
+  FrameGroup snapshot_frames(int client_id, double now_s) const;
+
+  /// The compute half: per-AP pipeline + multipath suppression over a
+  /// pre-snapshotted frame group, fanned out on the shared pool.
+  /// client_spectra() is exactly spectra_from_frames(snapshot_frames()).
+  std::vector<ApSpectrum> spectra_from_frames(const FrameGroup& frames) const;
+
   /// End-to-end location estimate (equation 8 + hill climbing).
   std::optional<LocationEstimate> locate(int client_id, double now_s) const;
+
+  /// locate() over a pre-snapshotted frame group (the backend-worker
+  /// job entry point).
+  std::optional<LocationEstimate> locate_frames(const FrameGroup& frames) const;
 
   /// The likelihood heatmap for a client (Fig. 14).
   std::optional<Heatmap> heatmap(int client_id, double now_s) const;

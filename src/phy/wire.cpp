@@ -141,6 +141,16 @@ std::optional<FrameCapture> WireFormat::decode(
   frame.snr_db = get_f64(p + 24);
   const double scale = get_f64(p + 32);
   frame.client_id = int(std::int32_t(get_u32(p + 40)));
+  // A corrupted header must not smuggle NaN/inf into the pipeline (a
+  // non-finite scale poisons every sample; a non-finite timestamp
+  // breaks frame grouping and service deadlines). encode() can only
+  // produce finite positive scales.
+  if (!std::isfinite(frame.timestamp_s) || !std::isfinite(frame.snr_db) ||
+      !std::isfinite(scale) || scale <= 0.0)
+    return std::nullopt;
+  // The largest magnitude get_signed can produce is 2^(bits-1); a huge
+  // (but finite) corrupted scale would overflow samples to inf.
+  if (!std::isfinite(scale * double(1ull << (bits - 1)))) return std::nullopt;
 
   const std::size_t nb = rail_bytes(bits);
   const std::size_t need =

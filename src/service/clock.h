@@ -1,0 +1,47 @@
+// Time source for the serving engine.
+//
+// Wall mode reads the steady clock (seconds since construction), which
+// is what a deployed service sheds load against. Virtual mode reads a
+// value the driver advances explicitly between submissions: every
+// admission, coalescing and shedding decision then depends only on the
+// submitted event times, so a multi-worker run is reproducible bit for
+// bit — the property tests/service_test.cpp leans on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace arraytrack::service {
+
+class ServiceClock {
+ public:
+  explicit ServiceClock(bool virtual_mode)
+      : virtual_(virtual_mode), epoch_(std::chrono::steady_clock::now()) {}
+
+  bool is_virtual() const { return virtual_; }
+
+  /// Seconds on the active timeline.
+  double now() const {
+    if (virtual_) return virtual_now_.load(std::memory_order_acquire);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  /// Advances the virtual timeline (driver thread; no effect needed in
+  /// wall mode). Time never moves backwards.
+  void set(double t) {
+    double cur = virtual_now_.load(std::memory_order_relaxed);
+    while (t > cur && !virtual_now_.compare_exchange_weak(
+                          cur, t, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  bool virtual_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<double> virtual_now_{0.0};
+};
+
+}  // namespace arraytrack::service

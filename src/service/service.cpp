@@ -1,0 +1,408 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/thread_pool.h"
+#include "geom/vec2.h"
+
+namespace arraytrack::service {
+
+namespace {
+constexpr std::size_t kNone = std::size_t(-1);
+}  // namespace
+
+double ServiceReport::latency_percentile(double p) const {
+  if (fixes.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(fixes.size());
+  for (const auto& f : fixes) lat.push_back(f.latency_s);
+  std::sort(lat.begin(), lat.end());
+  const double rank = (p / 100.0) * double(lat.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, lat.size() - 1);
+  const double frac = rank - double(lo);
+  return (1.0 - frac) * lat[lo] + frac * lat[hi];
+}
+
+double ServiceReport::median_error_m() const {
+  std::vector<double> e;
+  for (const auto& f : fixes)
+    if (f.error_m >= 0.0) e.push_back(f.error_m);
+  if (e.empty()) return 0.0;
+  std::sort(e.begin(), e.end());
+  return e[e.size() / 2];
+}
+
+LocationService::LocationService(core::System* system, ServiceOptions opt)
+    : system_(system),
+      opt_(opt),
+      clock_(opt.virtual_clock),
+      transport_s_(opt.transport.detection_s + opt.transport.serialization_s() +
+                   opt.transport.bus_latency_s) {
+  opt_.workers = std::max<std::size_t>(1, opt_.workers);
+  opt_.shards = std::max<std::size_t>(1, opt_.shards);
+  opt_.shard_queue_capacity = std::max<std::size_t>(1, opt_.shard_queue_capacity);
+  shards_.resize(opt_.shards);
+  vworker_free_.assign(opt_.workers, 0.0);
+}
+
+LocationService::~LocationService() { stop(); }
+
+std::size_t LocationService::shard_of(int client_id) const {
+  // Knuth multiplicative hash: deterministic across runs and platforms
+  // (std::hash makes no such promise).
+  return std::size_t(std::uint32_t(client_id) * 2654435761u) % opt_.shards;
+}
+
+LocationService::Session& LocationService::session_locked(Shard& shard,
+                                                          int client_id) {
+  return shard.sessions.try_emplace(client_id, Session{core::LocationTracker(opt_.tracker), 0, {}})
+      .first->second;
+}
+
+std::deque<LocationService::Job>& LocationService::backlog_locked(
+    Shard& shard) {
+  // The backlog admission control and coalescing see: jobs the (real
+  // or modeled) workers have not picked up yet. In virtual mode a job
+  // in `ready` has already started on the modeled timeline.
+  return clock_.is_virtual() ? shard.pending : shard.ready;
+}
+
+void LocationService::start() {
+  if (!workers_.empty()) return;
+  stopping_ = false;
+  workers_.reserve(opt_.workers);
+  for (std::size_t i = 0; i < opt_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void LocationService::stop() {
+  if (workers_.empty()) return;
+  flush();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+bool LocationService::idle_locked() const {
+  if (in_flight_ != 0) return false;
+  for (const auto& s : shards_)
+    if (!s.pending.empty() || !s.ready.empty()) return false;
+  return true;
+}
+
+void LocationService::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (clock_.is_virtual())
+    virtual_dispatch_locked(std::numeric_limits<double>::infinity());
+  idle_cv_.wait(lock, [this] { return idle_locked(); });
+}
+
+std::vector<ServiceFix> LocationService::take_fixes() {
+  std::lock_guard<std::mutex> lock(fix_mutex_);
+  std::vector<ServiceFix> out;
+  out.swap(fixes_);
+  return out;
+}
+
+double LocationService::estimated_cost_s() const {
+  return std::bit_cast<double>(
+      cost_estimate_bits_.load(std::memory_order_relaxed));
+}
+
+void LocationService::update_cost_estimate(double measured_s) {
+  const double cur = estimated_cost_s();
+  const double next = cur == 0.0 ? measured_s : 0.8 * cur + 0.2 * measured_s;
+  cost_estimate_bits_.store(std::bit_cast<std::uint64_t>(next),
+                            std::memory_order_relaxed);
+}
+
+void LocationService::virtual_dispatch_locked(double now_s) {
+  // Commit, in deterministic order, every job whose modeled start time
+  // has been reached: repeatedly pair the earliest-free modeled worker
+  // with the shard-head job that can start soonest (ties break toward
+  // the lowest shard index). A committed job either sheds against the
+  // SLO or is released to `ready` for the real workers.
+  for (;;) {
+    auto wit = std::min_element(vworker_free_.begin(), vworker_free_.end());
+    std::size_t best = kNone;
+    double best_start = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& sh = shards_[s];
+      if (sh.pending.empty()) continue;
+      const Job& head = sh.pending.front();
+      const double start =
+          std::max({*wit, head.arrival_s, sh.busy_until_s});
+      if (start < best_start) {
+        best_start = start;
+        best = s;
+      }
+    }
+    if (best == kNone || best_start > now_s) return;
+
+    Shard& sh = shards_[best];
+    Job job = std::move(sh.pending.front());
+    sh.pending.pop_front();
+
+    if (opt_.latency_slo_s > 0.0 &&
+        best_start + opt_.virtual_cost_s > job.deadline_s) {
+      // Can no longer meet the SLO: shed without occupying a worker.
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    job.start_s = best_start;
+    job.done_s = best_start + opt_.virtual_cost_s;
+    *wit = job.done_s;
+    sh.busy_until_s = job.done_s;
+    sh.ready.push_back(std::move(job));
+    work_cv_.notify_one();
+  }
+}
+
+void LocationService::ingest_locked(int client_id, core::FrameGroup frames,
+                                    double frame_time_s,
+                                    std::optional<geom::Vec2> truth) {
+  const bool virt = clock_.is_virtual();
+  const double arrival =
+      virt ? frame_time_s + transport_s_ : clock_.now();
+  if (virt) {
+    clock_.set(frame_time_s);
+    // Commit every modeled start up to this frame's server arrival:
+    // later events cannot change those decisions, and a job that
+    // started before `arrival` must no longer coalesce this frame.
+    virtual_dispatch_locked(arrival);
+  }
+
+  Shard& sh = shards_[shard_of(client_id)];
+  Session& sess = session_locked(sh, client_id);
+  auto& backlog = backlog_locked(sh);
+
+  if (opt_.coalesce_per_client) {
+    for (auto& queued : backlog) {
+      if (queued.client_id != client_id) continue;
+      queued.frames = std::move(frames);
+      queued.frame_time_s = frame_time_s;
+      queued.arrival_s = arrival;
+      queued.deadline_s = frame_time_s + opt_.latency_slo_s;
+      if (!virt)
+        queued.deadline_s =
+            arrival + std::max(0.0, opt_.latency_slo_s - transport_s_);
+      queued.truth = truth;
+      stats_.jobs_coalesced.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  if (backlog.size() >= opt_.shard_queue_capacity) {
+    // Bounded queue: the oldest queued job makes room (newest data
+    // wins, the same philosophy as coalescing) and is accounted.
+    backlog.pop_front();
+    stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Job job;
+  job.client_id = client_id;
+  job.seq = sess.next_seq++;
+  job.session = &sess;
+  job.frames = std::move(frames);
+  job.frame_time_s = frame_time_s;
+  job.arrival_s = arrival;
+  job.deadline_s = virt ? frame_time_s + opt_.latency_slo_s
+                        : arrival + std::max(0.0, opt_.latency_slo_s -
+                                                      transport_s_);
+  job.truth = truth;
+  backlog.push_back(std::move(job));
+  stats_.jobs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  stats_.queue_depth.record(double(backlog.size()));
+  if (!virt) work_cv_.notify_one();
+}
+
+void LocationService::submit(const core::FrameEvent& ev) {
+  start();
+  stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+  // The producer thread owns the channel and the AP buffers: workers
+  // only ever touch pre-snapshotted frame groups.
+  system_->transmit(ev.client_id, ev.position, ev.time_s);
+  auto frames =
+      system_->server().snapshot_frames(ev.client_id, ev.time_s + 1e-4);
+  std::unique_lock<std::mutex> lock(mutex_);
+  ingest_locked(ev.client_id, std::move(frames), ev.time_s, ev.position);
+}
+
+void LocationService::submit_wire(double time_s,
+                                  const std::vector<WireRecord>& records) {
+  start();
+  const std::size_t num_aps = system_->num_aps();
+  const double window =
+      system_->server().options().suppression.max_group_spacing_s;
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  // Decode and fold each record into its session's per-AP history;
+  // malformed or mis-addressed records are counted, never trusted.
+  std::vector<int> clients_heard;
+  for (const auto& rec : records) {
+    stats_.wire_records_in.fetch_add(1, std::memory_order_relaxed);
+    auto frame = opt_.wire.decode(rec.bytes);
+    if (!frame || rec.ap_index >= num_aps || frame->client_id < 0) {
+      stats_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const int client = frame->client_id;
+    Session& sess = session_locked(shards_[shard_of(client)], client);
+    if (sess.history.size() < num_aps) sess.history.resize(num_aps);
+    auto& hist = sess.history[rec.ap_index];
+    hist.push_back(std::move(*frame));
+    while (hist.size() > opt_.wire_history) hist.pop_front();
+    while (!hist.empty() && hist.front().timestamp_s < time_s - window)
+      hist.pop_front();
+    if (std::find(clients_heard.begin(), clients_heard.end(), client) ==
+        clients_heard.end())
+      clients_heard.push_back(client);
+  }
+
+  for (int client : clients_heard) {
+    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    Session& sess = session_locked(shards_[shard_of(client)], client);
+    core::FrameGroup frames(num_aps);
+    for (std::size_t i = 0; i < sess.history.size(); ++i)
+      frames[i].assign(sess.history[i].begin(), sess.history[i].end());
+    // The engine stamps frame time itself: a hostile header timestamp
+    // must not steer deadlines or tracker ordering.
+    ingest_locked(client, std::move(frames), time_s, std::nullopt);
+  }
+}
+
+void LocationService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Claim the next unclaimed shard with released work, round-robin
+    // from a shared cursor so one hot shard cannot starve the rest.
+    std::size_t found = kNone;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::size_t s = (rr_cursor_ + i) % shards_.size();
+      if (!shards_[s].claimed && !shards_[s].ready.empty()) {
+        found = s;
+        break;
+      }
+    }
+    if (found == kNone) {
+      if (stopping_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    rr_cursor_ = (found + 1) % shards_.size();
+    Shard& sh = shards_[found];
+    Job job = std::move(sh.ready.front());
+    sh.ready.pop_front();
+    sh.claimed = true;
+    ++in_flight_;
+    lock.unlock();
+
+    execute(job);
+
+    lock.lock();
+    sh.claimed = false;
+    --in_flight_;
+    if (!sh.ready.empty()) work_cv_.notify_one();
+    if (idle_locked()) idle_cv_.notify_all();
+  }
+}
+
+void LocationService::execute(Job& job) {
+  const bool virt = clock_.is_virtual();
+  const double start = virt ? job.start_s : clock_.now();
+  const double wait = std::max(0.0, start - job.arrival_s);
+
+  if (!virt && opt_.latency_slo_s > 0.0 &&
+      start + estimated_cost_s() > job.deadline_s) {
+    stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stats_.queue_wait_ms.record(wait * 1e3);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fix = system_->server().locate_frames(job.frames);
+  const double measured =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!virt) update_cost_estimate(measured);
+  const double processing = virt ? job.done_s - job.start_s : measured;
+  stats_.processing_ms.record(processing * 1e3);
+
+  if (!fix) {
+    stats_.locate_failures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const double done = virt ? job.done_s : clock_.now();
+  ServiceFix out;
+  out.client_id = job.client_id;
+  out.seq = job.seq;
+  out.frame_time_s = job.frame_time_s;
+  out.queue_wait_s = wait;
+  out.processing_s = processing;
+  out.latency_s =
+      virt ? done - job.frame_time_s : (done - job.arrival_s) + transport_s_;
+  out.position = fix->position;
+  out.likelihood = fix->likelihood;
+  if (opt_.tracked_fixes) {
+    // The session's tracker: exclusive access is guaranteed because a
+    // client's jobs run on one claimed shard at a time.
+    out.smoothed = job.session->tracker.update(fix->position, job.frame_time_s);
+    out.tracker_rejected = job.session->tracker.last_rejected();
+    if (out.tracker_rejected)
+      stats_.tracker_rejects.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    out.smoothed = fix->position;
+  }
+  if (job.truth) out.error_m = geom::distance(fix->position, *job.truth);
+  stats_.e2e_ms.record(out.latency_s * 1e3);
+  stats_.fixes_emitted.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> fl(fix_mutex_);
+  fixes_.push_back(std::move(out));
+}
+
+ServiceReport LocationService::run(
+    const std::vector<core::FrameEvent>& schedule) {
+  start();
+  for (const auto& ev : schedule) submit(ev);
+  flush();
+
+  ServiceReport rep;
+  rep.fixes = take_fixes();
+  std::sort(rep.fixes.begin(), rep.fixes.end(),
+            [](const ServiceFix& a, const ServiceFix& b) {
+              if (a.frame_time_s != b.frame_time_s)
+                return a.frame_time_s < b.frame_time_s;
+              if (a.client_id != b.client_id) return a.client_id < b.client_id;
+              return a.seq < b.seq;
+            });
+  rep.duration_s = schedule.empty()
+                       ? 0.0
+                       : schedule.back().time_s - schedule.front().time_s;
+  rep.workers = opt_.workers;
+  rep.pool_threads = core::ThreadPool::shared().size();
+  rep.stats_json = stats_.to_json();
+  rep.frames_in = stats_.frames_in.load();
+  rep.jobs_enqueued = stats_.jobs_enqueued.load();
+  rep.jobs_coalesced = stats_.jobs_coalesced.load();
+  rep.shed_queue_full = stats_.shed_queue_full.load();
+  rep.shed_deadline = stats_.shed_deadline.load();
+  rep.fixes_emitted = stats_.fixes_emitted.load();
+  rep.locate_failures = stats_.locate_failures.load();
+  rep.decode_errors = stats_.decode_errors.load();
+  stop();
+  return rep;
+}
+
+}  // namespace arraytrack::service

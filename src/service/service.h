@@ -1,0 +1,249 @@
+// Concurrent location-serving engine (the ROADMAP's "heavy traffic"
+// layer between frame ingest and location fixes).
+//
+// core/realtime.* answers the paper's 4.4 question with a single
+// backend worker; this engine is the production shape of the same
+// server: frame arrivals — simulated FrameEvents or AP wire-format
+// records — are sharded into per-client sessions and dispatched to a
+// configurable pool of N backend workers, each running the existing
+// ArrayTrackServer pipeline (which fans its per-AP work out on the
+// shared core::ThreadPool).
+//
+//   ingest (1 thread)        shards (bounded FIFO)        N workers
+//   submit()/submit_wire() -> [s0][s1]...[sK-1]  -> claim shard, pop,
+//     transmit + snapshot       coalesce stale       run pipeline job,
+//     per-client session        frames, shed on      smooth through the
+//     + admission control       full queue           session tracker
+//
+// Guarantees:
+//  * Per-client fix ordering: a client hashes to one shard, a shard is
+//    claimed by at most one worker at a time, and shard queues are
+//    FIFO, so a client's fixes are produced in frame order.
+//  * Graceful degradation, never silent: a full shard queue drops its
+//    oldest job (newest data wins, like coalescing) and a job that can
+//    no longer meet the latency SLO is shed instead of processed; both
+//    paths count into ServiceStats.
+//  * Freshness: frames for a client arriving while an earlier job is
+//    still queued are coalesced into it, exactly like
+//    RealtimeOptions::coalesce_per_client.
+//  * Determinism for tests: in virtual-clock mode every admission,
+//    coalescing and shedding decision is made by a discrete-event
+//    model of the N workers driven from the ingest thread (fixed
+//    per-job cost), so the set of fixes — computed by real concurrent
+//    workers — is byte-identical for any worker count under light
+//    load, and reproducible under overload.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/arraytrack.h"
+#include "core/latency.h"
+#include "core/realtime.h"
+#include "core/tracker.h"
+#include "phy/wire.h"
+#include "service/clock.h"
+#include "service/stats.h"
+
+namespace arraytrack::service {
+
+struct ServiceOptions {
+  /// Backend workers draining the shard queues. Each job additionally
+  /// fans out on the shared core::ThreadPool, bounded by
+  /// ServerOptions::localizer.threads — for throughput-oriented
+  /// deployments set that to 1 and scale `workers` instead.
+  std::size_t workers = 2;
+  /// Session shards; also the parallelism ceiling (a shard is drained
+  /// by one worker at a time to preserve per-client ordering).
+  std::size_t shards = 16;
+  /// Bounded per-shard backlog of queued (unstarted) jobs; admission
+  /// drops the oldest queued job when full.
+  std::size_t shard_queue_capacity = 32;
+  /// End-to-end latency SLO measured from the end of the frame; a job
+  /// whose completion would exceed it is shed. <= 0 disables.
+  double latency_slo_s = 0.25;
+  /// Fold newer frames of a client into its queued job.
+  bool coalesce_per_client = true;
+  /// Smooth each session's fixes through a core::LocationTracker.
+  bool tracked_fixes = true;
+  core::TrackerOptions tracker;
+  /// Ingest transport model (Td + Tt + Tl), folded into arrival times
+  /// (virtual mode) and end-to-end latency accounting (both modes).
+  core::LatencyModel transport;
+  /// Wire decoder for submit_wire().
+  phy::WireFormat wire;
+  /// Frames kept per (session, AP) on the wire-ingest path.
+  std::size_t wire_history = 4;
+
+  /// Virtual-clock mode: deterministic discrete-event scheduling (see
+  /// header comment). Jobs are modeled to cost `virtual_cost_s` each.
+  bool virtual_clock = false;
+  double virtual_cost_s = 0.02;
+};
+
+/// One smoothed location fix leaving the engine.
+struct ServiceFix {
+  int client_id = -1;
+  std::uint64_t seq = 0;        // per-session job sequence number
+  double frame_time_s = 0.0;    // newest frame folded into the job
+  double queue_wait_s = 0.0;    // server arrival -> job start
+  double processing_s = 0.0;    // pipeline time (modeled in virtual mode)
+  double latency_s = 0.0;       // frame end -> fix out (incl. transport)
+  geom::Vec2 position;          // raw pipeline fix
+  geom::Vec2 smoothed;          // after the session tracker
+  double likelihood = 0.0;
+  double error_m = -1.0;        // vs ground truth; < 0 when unknown
+  bool tracker_rejected = false;
+};
+
+struct ServiceReport {
+  /// Sorted by (frame_time, client, seq) so reports are comparable
+  /// across runs and worker counts.
+  std::vector<ServiceFix> fixes;
+  double duration_s = 0.0;
+  std::size_t workers = 0;
+  std::size_t pool_threads = 0;
+  std::string stats_json;
+
+  // Counter snapshot (see ServiceStats for meanings).
+  std::uint64_t frames_in = 0;
+  std::uint64_t jobs_enqueued = 0;
+  std::uint64_t jobs_coalesced = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t fixes_emitted = 0;
+  std::uint64_t locate_failures = 0;
+  std::uint64_t decode_errors = 0;
+
+  double fix_rate_hz() const {
+    return duration_s > 0.0 ? double(fixes.size()) / duration_s : 0.0;
+  }
+  double latency_percentile(double p) const;
+  double median_error_m() const;
+};
+
+class LocationService {
+ public:
+  /// `system` must outlive the service and have its APs installed.
+  /// The service assumes a single producer thread for submit paths.
+  LocationService(core::System* system, ServiceOptions opt = {});
+  ~LocationService();
+
+  LocationService(const LocationService&) = delete;
+  LocationService& operator=(const LocationService&) = delete;
+
+  const ServiceOptions& options() const { return opt_; }
+  const ServiceStats& stats() const { return stats_; }
+  std::string stats_json() const { return stats_.to_json(); }
+
+  /// Spawns the worker pool (idempotent).
+  void start();
+  /// Drains every queue, then joins the workers (idempotent).
+  void stop();
+
+  /// Simulation ingest: transmits the frame through the channel,
+  /// snapshots the AP buffers, and enqueues a pipeline job.
+  void submit(const core::FrameEvent& ev);
+
+  /// One AP's encoded capture record for the wire-ingest path.
+  struct WireRecord {
+    std::size_t ap_index = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  /// Wire ingest: decodes per-AP records (malformed ones are counted
+  /// and dropped, never trusted), groups them by the client tagged in
+  /// the header into per-session frame histories, and enqueues one job
+  /// per client heard.
+  void submit_wire(double time_s, const std::vector<WireRecord>& records);
+
+  /// Blocks until every queued job has completed (or been shed).
+  void flush();
+
+  /// Removes and returns the fixes emitted so far (unsorted).
+  std::vector<ServiceFix> take_fixes();
+
+  /// Deterministic batch drive: submits the (time-sorted) schedule,
+  /// drains, and reports. Requires virtual_clock mode.
+  ServiceReport run(const std::vector<core::FrameEvent>& schedule);
+
+ private:
+  struct Session {
+    core::LocationTracker tracker;
+    std::uint64_t next_seq = 0;
+    /// Wire-path per-AP frame history (ingest thread only).
+    std::vector<std::deque<phy::FrameCapture>> history;
+  };
+
+  struct Job {
+    int client_id = -1;
+    std::uint64_t seq = 0;
+    Session* session = nullptr;
+    core::FrameGroup frames;
+    double frame_time_s = 0.0;
+    double arrival_s = 0.0;   // on the service clock
+    double deadline_s = 0.0;  // on the service clock; shedding bound
+    std::optional<geom::Vec2> truth;
+    // Stamped by the virtual dispatcher.
+    double start_s = 0.0;
+    double done_s = 0.0;
+  };
+
+  struct Shard {
+    /// Virtual mode: jobs not yet virtually started (the backlog the
+    /// queue bound and coalescing apply to).
+    std::deque<Job> pending;
+    /// Jobs released for execution (wall mode enqueues here directly).
+    std::deque<Job> ready;
+    bool claimed = false;
+    /// Virtual completion time of the shard's in-flight job (per-client
+    /// ordering in the discrete-event model).
+    double busy_until_s = 0.0;
+    std::map<int, Session> sessions;
+  };
+
+  std::size_t shard_of(int client_id) const;
+  Session& session_locked(Shard& shard, int client_id);
+  /// Backlog that admission control and coalescing operate on.
+  std::deque<Job>& backlog_locked(Shard& shard);
+  /// Admission control + coalescing + enqueue; `mutex_` must be held.
+  void ingest_locked(int client_id, core::FrameGroup frames,
+                     double frame_time_s, std::optional<geom::Vec2> truth);
+  /// Commits every virtual job start <= now_s: assigns the earliest
+  /// feasible (worker, shard-head) pair in deterministic order, shed
+  /// checks against the SLO, and releases admitted jobs to `ready`.
+  void virtual_dispatch_locked(double now_s);
+  bool idle_locked() const;
+  void worker_loop();
+  void execute(Job& job);
+  double estimated_cost_s() const;
+  void update_cost_estimate(double measured_s);
+
+  core::System* system_;
+  ServiceOptions opt_;
+  ServiceClock clock_;
+  double transport_s_;
+
+  mutable std::mutex mutex_;  // shards, sessions maps, claims, vworkers
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<Shard> shards_;
+  std::vector<double> vworker_free_;
+  std::size_t in_flight_ = 0;
+  std::size_t rr_cursor_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex fix_mutex_;
+  std::vector<ServiceFix> fixes_;
+
+  ServiceStats stats_;
+  std::atomic<std::uint64_t> cost_estimate_bits_{0};  // EWMA, wall mode
+};
+
+}  // namespace arraytrack::service

@@ -1,0 +1,333 @@
+// Tests for the concurrent location-serving engine.
+//
+// The load-bearing properties: (a) fixes are byte-identical across
+// worker counts under the virtual clock, (b) per-client ordering
+// survives multi-worker execution, (c) overload sheds loudly — every
+// submitted frame is accounted to exactly one terminal counter. The
+// whole file also runs under the ThreadSanitizer tier of
+// tools/check.sh, which is what makes (b) a race test and not just an
+// ordering test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "phy/wire.h"
+#include "service/service.h"
+#include "service/stats.h"
+
+namespace arraytrack::service {
+namespace {
+
+using core::FrameEvent;
+using geom::Vec2;
+
+geom::Floorplan make_plan() {
+  geom::Floorplan plan({{0, 0}, {18, 10}});
+  plan.add_wall({0, 0}, {18, 0}, geom::Material::kBrick);
+  plan.add_wall({18, 0}, {18, 10}, geom::Material::kBrick);
+  plan.add_wall({18, 10}, {0, 10}, geom::Material::kBrick);
+  plan.add_wall({0, 10}, {0, 0}, geom::Material::kBrick);
+  return plan;
+}
+
+/// Fresh system per run: identical seeds => identical channel/noise
+/// draws, which is what lets runs be compared byte for byte.
+std::unique_ptr<core::System> make_system(const geom::Floorplan* plan) {
+  core::SystemConfig cfg;
+  cfg.server.localizer.grid_step_m = 0.25;  // keep tests quick
+  auto sys = std::make_unique<core::System>(plan, cfg);
+  sys->add_ap({1, 1}, deg2rad(45.0));
+  sys->add_ap({17, 1}, deg2rad(135.0));
+  sys->add_ap({9, 9.5}, deg2rad(-90.0));
+  return sys;
+}
+
+const std::vector<Vec2>& client_sites() {
+  static const std::vector<Vec2> sites = {
+      {12.0, 6.0}, {5.0, 3.0}, {9.0, 7.0}, {14.5, 2.5}};
+  return sites;
+}
+
+/// `frames` per client, staggered so clients interleave.
+std::vector<FrameEvent> interleaved_schedule(int clients, int frames,
+                                             double gap_s) {
+  std::vector<FrameEvent> out;
+  for (int i = 0; i < frames; ++i)
+    for (int c = 0; c < clients; ++c)
+      out.push_back({0.1 + gap_s * i + 0.011 * c, c,
+                     client_sites()[std::size_t(c)]});
+  std::sort(out.begin(), out.end(),
+            [](const FrameEvent& a, const FrameEvent& b) {
+              return a.time_s < b.time_s;
+            });
+  return out;
+}
+
+ServiceOptions virtual_options(std::size_t workers) {
+  ServiceOptions opt;
+  opt.workers = workers;
+  opt.virtual_clock = true;
+  opt.virtual_cost_s = 0.02;
+  opt.latency_slo_s = 0.5;
+  return opt;
+}
+
+TEST(ServiceTest, ByteIdenticalFixesAcrossWorkerCounts) {
+  const auto plan = make_plan();
+  const auto schedule = interleaved_schedule(3, 6, 0.2);
+
+  std::vector<ServiceReport> reports;
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    auto sys = make_system(&plan);
+    LocationService svc(sys.get(), virtual_options(workers));
+    reports.push_back(svc.run(schedule));
+  }
+
+  const auto& base = reports[0];
+  ASSERT_GT(base.fixes.size(), 0u);
+  EXPECT_EQ(base.shed_queue_full + base.shed_deadline, 0u);
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    const auto& other = reports[r];
+    ASSERT_EQ(base.fixes.size(), other.fixes.size()) << "workers run " << r;
+    EXPECT_EQ(base.jobs_coalesced, other.jobs_coalesced);
+    for (std::size_t i = 0; i < base.fixes.size(); ++i) {
+      const auto& a = base.fixes[i];
+      const auto& b = other.fixes[i];
+      EXPECT_EQ(a.client_id, b.client_id);
+      EXPECT_EQ(a.seq, b.seq);
+      EXPECT_EQ(a.frame_time_s, b.frame_time_s);
+      // Byte-identical positions: the pipeline is pool-width invariant
+      // and the admitted job set is identical, so exact double
+      // equality is the contract, not a tolerance.
+      EXPECT_EQ(a.position.x, b.position.x);
+      EXPECT_EQ(a.position.y, b.position.y);
+      EXPECT_EQ(a.smoothed.x, b.smoothed.x);
+      EXPECT_EQ(a.smoothed.y, b.smoothed.y);
+      EXPECT_EQ(a.likelihood, b.likelihood);
+    }
+  }
+}
+
+TEST(ServiceTest, PerClientOrderingUnderManyWorkers) {
+  const auto plan = make_plan();
+  auto sys = make_system(&plan);
+  auto opt = virtual_options(8);
+  opt.shards = 4;  // fewer shards than workers: claim contention
+  opt.virtual_cost_s = 0.05;
+  LocationService svc(sys.get(), opt);
+
+  svc.start();
+  for (const auto& ev : interleaved_schedule(4, 8, 0.08)) svc.submit(ev);
+  svc.flush();
+  const auto fixes = svc.take_fixes();  // emission order
+  svc.stop();
+
+  ASSERT_GT(fixes.size(), 0u);
+  std::map<int, std::uint64_t> last_seq;
+  std::map<int, double> last_time;
+  for (const auto& f : fixes) {
+    if (last_seq.count(f.client_id)) {
+      EXPECT_LT(last_seq[f.client_id], f.seq)
+          << "client " << f.client_id << " fixes out of order";
+      EXPECT_LE(last_time[f.client_id], f.frame_time_s);
+    }
+    last_seq[f.client_id] = f.seq;
+    last_time[f.client_id] = f.frame_time_s;
+  }
+}
+
+TEST(ServiceTest, OverloadShedsAndAccountsEveryFrame) {
+  const auto plan = make_plan();
+  const auto schedule = interleaved_schedule(2, 40, 0.02);  // ~100 Hz offered
+
+  auto run_once = [&] {
+    auto sys = make_system(&plan);
+    ServiceOptions opt = virtual_options(1);
+    opt.virtual_cost_s = 0.08;       // server keeps up with ~12 Hz only
+    opt.latency_slo_s = 0.2;
+    opt.shard_queue_capacity = 2;
+    opt.coalesce_per_client = false;  // force real overload
+    LocationService svc(sys.get(), opt);
+    return svc.run(schedule);
+  };
+
+  const auto rep = run_once();
+  EXPECT_EQ(rep.frames_in, schedule.size());
+  EXPECT_GT(rep.shed_queue_full + rep.shed_deadline, 0u)
+      << "overload must activate shedding";
+  // Every frame lands in exactly one terminal counter: coalesced at
+  // admission, enqueued and later shed, failed, or fixed.
+  EXPECT_EQ(rep.frames_in, rep.jobs_coalesced + rep.jobs_enqueued);
+  EXPECT_EQ(rep.jobs_enqueued, rep.fixes_emitted + rep.locate_failures +
+                                   rep.shed_queue_full + rep.shed_deadline);
+  EXPECT_EQ(rep.fixes_emitted, rep.fixes.size());
+
+  // Under the virtual clock the overload outcome is reproducible.
+  const auto rep2 = run_once();
+  EXPECT_EQ(rep.fixes.size(), rep2.fixes.size());
+  EXPECT_EQ(rep.shed_queue_full, rep2.shed_queue_full);
+  EXPECT_EQ(rep.shed_deadline, rep2.shed_deadline);
+}
+
+TEST(ServiceTest, CoalescingBoundsBacklog) {
+  const auto plan = make_plan();
+  auto sys = make_system(&plan);
+  ServiceOptions opt = virtual_options(2);
+  opt.virtual_cost_s = 0.05;
+  opt.latency_slo_s = 0.0;  // isolate coalescing from shedding
+  LocationService svc(sys.get(), opt);
+
+  std::vector<FrameEvent> burst;
+  for (int i = 0; i < 100; ++i)
+    burst.push_back({0.1 + 0.001 * i, 0, client_sites()[0]});
+  const auto rep = svc.run(burst);
+
+  EXPECT_EQ(rep.frames_in, 100u);
+  EXPECT_GT(rep.jobs_coalesced, 80u);
+  EXPECT_LT(rep.fixes.size(), 20u);
+  EXPECT_EQ(rep.frames_in, rep.jobs_coalesced + rep.jobs_enqueued);
+}
+
+TEST(ServiceTest, WallClockModeServes) {
+  const auto plan = make_plan();
+  auto sys = make_system(&plan);
+  ServiceOptions opt;
+  opt.workers = 2;
+  opt.virtual_clock = false;
+  opt.latency_slo_s = 30.0;  // no shedding on a slow CI box
+  LocationService svc(sys.get(), opt);
+
+  svc.start();
+  for (const auto& ev : interleaved_schedule(2, 4, 0.05)) svc.submit(ev);
+  svc.flush();
+  const auto fixes = svc.take_fixes();
+  svc.stop();
+
+  // Submits land back-to-back in real time, so most frames coalesce
+  // into the queued job while the workers are busy — at least one fix
+  // per client must still come out, and every frame must be accounted.
+  ASSERT_GE(fixes.size(), 2u);
+  for (const auto& f : fixes) {
+    EXPECT_GE(f.latency_s, 0.0);
+    EXPECT_GE(f.error_m, 0.0);
+    EXPECT_LT(f.error_m, 1.5);
+  }
+  const auto& st = svc.stats();
+  EXPECT_EQ(st.fixes_emitted.load(), fixes.size());
+  EXPECT_EQ(st.frames_in.load(), st.jobs_coalesced.load() +
+                                     st.fixes_emitted.load() +
+                                     st.locate_failures.load());
+}
+
+TEST(ServiceTest, WireIngestProducesFix) {
+  const auto plan = make_plan();
+  auto sys = make_system(&plan);
+  ServiceOptions opt = virtual_options(2);
+  LocationService svc(sys.get(), opt);
+
+  // An AP deployment would ship encoded capture records; synthesize
+  // them from the simulated front ends.
+  const Vec2 truth{11.0, 4.0};
+  phy::WireFormat wire;
+  std::vector<LocationService::WireRecord> records;
+  sys->transmit(7, truth, 0.5);
+  for (std::size_t a = 0; a < sys->num_aps(); ++a)
+    records.push_back({a, wire.encode(sys->ap(int(a)).buffer().newest())});
+
+  svc.start();
+  svc.submit_wire(0.5, records);
+  svc.flush();
+  const auto fixes = svc.take_fixes();
+  svc.stop();
+
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].client_id, 7);
+  EXPECT_LT(geom::distance(fixes[0].position, truth), 1.5);
+  EXPECT_EQ(svc.stats().decode_errors.load(), 0u);
+}
+
+TEST(ServiceTest, WireIngestRejectsMalformedRecords) {
+  const auto plan = make_plan();
+  auto sys = make_system(&plan);
+  LocationService svc(sys.get(), virtual_options(1));
+
+  phy::WireFormat wire;
+  sys->transmit(3, {8.0, 5.0}, 0.2);
+  auto good = wire.encode(sys->ap(0).buffer().newest());
+
+  std::vector<LocationService::WireRecord> records;
+  records.push_back({0, std::vector<std::uint8_t>{1, 2, 3}});  // garbage
+  auto truncated = good;
+  truncated.resize(good.size() / 2);
+  records.push_back({1, truncated});
+  records.push_back({99, good});  // AP index out of range
+
+  svc.start();
+  svc.submit_wire(0.2, records);
+  svc.flush();
+  svc.stop();
+
+  EXPECT_EQ(svc.stats().wire_records_in.load(), 3u);
+  EXPECT_EQ(svc.stats().decode_errors.load(), 3u);
+  EXPECT_EQ(svc.stats().frames_in.load(), 0u);
+  EXPECT_TRUE(svc.take_fixes().empty());
+}
+
+TEST(ServiceTest, StatsJsonSnapshotIsWellFormed) {
+  const auto plan = make_plan();
+  auto sys = make_system(&plan);
+  LocationService svc(sys.get(), virtual_options(2));
+  const auto rep = svc.run(interleaved_schedule(2, 3, 0.2));
+
+  const std::string& js = rep.stats_json;
+  for (const char* key :
+       {"\"frames_in\"", "\"jobs_coalesced\"", "\"shed_queue_full\"",
+        "\"shed_deadline\"", "\"fixes_emitted\"", "\"queue_depth\"",
+        "\"queue_wait_ms\"", "\"processing_ms\"", "\"e2e_ms\"", "\"p99\""})
+    EXPECT_NE(js.find(key), std::string::npos) << key << " missing:\n" << js;
+  EXPECT_EQ(std::count(js.begin(), js.end(), '{'),
+            std::count(js.begin(), js.end(), '}'));
+}
+
+TEST(StreamingHistogramTest, CountsMeanMaxAndPercentiles) {
+  StreamingHistogram h(0.1, 1000.0, 40);
+  for (int i = 1; i <= 100; ++i) h.record(double(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-6);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 100.0);
+  // Quantiles are bucket-approximate: generous tolerance.
+  EXPECT_NEAR(h.percentile(50), 50.0, 15.0);
+  EXPECT_NEAR(h.percentile(99), 99.0, 25.0);
+  EXPECT_LE(h.percentile(10), h.percentile(90));
+}
+
+TEST(StreamingHistogramTest, UnderflowOverflowAndReset) {
+  StreamingHistogram h(1.0, 10.0, 4);
+  h.record(0.001);   // underflow bucket
+  h.record(5000.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(StreamingHistogramTest, ConcurrentRecordsAreExactInCount) {
+  StreamingHistogram h(0.1, 100.0, 16);
+  constexpr int kThreads = 4;
+  constexpr int kPer = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPer; ++i) h.record(0.5 + double((t + i) % 50));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), std::uint64_t(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace arraytrack::service

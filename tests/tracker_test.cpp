@@ -92,5 +92,91 @@ TEST(TrackerTest, CovarianceStaysBoundedOnStraightTrack) {
   EXPECT_NEAR(t.position().y, 1.0, 0.1);
 }
 
+TEST(TrackerTest, OutOfOrderTimestampReinitializes) {
+  // The service layer can replay a coalesced-then-restored client or a
+  // clock-skewed AP; a fix stamped BEFORE the last update must not run
+  // the filter with a negative dt (which would corrupt the covariance).
+  LocationTracker t;
+  for (int k = 0; k <= 20; ++k) t.update({0.1 * k, 0.0}, 0.1 * k);
+  EXPECT_NEAR(t.velocity().x, 1.0, 0.2);
+  const auto est = t.update({7.0, 7.0}, 1.0);  // 1 s into the past
+  EXPECT_FALSE(t.last_rejected());
+  // Reinit: the fix is taken verbatim and the velocity forgotten.
+  EXPECT_DOUBLE_EQ(est.x, 7.0);
+  EXPECT_DOUBLE_EQ(est.y, 7.0);
+  EXPECT_DOUBLE_EQ(t.velocity().norm(), 0.0);
+  EXPECT_DOUBLE_EQ(t.last_update_s(), 1.0);
+  // And the track keeps working from the new epoch.
+  const auto next = t.update({7.1, 7.0}, 1.1);
+  EXPECT_TRUE(std::isfinite(next.x));
+  EXPECT_FALSE(t.last_rejected());
+}
+
+TEST(TrackerTest, EqualTimestampDoesNotReinitialize) {
+  // dt == 0 is a legal repeat fix (two APs decoding the same frame);
+  // it must refine, not reset, the track.
+  LocationTracker t;
+  for (int k = 0; k <= 20; ++k) t.update({0.1 * k, 0.0}, 0.1 * k);
+  const auto v_before = t.velocity();
+  t.update({2.0, 0.0}, 2.0);  // same time as the last update
+  EXPECT_FALSE(t.last_rejected());
+  EXPECT_GT(t.velocity().x, 0.5 * v_before.x);  // velocity survives
+}
+
+TEST(TrackerTest, MaxCoastBoundaryIsExclusive) {
+  TrackerOptions opt;
+  opt.max_coast_s = 2.0;
+  LocationTracker t(opt);
+  for (int k = 0; k <= 20; ++k) t.update({0.1 * k, 0.0}, 0.1 * k);
+  // Gap of exactly max_coast_s: still the same track, so a fix on the
+  // extrapolated path is accepted and the velocity kept.
+  t.update({4.0, 0.0}, 4.0);
+  EXPECT_FALSE(t.last_rejected());
+  EXPECT_GT(t.velocity().x, 0.3);
+  // A hair past the window: reinitialize, even on a wild position.
+  t.update({-50.0, 30.0}, 4.0 + opt.max_coast_s + 1e-6);
+  EXPECT_FALSE(t.last_rejected());
+  EXPECT_DOUBLE_EQ(t.position().x, -50.0);
+  EXPECT_DOUBLE_EQ(t.velocity().norm(), 0.0);
+}
+
+TEST(TrackerTest, PredictBeforeAndAfterCoasting) {
+  LocationTracker t;
+  for (int k = 0; k <= 30; ++k) t.update({0.1 * k, 0.05 * k}, 0.1 * k);
+  // Forward extrapolation follows the learned velocity...
+  const auto ahead = t.predict(3.0 + 1.0);
+  EXPECT_NEAR(ahead.x, 4.0, 0.3);
+  EXPECT_NEAR(ahead.y, 2.0, 0.2);
+  // ...predict() at the current time is just the filtered position...
+  const auto now = t.predict(3.0);
+  EXPECT_NEAR(now.x, t.position().x, 1e-12);
+  EXPECT_NEAR(now.y, t.position().y, 1e-12);
+  // ...and backward extrapolation runs the velocity in reverse.
+  const auto behind = t.predict(3.0 - 1.0);
+  EXPECT_NEAR(behind.x, 2.0, 0.3);
+  // After a reinit (long gap) the velocity is zero, so predict()
+  // holds the last fix regardless of horizon.
+  t.update({9.0, 9.0}, 100.0);
+  const auto held = t.predict(105.0);
+  EXPECT_DOUBLE_EQ(held.x, 9.0);
+  EXPECT_DOUBLE_EQ(held.y, 9.0);
+}
+
+TEST(TrackerTest, CoastingDuringRejectionsThenRecovery) {
+  // Several consecutive ghost fixes: each is gated, the track coasts on
+  // the prediction, and a sane fix within max_coast_s re-locks.
+  LocationTracker t;
+  for (int k = 0; k <= 20; ++k) t.update({0.1 * k, 0.0}, 0.1 * k);
+  for (int j = 1; j <= 3; ++j) {
+    const auto est = t.update({15.0, -12.0}, 2.0 + 0.1 * j);
+    EXPECT_TRUE(t.last_rejected());
+    EXPECT_NEAR(est.x, 2.0 + 0.1 * j, 0.4);  // coasting along +x
+    EXPECT_NEAR(est.y, 0.0, 0.3);
+  }
+  t.update({2.4, 0.0}, 2.4);
+  EXPECT_FALSE(t.last_rejected());
+  EXPECT_NEAR(t.position().x, 2.4, 0.3);
+}
+
 }  // namespace
 }  // namespace arraytrack::core

@@ -1,6 +1,10 @@
 // Tests for the AP-to-server wire format.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
 #include <random>
 
 #include "aoa/covariance.h"
@@ -108,6 +112,109 @@ TEST(WireTest, RejectsMalformedInput) {
   bytes.push_back(0);
   bytes.push_back(0);  // trailing junk
   EXPECT_FALSE(wire.decode(bytes).has_value());
+}
+
+// The service ingest path feeds decode() attacker-controlled bytes, so
+// it must never crash, over-allocate from a lying header, or hand the
+// pipeline non-finite values — for ANY input. Sanity contract for a
+// frame decode() does accept: plausible shape and all-finite fields.
+void expect_sane(const std::optional<FrameCapture>& g) {
+  if (!g) return;
+  ASSERT_GE(g->samples.rows(), 1u);
+  ASSERT_LE(g->samples.rows(), 1024u);
+  ASSERT_GE(g->samples.cols(), 1u);
+  ASSERT_LE(g->samples.cols(), 65536u);
+  ASSERT_EQ(g->element_ids.size(), g->samples.rows());
+  ASSERT_TRUE(std::isfinite(g->timestamp_s));
+  ASSERT_TRUE(std::isfinite(g->snr_db));
+  for (std::size_t m = 0; m < g->samples.rows(); ++m)
+    for (std::size_t k = 0; k < g->samples.cols(); ++k) {
+      ASSERT_TRUE(std::isfinite(g->samples(m, k).real()));
+      ASSERT_TRUE(std::isfinite(g->samples(m, k).imag()));
+    }
+}
+
+TEST(WireTest, TruncationAtEveryLengthIsRejected) {
+  WireFormat wire;
+  const auto bytes = wire.encode(make_frame(4, 6, 11));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + long(len));
+    EXPECT_FALSE(wire.decode(cut).has_value()) << "length " << len;
+  }
+}
+
+TEST(WireTest, CorruptionAtEveryOffsetNeverCrashes) {
+  WireFormat wire;
+  const auto bytes = wire.encode(make_frame(4, 6, 12));
+  std::mt19937_64 rng(99);
+  for (std::size_t off = 0; off < bytes.size(); ++off) {
+    // Random bit flip plus a whole-byte overwrite at every offset: the
+    // header fields (magic, shape, bits, scale, timestamp) all get hit.
+    auto flipped = bytes;
+    flipped[off] ^= std::uint8_t(1u << (rng() % 8));
+    expect_sane(wire.decode(flipped));
+    auto stomped = bytes;
+    stomped[off] = std::uint8_t(rng());
+    expect_sane(wire.decode(stomped));
+  }
+}
+
+TEST(WireTest, ImpossibleHeaderShapesAreRejected) {
+  WireFormat wire;
+  auto bytes = wire.encode(make_frame(4, 6, 13));
+  auto put32 = [&](std::size_t off, std::uint32_t v) {
+    auto b = bytes;
+    for (int i = 0; i < 4; ++i) b[off + std::size_t(i)] = std::uint8_t(v >> (8 * i));
+    return b;
+  };
+  // elements: zero, over the cap, and huge enough that a naive
+  // size computation would overflow.
+  for (std::uint32_t v : {0u, 1025u, 0xffffffffu})
+    EXPECT_FALSE(wire.decode(put32(4, v)).has_value()) << "elements " << v;
+  // snapshots: zero and over the cap.
+  for (std::uint32_t v : {0u, 65537u, 0xfffffff0u})
+    EXPECT_FALSE(wire.decode(put32(8, v)).has_value()) << "snapshots " << v;
+  // bits per rail: below 2, above 32.
+  for (std::uint32_t v : {0u, 1u, 33u, 64u, 0x80000000u})
+    EXPECT_FALSE(wire.decode(put32(12, v)).has_value()) << "bits " << v;
+}
+
+TEST(WireTest, NonFiniteHeaderFieldsAreRejected) {
+  WireFormat wire;
+  const auto base = wire.encode(make_frame(2, 3, 14));
+  auto putf64 = [&](std::size_t off, double v) {
+    auto b = base;
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i) b[off + std::size_t(i)] = std::uint8_t(bits >> (8 * i));
+    return b;
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double v : {nan, inf, -inf}) {
+    EXPECT_FALSE(wire.decode(putf64(16, v)).has_value()) << "timestamp";
+    EXPECT_FALSE(wire.decode(putf64(24, v)).has_value()) << "snr";
+    EXPECT_FALSE(wire.decode(putf64(32, v)).has_value()) << "scale";
+  }
+  // A zero or negative scale is equally impossible from encode().
+  EXPECT_FALSE(wire.decode(putf64(32, 0.0)).has_value());
+  EXPECT_FALSE(wire.decode(putf64(32, -1.0)).has_value());
+}
+
+TEST(WireTest, RandomGarbageBuffersNeverCrash) {
+  WireFormat wire;
+  std::mt19937_64 rng(4242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng() % 512);
+    for (auto& b : junk) b = std::uint8_t(rng());
+    if (trial % 3 == 0 && junk.size() >= 4) {
+      // Give a third of the trials a valid magic so decode gets past
+      // the first gate and exercises the header validation.
+      junk[0] = 0x31; junk[1] = 0x52; junk[2] = 0x54; junk[3] = 0x41;
+    }
+    expect_sane(wire.decode(junk));
+  }
 }
 
 TEST(WireTest, ZeroFrameSurvives) {

@@ -9,6 +9,11 @@
 #           (simd::force beats the environment), so the intrinsics paths
 #           still execute under UBSan even though the ambient level is
 #           scalar.
+#   pass 3  ThreadSanitizer build (ARRAYTRACK_SANITIZE=thread) running
+#           only the concurrency-bearing suites — the shared thread
+#           pool, the realtime simulator, and the multi-worker location
+#           service (plus its lock-free histogram) — since TSan slows
+#           everything ~10x and the rest of the tree is single-threaded.
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
 set -euo pipefail
@@ -20,18 +25,29 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 run_pass() {
   local dir="$1"; shift
   local label="$1"; shift
+  local filter="$1"; shift
   echo "=== ${label} (${dir}) ==="
   cmake -B "${dir}" -S . "$@"
   cmake --build "${dir}" -j "${jobs}"
-  ctest --test-dir "${dir}" --output-on-failure
+  if [[ -n "${filter}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -R "${filter}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure
+  fi
 }
 
-run_pass "${prefix}" "pass 1: default build + ctest"
+run_pass "${prefix}" "pass 1: default build + ctest" ""
 
 ARRAYTRACK_FORCE_SCALAR=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   run_pass "${prefix}-ubsan" \
-           "pass 2: UBSan build + ctest (scalar dispatch)" \
+           "pass 2: UBSan build + ctest (scalar dispatch)" "" \
            -DARRAYTRACK_SANITIZE=undefined
+
+TSAN_OPTIONS=halt_on_error=1 \
+  run_pass "${prefix}-tsan" \
+           "pass 3: TSan build + concurrency suites" \
+           'ThreadPool|Realtime|Service|StreamingHistogram' \
+           -DARRAYTRACK_SANITIZE=thread
 
 echo "=== all checks passed ==="
