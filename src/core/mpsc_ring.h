@@ -1,0 +1,127 @@
+// Bounded lock-free multi-producer ring (Vyukov-style bounded queue).
+//
+// The ingest front-end publishes decoded frame events from N per-AP
+// decoder threads into one ring per session shard; the admission layer
+// drains them. Each cell carries a sequence number that encodes both
+// its occupancy and its lap, so producers claim cells with a single
+// CAS on the tail and never block consumers (and vice versa). The
+// queue is actually MPMC — that is what makes drop-oldest possible
+// from the producer side: on a full ring the producer pops (discards)
+// the oldest event and retries, so the newest data always wins, the
+// same philosophy as the service's shard-queue admission.
+//
+// Capacity is rounded up to a power of two (minimum 2: with a single
+// cell the sequence number aliases — a cell published at position p
+// carries seq p+1, exactly what position p+1 reads as "free" — so a
+// one-cell ring cannot tell full from empty). try_push / try_pop are
+// lock-free; push_overwrite is the drop-oldest wrapper and returns how
+// many events it had to discard so the caller can account them (a
+// service that sheds must never do so silently).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace arraytrack::core {
+
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Snapshot of the occupancy; exact only when quiescent.
+  std::size_t size_approx() const {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+  /// Moves from `v` and returns true, or leaves `v` untouched and
+  /// returns false when the ring is full.
+  bool try_push(T& v) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = std::intptr_t(seq) - std::intptr_t(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // full: the cell still holds an unconsumed lap
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(v);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Moves the oldest event into `out`; false when empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = std::intptr_t(seq) - std::intptr_t(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Drop-oldest push: on a full ring, discards the oldest queued
+  /// event and retries until `v` fits. Returns the number of events
+  /// discarded (0 when the ring had room).
+  std::size_t push_overwrite(T v) {
+    std::size_t dropped = 0;
+    while (!try_push(v)) {
+      T victim;
+      if (try_pop(victim)) ++dropped;
+    }
+    return dropped;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  // Head and tail on separate cache lines from each other and the
+  // cells, so producers and the consumer do not false-share.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace arraytrack::core

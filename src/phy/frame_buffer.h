@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -29,6 +30,14 @@ struct FrameCapture {
   /// real AP would identify the transmitter from the MAC header when
   /// available. Negative when unknown.
   int client_id = -1;
+  /// Id of the AP that captured this frame; carried by wire v1 headers
+  /// so the server can reject mis-addressed records.
+  std::uint32_t source_ap = 0;
+  /// Per-AP monotonically increasing capture sequence number, stamped
+  /// by the front end. Wire v1 carries it so the ingest layer can
+  /// detect duplicates, replays and gaps; meaningless for legacy v0
+  /// records (always 0).
+  std::uint64_t wire_seq = 0;
 };
 
 class CircularFrameBuffer {

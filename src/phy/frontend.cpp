@@ -98,6 +98,8 @@ FrameCapture AccessPointFrontEnd::capture_snapshot(const geom::Vec2& client_pos,
   }
 
   frame.snr_db = resp.total_power_dbm - channel_->config().noise_floor_dbm;
+  frame.source_ap = std::uint32_t(id_);
+  frame.wire_seq = next_wire_seq_++;
   buffer_.push(frame);
   return frame;
 }
@@ -198,6 +200,8 @@ std::vector<FrameCapture> AccessPointFrontEnd::receive(
       }
     }
 
+    frame.source_ap = std::uint32_t(id_);
+    frame.wire_seq = next_wire_seq_++;
     buffer_.push(frame);
     out.push_back(std::move(frame));
   }

@@ -117,6 +117,9 @@ class AccessPointFrontEnd {
   CircularFrameBuffer buffer_;
   mutable dsp::AwgnSource noise_;
   dsp::PreambleGenerator preamble_;
+  /// Next capture sequence number (stamped into FrameCapture::wire_seq
+  /// and carried by wire v1 records for ingest replay detection).
+  std::uint64_t next_wire_seq_ = 0;
 };
 
 }  // namespace arraytrack::phy

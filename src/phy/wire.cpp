@@ -7,7 +7,9 @@
 namespace arraytrack::phy {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x41545231;  // "ATR1"
+constexpr std::uint32_t kMagicV0 = 0x41545231;  // bytes "1RTA"
+constexpr std::uint32_t kMagicV1 = 0x41545232;  // bytes "2RTA"
+constexpr std::uint32_t kVersion = 1;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
@@ -42,13 +44,21 @@ double get_f64(const std::uint8_t* p) {
   return v;
 }
 
-// Header layout (little endian):
+// v0 header layout (little endian):
 //   u32 magic | u32 elements | u32 snapshots | u32 bits_per_rail
 //   f64 timestamp | f64 snr_db | f64 scale | i32 client_id
 //   u32 element_id[elements]
 // followed by elements*snapshots { int I, int Q } packed rail-by-rail
 // into ceil(bits/8) bytes each, two's complement.
-constexpr std::size_t kFixedHeader = 4 * 4 + 3 * 8 + 4;
+constexpr std::size_t kFixedHeaderV0 = 4 * 4 + 3 * 8 + 4;
+
+// v1 header layout (little endian):
+//   u32 magic | u32 version | u32 elements | u32 snapshots
+//   u32 bits_per_rail | u32 ap_id | u64 seq
+//   f64 timestamp | f64 snr_db | f64 scale | i32 client_id
+//   u32 element_id[elements]
+// with the same payload packing as v0.
+constexpr std::size_t kFixedHeaderV1 = 6 * 4 + 8 + 3 * 8 + 4;
 
 std::size_t rail_bytes(int bits) { return std::size_t((bits + 7) / 8); }
 
@@ -67,11 +77,41 @@ long get_signed(const std::uint8_t* p, std::size_t nbytes, int bits) {
   return long(std::int64_t(u));
 }
 
+bool shape_ok(std::size_t elements, std::size_t snapshots, int bits) {
+  return bits >= 2 && bits <= 32 && elements > 0 && elements <= 1024 &&
+         snapshots > 0 && snapshots <= 65536;
+}
+
+// Shared scalar-field validation: a corrupted header must not smuggle
+// NaN/inf into the pipeline (a non-finite scale poisons every sample;
+// a non-finite timestamp breaks frame grouping and service deadlines).
+// encode() can only produce finite positive scales.
+bool scalars_ok(double timestamp_s, double snr_db, double scale, int bits) {
+  if (!std::isfinite(timestamp_s) || !std::isfinite(snr_db) ||
+      !std::isfinite(scale) || scale <= 0.0)
+    return false;
+  // The largest magnitude get_signed can produce is 2^(bits-1); a huge
+  // (but finite) corrupted scale would overflow samples to inf.
+  return std::isfinite(scale * double(1ull << (bits - 1)));
+}
+
 }  // namespace
+
+int WireFormat::header_version(const std::uint8_t* bytes, std::size_t size) {
+  if (size < 4) return -1;
+  const std::uint32_t magic = get_u32(bytes);
+  if (magic == kMagicV0) return 0;
+  if (magic == kMagicV1)
+    return size >= 8 ? int(std::min<std::uint32_t>(get_u32(bytes + 4),
+                                                   0x7fffffffu))
+                     : -1;
+  return -1;
+}
 
 std::size_t WireFormat::encoded_size(std::size_t elements,
                                      std::size_t snapshots) const {
-  return kFixedHeader + 4 * elements +
+  const std::size_t header = version == 0 ? kFixedHeaderV0 : kFixedHeaderV1;
+  return header + 4 * elements +
          elements * snapshots * 2 * rail_bytes(bits_per_rail);
 }
 
@@ -98,10 +138,19 @@ std::vector<std::uint8_t> WireFormat::encode(const FrameCapture& frame) const {
 
   std::vector<std::uint8_t> out;
   out.reserve(encoded_size(elements, snapshots));
-  put_u32(out, kMagic);
+  if (version == 0) {
+    put_u32(out, kMagicV0);
+  } else {
+    put_u32(out, kMagicV1);
+    put_u32(out, kVersion);
+  }
   put_u32(out, std::uint32_t(elements));
   put_u32(out, std::uint32_t(snapshots));
   put_u32(out, std::uint32_t(bits_per_rail));
+  if (version != 0) {
+    put_u32(out, frame.source_ap);
+    put_u64(out, frame.wire_seq);
+  }
   put_f64(out, frame.timestamp_s);
   put_f64(out, frame.snr_db);
   put_f64(out, scale);
@@ -126,38 +175,54 @@ std::vector<std::uint8_t> WireFormat::encode(const FrameCapture& frame) const {
 
 std::optional<FrameCapture> WireFormat::decode(
     const std::vector<std::uint8_t>& bytes) const {
-  if (bytes.size() < kFixedHeader) return std::nullopt;
+  if (bytes.size() < 4) return std::nullopt;
   const std::uint8_t* p = bytes.data();
-  if (get_u32(p) != kMagic) return std::nullopt;
-  const std::size_t elements = get_u32(p + 4);
-  const std::size_t snapshots = get_u32(p + 8);
-  const int bits = int(get_u32(p + 12));
-  if (bits < 2 || bits > 32 || elements == 0 || elements > 1024 ||
-      snapshots == 0 || snapshots > 65536)
-    return std::nullopt;
+  const std::uint32_t magic = get_u32(p);
 
   FrameCapture frame;
-  frame.timestamp_s = get_f64(p + 16);
-  frame.snr_db = get_f64(p + 24);
-  const double scale = get_f64(p + 32);
-  frame.client_id = int(std::int32_t(get_u32(p + 40)));
-  // A corrupted header must not smuggle NaN/inf into the pipeline (a
-  // non-finite scale poisons every sample; a non-finite timestamp
-  // breaks frame grouping and service deadlines). encode() can only
-  // produce finite positive scales.
-  if (!std::isfinite(frame.timestamp_s) || !std::isfinite(frame.snr_db) ||
-      !std::isfinite(scale) || scale <= 0.0)
+  std::size_t header;
+  std::size_t elements, snapshots;
+  int bits;
+  double scale;
+
+  if (magic == kMagicV0) {
+    if (!accept_legacy_v0) return std::nullopt;
+    header = kFixedHeaderV0;
+    if (bytes.size() < header) return std::nullopt;
+    elements = get_u32(p + 4);
+    snapshots = get_u32(p + 8);
+    bits = int(get_u32(p + 12));
+    if (!shape_ok(elements, snapshots, bits)) return std::nullopt;
+    frame.timestamp_s = get_f64(p + 16);
+    frame.snr_db = get_f64(p + 24);
+    scale = get_f64(p + 32);
+    frame.client_id = int(std::int32_t(get_u32(p + 40)));
+  } else if (magic == kMagicV1) {
+    header = kFixedHeaderV1;
+    if (bytes.size() < header) return std::nullopt;
+    if (get_u32(p + 4) != kVersion) return std::nullopt;
+    elements = get_u32(p + 8);
+    snapshots = get_u32(p + 12);
+    bits = int(get_u32(p + 16));
+    if (!shape_ok(elements, snapshots, bits)) return std::nullopt;
+    frame.source_ap = get_u32(p + 20);
+    frame.wire_seq = get_u64(p + 24);
+    frame.timestamp_s = get_f64(p + 32);
+    frame.snr_db = get_f64(p + 40);
+    scale = get_f64(p + 48);
+    frame.client_id = int(std::int32_t(get_u32(p + 56)));
+  } else {
     return std::nullopt;
-  // The largest magnitude get_signed can produce is 2^(bits-1); a huge
-  // (but finite) corrupted scale would overflow samples to inf.
-  if (!std::isfinite(scale * double(1ull << (bits - 1)))) return std::nullopt;
+  }
+  if (!scalars_ok(frame.timestamp_s, frame.snr_db, scale, bits))
+    return std::nullopt;
 
   const std::size_t nb = rail_bytes(bits);
   const std::size_t need =
-      kFixedHeader + 4 * elements + elements * snapshots * 2 * nb;
+      header + 4 * elements + elements * snapshots * 2 * nb;
   if (bytes.size() != need) return std::nullopt;
 
-  const std::uint8_t* ids = p + kFixedHeader;
+  const std::uint8_t* ids = p + header;
   frame.element_ids.resize(elements);
   for (std::size_t m = 0; m < elements; ++m)
     frame.element_ids[m] = get_u32(ids + 4 * m);

@@ -6,6 +6,16 @@
 // depth configurable (16+16 matches the paper's 32 bits per sample).
 // Quantization uses a per-frame shared scale (max-abs normalization),
 // mirroring the FPGA's fixed-point capture path.
+//
+// Two header generations exist:
+//  * v0 ("1RTA" magic) — the original unversioned record. Accepted on
+//    decode only behind the explicit `accept_legacy_v0` compat flag,
+//    because it carries no sequence number: a concurrent ingest path
+//    cannot tell a legacy duplicate from a fresh frame.
+//  * v1 ("2RTA" magic + explicit version field) — adds the capturing
+//    AP id and a per-AP monotonically increasing sequence number, so
+//    the server's decoder threads can reject duplicates, detect
+//    replays and count gaps at ingest (see service::LocationService).
 #pragma once
 
 #include <cstdint>
@@ -20,7 +30,17 @@ struct WireFormat {
   /// Bits per rail (I or Q); the paper's 32-bit samples are 16+16.
   int bits_per_rail = 16;
 
-  /// Serialized size in bytes for a capture of the given shape.
+  /// Header generation written by encode(): 1 (current) or 0 (legacy,
+  /// for talking to pre-versioning servers).
+  int version = 1;
+
+  /// Accept legacy v0 records on decode. Off by default: v0 has no
+  /// sequence numbers, so replayed or duplicated records are
+  /// indistinguishable from fresh ones.
+  bool accept_legacy_v0 = false;
+
+  /// Serialized size in bytes for a capture of the given shape (header
+  /// size depends on `version`).
   std::size_t encoded_size(std::size_t elements, std::size_t snapshots) const;
 
   /// Serialization time over a link, seconds (the Tt term).
@@ -28,13 +48,24 @@ struct WireFormat {
                          double link_bps) const;
 
   /// Encodes a frame capture. The element ids, timestamp, SNR and
-  /// client tag ride along in the header.
+  /// client tag ride along in the header; v1 additionally carries the
+  /// frame's source_ap and wire_seq.
   std::vector<std::uint8_t> encode(const FrameCapture& frame) const;
 
   /// Decodes a record; returns nullopt on malformed input (short
-  /// buffer, bad magic, impossible shape). Samples are reconstructed
-  /// up to quantization error (see wire tests for the error bound).
+  /// buffer, bad magic, unsupported version, impossible shape) and on
+  /// v0 input unless `accept_legacy_v0` is set. Samples are
+  /// reconstructed up to quantization error (see wire tests for the
+  /// error bound). v1 fills the frame's source_ap / wire_seq; v0
+  /// leaves them 0.
   std::optional<FrameCapture> decode(const std::vector<std::uint8_t>& bytes) const;
+
+  /// Header generation of a raw record: 0 for a v0 magic, the header's
+  /// version field for a v1 magic (whether or not it is supported), -1
+  /// when the buffer is too short or the magic is unknown. Lets the
+  /// ingest layer account "rejected because unversioned" separately
+  /// from "malformed".
+  static int header_version(const std::uint8_t* bytes, std::size_t size);
 };
 
 }  // namespace arraytrack::phy

@@ -240,45 +240,171 @@ void LocationService::submit(const core::FrameEvent& ev) {
 
 void LocationService::submit_wire(double time_s,
                                   const std::vector<WireRecord>& records) {
-  start();
+  std::vector<TimedWireRecord> timed;
+  timed.reserve(records.size());
+  for (const auto& rec : records)
+    timed.push_back({time_s, rec.ap_index, rec.bytes});
+  ingest_wire(timed);
+}
+
+void LocationService::decode_partition(
+    const std::vector<TimedWireRecord>& records, std::size_t d,
+    std::size_t decoders, std::size_t num_aps) {
+  for (const auto& rec : records) {
+    if (rec.ap_index % decoders != d) continue;
+    stats_.wire_records_in.fetch_add(1, std::memory_order_relaxed);
+    const int version =
+        phy::WireFormat::header_version(rec.bytes.data(), rec.bytes.size());
+    auto frame = opt_.wire.decode(rec.bytes);
+    if (!frame) {
+      // A well-formed v0 record refused for lack of the compat flag is
+      // a policy rejection, not corruption — account it separately.
+      auto& counter = (version == 0 && !opt_.wire.accept_legacy_v0)
+                          ? stats_.wire_version_rejected
+                          : stats_.decode_errors;
+      counter.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Malformed or mis-addressed records are counted, never trusted:
+    // an unknown AP, an untagged client, or a v1 header claiming a
+    // different source AP than the link it arrived on.
+    if (rec.ap_index >= num_aps || frame->client_id < 0 ||
+        (version >= 1 && frame->source_ap != rec.ap_index)) {
+      stats_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    ApIngestState& st = ap_ingest_[rec.ap_index];
+    IngestEvent ev;
+    if (version == 0) {
+      stats_.wire_legacy_in.fetch_add(1, std::memory_order_relaxed);
+      // v0 carries no sequence number; synthesize per-AP arrival order
+      // so the drain sort stays canonical.
+      ev.seq = st.legacy_count++;
+    } else {
+      const std::uint64_t seq = frame->wire_seq;
+      if (st.seen) {
+        if (seq == st.last_seq) {
+          stats_.wire_duplicates.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (seq < st.last_seq) {
+          stats_.wire_replays.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (seq > st.last_seq + 1)
+          stats_.wire_gaps.fetch_add(1, std::memory_order_relaxed);
+      }
+      st.seen = true;
+      st.last_seq = seq;
+      ev.seq = seq;
+    }
+    ev.client_id = frame->client_id;
+    ev.ap_index = std::uint32_t(rec.ap_index);
+    ev.time_s = rec.time_s;
+    ev.frame = std::move(*frame);
+    auto& ring = *ingest_rings_[shard_of(ev.client_id)];
+    const std::size_t dropped = ring.push_overwrite(std::move(ev));
+    if (dropped)
+      stats_.ring_dropped.fetch_add(dropped, std::memory_order_relaxed);
+  }
+}
+
+void LocationService::drain_ingest_rings() {
+  std::vector<IngestEvent> events;
+  for (auto& ring : ingest_rings_) {
+    IngestEvent ev;
+    while (ring->try_pop(ev)) events.push_back(std::move(ev));
+  }
+  if (events.empty()) return;
+  // Canonical admission order: producer interleaving must not leak
+  // into scheduling decisions. (time, ap, seq) is a total order over
+  // surviving events — one AP's records have distinct seqs, two APs
+  // are ordered by index — so the admitted job set is independent of
+  // how many decoder threads filled the rings.
+  std::sort(events.begin(), events.end(),
+            [](const IngestEvent& a, const IngestEvent& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              if (a.ap_index != b.ap_index) return a.ap_index < b.ap_index;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.client_id < b.client_id;
+            });
+
   const std::size_t num_aps = system_->num_aps();
   const double window =
       system_->server().options().suppression.max_group_spacing_s;
   std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t i = 0;
+  while (i < events.size()) {
+    // Records sharing a timestamp form one arrival group, exactly like
+    // a single submit_wire() call.
+    std::size_t j = i;
+    while (j < events.size() && events[j].time_s == events[i].time_s) ++j;
+    const double now = events[i].time_s;
 
-  // Decode and fold each record into its session's per-AP history;
-  // malformed or mis-addressed records are counted, never trusted.
-  std::vector<int> clients_heard;
-  for (const auto& rec : records) {
-    stats_.wire_records_in.fetch_add(1, std::memory_order_relaxed);
-    auto frame = opt_.wire.decode(rec.bytes);
-    if (!frame || rec.ap_index >= num_aps || frame->client_id < 0) {
-      stats_.decode_errors.fetch_add(1, std::memory_order_relaxed);
-      continue;
+    std::vector<int> clients_heard;
+    for (std::size_t k = i; k < j; ++k) {
+      IngestEvent& ev = events[k];
+      stats_.wire_accepted.fetch_add(1, std::memory_order_relaxed);
+      const int client = ev.client_id;
+      Session& sess = session_locked(shards_[shard_of(client)], client);
+      if (sess.history.size() < num_aps) sess.history.resize(num_aps);
+      auto& hist = sess.history[ev.ap_index];
+      hist.push_back(std::move(ev.frame));
+      while (hist.size() > opt_.wire_history) hist.pop_front();
+      while (!hist.empty() && hist.front().timestamp_s < now - window)
+        hist.pop_front();
+      if (std::find(clients_heard.begin(), clients_heard.end(), client) ==
+          clients_heard.end())
+        clients_heard.push_back(client);
     }
-    const int client = frame->client_id;
-    Session& sess = session_locked(shards_[shard_of(client)], client);
-    if (sess.history.size() < num_aps) sess.history.resize(num_aps);
-    auto& hist = sess.history[rec.ap_index];
-    hist.push_back(std::move(*frame));
-    while (hist.size() > opt_.wire_history) hist.pop_front();
-    while (!hist.empty() && hist.front().timestamp_s < time_s - window)
-      hist.pop_front();
-    if (std::find(clients_heard.begin(), clients_heard.end(), client) ==
-        clients_heard.end())
-      clients_heard.push_back(client);
+
+    for (int client : clients_heard) {
+      stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      Session& sess = session_locked(shards_[shard_of(client)], client);
+      core::FrameGroup frames(num_aps);
+      for (std::size_t a = 0; a < sess.history.size(); ++a)
+        frames[a].assign(sess.history[a].begin(), sess.history[a].end());
+      // The engine stamps frame time itself: a hostile header timestamp
+      // must not steer deadlines or tracker ordering.
+      ingest_locked(client, std::move(frames), now, std::nullopt);
+    }
+    i = j;
+  }
+}
+
+void LocationService::ingest_wire(const std::vector<TimedWireRecord>& records) {
+  start();
+  const std::size_t num_aps = system_->num_aps();
+  if (ap_ingest_.size() < num_aps) ap_ingest_.resize(num_aps);
+  if (ingest_rings_.size() < opt_.shards) {
+    ingest_rings_.reserve(opt_.shards);
+    while (ingest_rings_.size() < opt_.shards)
+      ingest_rings_.push_back(std::make_unique<core::MpscRing<IngestEvent>>(
+          opt_.ingest_ring_capacity));
   }
 
-  for (int client : clients_heard) {
-    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
-    Session& sess = session_locked(shards_[shard_of(client)], client);
-    core::FrameGroup frames(num_aps);
-    for (std::size_t i = 0; i < sess.history.size(); ++i)
-      frames[i].assign(sess.history[i].begin(), sess.history[i].end());
-    // The engine stamps frame time itself: a hostile header timestamp
-    // must not steer deadlines or tracker ordering.
-    ingest_locked(client, std::move(frames), time_s, std::nullopt);
+  const std::size_t decoders = std::max<std::size_t>(1, opt_.decoder_threads);
+  if (decoders == 1) {
+    decode_partition(records, 0, 1, num_aps);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(decoders);
+    for (std::size_t d = 0; d < decoders; ++d)
+      threads.emplace_back([this, &records, d, decoders, num_aps] {
+        decode_partition(records, d, decoders, num_aps);
+      });
+    for (auto& t : threads) t.join();
   }
+  drain_ingest_rings();
+}
+
+ServiceReport LocationService::run_wire(
+    const std::vector<TimedWireRecord>& records) {
+  ingest_wire(records);
+  flush();
+  return finish_report(
+      records.empty() ? 0.0 : records.back().time_s - records.front().time_s);
 }
 
 void LocationService::worker_loop() {
@@ -372,12 +498,7 @@ void LocationService::execute(Job& job) {
   fixes_.push_back(std::move(out));
 }
 
-ServiceReport LocationService::run(
-    const std::vector<core::FrameEvent>& schedule) {
-  start();
-  for (const auto& ev : schedule) submit(ev);
-  flush();
-
+ServiceReport LocationService::finish_report(double duration_s) {
   ServiceReport rep;
   rep.fixes = take_fixes();
   std::sort(rep.fixes.begin(), rep.fixes.end(),
@@ -387,9 +508,7 @@ ServiceReport LocationService::run(
               if (a.client_id != b.client_id) return a.client_id < b.client_id;
               return a.seq < b.seq;
             });
-  rep.duration_s = schedule.empty()
-                       ? 0.0
-                       : schedule.back().time_s - schedule.front().time_s;
+  rep.duration_s = duration_s;
   rep.workers = opt_.workers;
   rep.pool_threads = core::ThreadPool::shared().size();
   rep.stats_json = stats_.to_json();
@@ -403,6 +522,16 @@ ServiceReport LocationService::run(
   rep.decode_errors = stats_.decode_errors.load();
   stop();
   return rep;
+}
+
+ServiceReport LocationService::run(
+    const std::vector<core::FrameEvent>& schedule) {
+  start();
+  for (const auto& ev : schedule) submit(ev);
+  flush();
+  return finish_report(schedule.empty() ? 0.0
+                                        : schedule.back().time_s -
+                                              schedule.front().time_s);
 }
 
 }  // namespace arraytrack::service

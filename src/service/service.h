@@ -9,11 +9,20 @@
 // ArrayTrackServer pipeline (which fans its per-AP work out on the
 // shared core::ThreadPool).
 //
-//   ingest (1 thread)        shards (bounded FIFO)        N workers
-//   submit()/submit_wire() -> [s0][s1]...[sK-1]  -> claim shard, pop,
-//     transmit + snapshot       coalesce stale       run pipeline job,
-//     per-client session        frames, shed on      smooth through the
-//     + admission control       full queue           session tracker
+//   simulation ingest (1 thread)   shards (bounded FIFO)     N workers
+//   submit() -> transmit +      -> [s0][s1]...[sK-1]  -> claim shard, pop,
+//     snapshot + admission         coalesce stale        run pipeline job,
+//                                  frames, shed on       smooth through the
+//                                  full queue            session tracker
+//
+//   wire ingest (N decoder threads over per-shard MPSC rings)
+//   ingest_wire() -> partition records per AP -> decode, check
+//     version + per-AP sequence (reject duplicates/replays, count
+//     gaps) -> publish into per-shard core::MpscRing (drop-oldest on
+//     overflow, counted) -> drain: canonical (time, ap, seq) order ->
+//     admission as above. Decoding runs outside the service mutex; the
+//     admitted fix set is byte-identical for any decoder-thread count
+//     as long as the rings do not overflow.
 //
 // Guarantees:
 //  * Per-client fix ordering: a client hashes to one shard, a shard is
@@ -38,6 +47,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -45,6 +55,7 @@
 
 #include "core/arraytrack.h"
 #include "core/latency.h"
+#include "core/mpsc_ring.h"
 #include "core/realtime.h"
 #include "core/tracker.h"
 #include "phy/wire.h"
@@ -76,10 +87,21 @@ struct ServiceOptions {
   /// Ingest transport model (Td + Tt + Tl), folded into arrival times
   /// (virtual mode) and end-to-end latency accounting (both modes).
   core::LatencyModel transport;
-  /// Wire decoder for submit_wire().
+  /// Wire decoder for the wire-ingest paths (its accept_legacy_v0 flag
+  /// gates unversioned v0 records).
   phy::WireFormat wire;
   /// Frames kept per (session, AP) on the wire-ingest path.
   std::size_t wire_history = 4;
+  /// Decoder threads for ingest_wire(); <= 1 decodes on the calling
+  /// thread. APs are partitioned across decoders (ap mod threads), so
+  /// one AP's records are always decoded in arrival order by exactly
+  /// one thread — which is what makes per-AP sequence validation
+  /// race-free without a lock.
+  std::size_t decoder_threads = 1;
+  /// Capacity of each per-shard ingest ring (rounded up to a power of
+  /// two). Overflow drops the oldest queued event, counted in
+  /// stats().ring_dropped.
+  std::size_t ingest_ring_capacity = 1024;
 
   /// Virtual-clock mode: deterministic discrete-event scheduling (see
   /// header comment). Jobs are modeled to cost `virtual_cost_s` each.
@@ -131,7 +153,8 @@ struct ServiceReport {
 class LocationService {
  public:
   /// `system` must outlive the service and have its APs installed.
-  /// The service assumes a single producer thread for submit paths.
+  /// submit() assumes a single producer thread (it owns the channel
+  /// and AP buffers); ingest_wire() runs its own decoder threads.
   LocationService(core::System* system, ServiceOptions opt = {});
   ~LocationService();
 
@@ -159,8 +182,33 @@ class LocationService {
   /// Wire ingest: decodes per-AP records (malformed ones are counted
   /// and dropped, never trusted), groups them by the client tagged in
   /// the header into per-session frame histories, and enqueues one job
-  /// per client heard.
+  /// per client heard. Thin wrapper over ingest_wire() with every
+  /// record stamped at `time_s`.
   void submit_wire(double time_s, const std::vector<WireRecord>& records);
+
+  /// One timestamped AP record for the sharded ingest front-end.
+  struct TimedWireRecord {
+    double time_s = 0.0;
+    std::size_t ap_index = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  /// Sharded multi-producer wire ingest: partitions `records` per AP
+  /// across `decoder_threads` decoder threads, which decode + validate
+  /// (version, per-AP sequence: duplicates and replays rejected, gaps
+  /// counted) concurrently outside the service mutex and publish the
+  /// surviving events into bounded per-shard MPSC rings (drop-oldest
+  /// on overflow). The rings are then drained in canonical (time, ap,
+  /// seq) order into the admission layer, so the admitted job set —
+  /// and under the virtual clock, the fix set — is byte-identical for
+  /// any decoder-thread count as long as the rings do not overflow.
+  /// Records sharing a time_s are grouped like one submit_wire() call.
+  void ingest_wire(const std::vector<TimedWireRecord>& records);
+
+  /// Deterministic batch drive of the wire path: ingests the
+  /// (time-sorted) records, drains, and reports. Requires virtual_clock
+  /// mode for reproducibility, like run().
+  ServiceReport run_wire(const std::vector<TimedWireRecord>& records);
 
   /// Blocks until every queued job has completed (or been shed).
   void flush();
@@ -207,6 +255,26 @@ class LocationService {
     std::map<int, Session> sessions;
   };
 
+  /// One decoded, sequence-validated record in flight between a
+  /// decoder thread and the admission drain.
+  struct IngestEvent {
+    int client_id = -1;
+    std::uint32_t ap_index = 0;
+    /// Wire sequence (v1) or per-AP arrival index (legacy v0): the
+    /// canonical intra-(time, ap) drain order either way.
+    std::uint64_t seq = 0;
+    double time_s = 0.0;
+    phy::FrameCapture frame;
+  };
+
+  /// Per-AP decoder state. Owned by exactly one decoder thread during
+  /// ingest_wire (APs are partitioned), joined between calls.
+  struct ApIngestState {
+    bool seen = false;
+    std::uint64_t last_seq = 0;
+    std::uint64_t legacy_count = 0;  // synthetic seq for v0 records
+  };
+
   std::size_t shard_of(int client_id) const;
   Session& session_locked(Shard& shard, int client_id);
   /// Backlog that admission control and coalescing operate on.
@@ -223,6 +291,16 @@ class LocationService {
   void execute(Job& job);
   double estimated_cost_s() const;
   void update_cost_estimate(double measured_s);
+  /// Decoder-thread body: decode + validate every record of partition
+  /// `d` (ap_index % decoders == d) and publish into the shard rings.
+  void decode_partition(const std::vector<TimedWireRecord>& records,
+                        std::size_t d, std::size_t decoders,
+                        std::size_t num_aps);
+  /// Pops every queued event, sorts into canonical (time, ap, seq)
+  /// order, and admits time-groups under the service mutex.
+  void drain_ingest_rings();
+  /// Sorts and snapshots fixes/stats into a report, then stops.
+  ServiceReport finish_report(double duration_s);
 
   core::System* system_;
   ServiceOptions opt_;
@@ -238,6 +316,11 @@ class LocationService {
   std::size_t rr_cursor_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  /// One ring per session shard; created on first wire ingest.
+  std::vector<std::unique_ptr<core::MpscRing<IngestEvent>>> ingest_rings_;
+  /// Indexed by ap; only touched by the owning decoder thread.
+  std::vector<ApIngestState> ap_ingest_;
 
   std::mutex fix_mutex_;
   std::vector<ServiceFix> fixes_;

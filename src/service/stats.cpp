@@ -128,6 +128,13 @@ std::string ServiceStats::to_json() const {
   counter("decode_errors", decode_errors);
   counter("jobs_enqueued", jobs_enqueued);
   counter("jobs_coalesced", jobs_coalesced);
+  counter("wire_accepted", wire_accepted);
+  counter("wire_legacy_in", wire_legacy_in);
+  counter("wire_version_rejected", wire_version_rejected);
+  counter("wire_duplicates", wire_duplicates);
+  counter("wire_replays", wire_replays);
+  counter("wire_gaps", wire_gaps);
+  counter("ring_dropped", ring_dropped);
   counter("shed_queue_full", shed_queue_full);
   counter("shed_deadline", shed_deadline);
   counter("fixes_emitted", fixes_emitted);

@@ -75,6 +75,17 @@ struct ServiceStats {
   std::atomic<std::uint64_t> jobs_enqueued{0};
   std::atomic<std::uint64_t> jobs_coalesced{0};
 
+  // ---- sharded wire ingest (every offered record ends in exactly one
+  // of: wire_accepted, decode_errors, wire_version_rejected,
+  // wire_duplicates, wire_replays, ring_dropped) ----
+  std::atomic<std::uint64_t> wire_accepted{0};   // admitted from the rings
+  std::atomic<std::uint64_t> wire_legacy_in{0};  // v0 taken via compat flag
+  std::atomic<std::uint64_t> wire_version_rejected{0};  // v0 without the flag
+  std::atomic<std::uint64_t> wire_duplicates{0};  // seq == newest seen
+  std::atomic<std::uint64_t> wire_replays{0};     // seq < newest seen
+  std::atomic<std::uint64_t> wire_gaps{0};   // forward jumps (still accepted)
+  std::atomic<std::uint64_t> ring_dropped{0};     // drop-oldest overflow
+
   // ---- load shedding (never silent) ----
   std::atomic<std::uint64_t> shed_queue_full{0};
   std::atomic<std::uint64_t> shed_deadline{0};

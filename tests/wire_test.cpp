@@ -1,4 +1,6 @@
-// Tests for the AP-to-server wire format.
+// Tests for the AP-to-server wire format, across both header
+// generations: v1 (versioned, per-AP sequence numbers) and legacy v0
+// (accepted only behind the accept_legacy_v0 compat flag).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -21,6 +23,8 @@ FrameCapture make_frame(std::size_t elements, std::size_t snapshots,
   f.timestamp_s = 12.345;
   f.snr_db = 27.5;
   f.client_id = 9;
+  f.source_ap = 3;
+  f.wire_seq = 7700000000001ull;  // exercises the full u64 width
   f.samples = linalg::CMatrix(elements, snapshots);
   f.element_ids.resize(elements);
   for (std::size_t m = 0; m < elements; ++m) {
@@ -31,24 +35,40 @@ FrameCapture make_frame(std::size_t elements, std::size_t snapshots,
   return f;
 }
 
+/// Both header generations, with decode permissive enough to read its
+/// own output (v0 needs the compat flag).
+WireFormat wire_for_version(int version) {
+  WireFormat wire;
+  wire.version = version;
+  wire.accept_legacy_v0 = (version == 0);
+  return wire;
+}
+
 TEST(WireTest, EncodedSizeMatchesPaperAccounting) {
   // (10 samples)(32 bits/sample)(8 radios) = 320 bytes of payload; the
-  // header adds a fixed overhead.
+  // header adds a fixed overhead (60 bytes for v1, 44 for legacy v0 —
+  // v1 carries version, AP id and sequence number).
   WireFormat wire;  // 16 bits per rail = 32 bits per sample
   const std::size_t payload = 8 * 10 * 4;
   const std::size_t size = wire.encoded_size(8, 10);
-  EXPECT_EQ(size, 44 + 4 * 8 + payload);
+  EXPECT_EQ(size, 60 + 4 * 8 + payload);
+  WireFormat legacy = wire_for_version(0);
+  EXPECT_EQ(legacy.encoded_size(8, 10), 44 + 4 * 8 + payload);
   // Tt at the paper's 1 Mbit/s effective link: payload alone is 2.56 ms.
   EXPECT_NEAR(wire.serialization_s(8, 10, 1e6),
               double(size) * 8.0 / 1e6, 1e-12);
   EXPECT_GT(wire.serialization_s(8, 10, 1e6), 2.56e-3);
 }
 
-TEST(WireTest, RoundTripMetadata) {
-  WireFormat wire;
+class WireVersionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireVersionSweep, RoundTripMetadata) {
+  WireFormat wire = wire_for_version(GetParam());
   const auto f = make_frame(16, 10, 1);
   const auto bytes = wire.encode(f);
   ASSERT_EQ(bytes.size(), wire.encoded_size(16, 10));
+  EXPECT_EQ(WireFormat::header_version(bytes.data(), bytes.size()),
+            GetParam());
   const auto g = wire.decode(bytes);
   ASSERT_TRUE(g.has_value());
   EXPECT_DOUBLE_EQ(g->timestamp_s, f.timestamp_s);
@@ -57,6 +77,49 @@ TEST(WireTest, RoundTripMetadata) {
   EXPECT_EQ(g->element_ids, f.element_ids);
   ASSERT_EQ(g->samples.rows(), 16u);
   ASSERT_EQ(g->samples.cols(), 10u);
+  if (GetParam() == 0) {
+    // Legacy records carry no provenance.
+    EXPECT_EQ(g->source_ap, 0u);
+    EXPECT_EQ(g->wire_seq, 0u);
+  } else {
+    EXPECT_EQ(g->source_ap, f.source_ap);
+    EXPECT_EQ(g->wire_seq, f.wire_seq);
+  }
+}
+
+TEST_P(WireVersionSweep, TruncationAtEveryLengthIsRejected) {
+  WireFormat wire = wire_for_version(GetParam());
+  const auto bytes = wire.encode(make_frame(4, 6, 11));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + long(len));
+    EXPECT_FALSE(wire.decode(cut).has_value()) << "length " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, WireVersionSweep, ::testing::Values(0, 1));
+
+TEST(WireTest, LegacyV0RequiresCompatFlag) {
+  WireFormat writer = wire_for_version(0);
+  const auto bytes = writer.encode(make_frame(8, 10, 21));
+  WireFormat strict;  // default: v1 decode, no legacy
+  EXPECT_FALSE(strict.decode(bytes).has_value());
+  EXPECT_EQ(WireFormat::header_version(bytes.data(), bytes.size()), 0);
+  strict.accept_legacy_v0 = true;
+  EXPECT_TRUE(strict.decode(bytes).has_value());
+}
+
+TEST(WireTest, UnknownFutureVersionIsRejected) {
+  WireFormat wire;
+  auto bytes = wire.encode(make_frame(4, 5, 22));
+  for (std::uint32_t v : {0u, 2u, 7u, 0xffffffffu}) {
+    auto b = bytes;
+    for (int i = 0; i < 4; ++i) b[4 + std::size_t(i)] = std::uint8_t(v >> (8 * i));
+    EXPECT_FALSE(wire.decode(b).has_value()) << "version " << v;
+    if (v != 0xffffffffu) {
+      EXPECT_EQ(WireFormat::header_version(b.data(), b.size()), int(v));
+    }
+  }
 }
 
 class WireBitDepthSweep : public ::testing::TestWithParam<int> {};
@@ -134,29 +197,24 @@ void expect_sane(const std::optional<FrameCapture>& g) {
     }
 }
 
-TEST(WireTest, TruncationAtEveryLengthIsRejected) {
-  WireFormat wire;
-  const auto bytes = wire.encode(make_frame(4, 6, 11));
-  for (std::size_t len = 0; len < bytes.size(); ++len) {
-    const std::vector<std::uint8_t> cut(bytes.begin(),
-                                        bytes.begin() + long(len));
-    EXPECT_FALSE(wire.decode(cut).has_value()) << "length " << len;
-  }
-}
-
 TEST(WireTest, CorruptionAtEveryOffsetNeverCrashes) {
-  WireFormat wire;
-  const auto bytes = wire.encode(make_frame(4, 6, 12));
-  std::mt19937_64 rng(99);
-  for (std::size_t off = 0; off < bytes.size(); ++off) {
-    // Random bit flip plus a whole-byte overwrite at every offset: the
-    // header fields (magic, shape, bits, scale, timestamp) all get hit.
-    auto flipped = bytes;
-    flipped[off] ^= std::uint8_t(1u << (rng() % 8));
-    expect_sane(wire.decode(flipped));
-    auto stomped = bytes;
-    stomped[off] = std::uint8_t(rng());
-    expect_sane(wire.decode(stomped));
+  // Both generations, with legacy decoding enabled so the v0 parser is
+  // also exercised against corrupted headers.
+  for (int version : {0, 1}) {
+    WireFormat wire = wire_for_version(version);
+    const auto bytes = wire.encode(make_frame(4, 6, 12));
+    std::mt19937_64 rng(99);
+    for (std::size_t off = 0; off < bytes.size(); ++off) {
+      // Random bit flip plus a whole-byte overwrite at every offset:
+      // the header fields (magic, version, shape, bits, seq, scale,
+      // timestamp) all get hit.
+      auto flipped = bytes;
+      flipped[off] ^= std::uint8_t(1u << (rng() % 8));
+      expect_sane(wire.decode(flipped));
+      auto stomped = bytes;
+      stomped[off] = std::uint8_t(rng());
+      expect_sane(wire.decode(stomped));
+    }
   }
 }
 
@@ -168,16 +226,17 @@ TEST(WireTest, ImpossibleHeaderShapesAreRejected) {
     for (int i = 0; i < 4; ++i) b[off + std::size_t(i)] = std::uint8_t(v >> (8 * i));
     return b;
   };
+  // v1 header: elements at offset 8, snapshots at 12, bits at 16.
   // elements: zero, over the cap, and huge enough that a naive
   // size computation would overflow.
   for (std::uint32_t v : {0u, 1025u, 0xffffffffu})
-    EXPECT_FALSE(wire.decode(put32(4, v)).has_value()) << "elements " << v;
+    EXPECT_FALSE(wire.decode(put32(8, v)).has_value()) << "elements " << v;
   // snapshots: zero and over the cap.
   for (std::uint32_t v : {0u, 65537u, 0xfffffff0u})
-    EXPECT_FALSE(wire.decode(put32(8, v)).has_value()) << "snapshots " << v;
+    EXPECT_FALSE(wire.decode(put32(12, v)).has_value()) << "snapshots " << v;
   // bits per rail: below 2, above 32.
   for (std::uint32_t v : {0u, 1u, 33u, 64u, 0x80000000u})
-    EXPECT_FALSE(wire.decode(put32(12, v)).has_value()) << "bits " << v;
+    EXPECT_FALSE(wire.decode(put32(16, v)).has_value()) << "bits " << v;
 }
 
 TEST(WireTest, NonFiniteHeaderFieldsAreRejected) {
@@ -190,28 +249,35 @@ TEST(WireTest, NonFiniteHeaderFieldsAreRejected) {
     for (int i = 0; i < 8; ++i) b[off + std::size_t(i)] = std::uint8_t(bits >> (8 * i));
     return b;
   };
+  // v1 header: timestamp at offset 32, snr at 40, scale at 48.
   const double nan = std::numeric_limits<double>::quiet_NaN();
   const double inf = std::numeric_limits<double>::infinity();
   for (double v : {nan, inf, -inf}) {
-    EXPECT_FALSE(wire.decode(putf64(16, v)).has_value()) << "timestamp";
-    EXPECT_FALSE(wire.decode(putf64(24, v)).has_value()) << "snr";
-    EXPECT_FALSE(wire.decode(putf64(32, v)).has_value()) << "scale";
+    EXPECT_FALSE(wire.decode(putf64(32, v)).has_value()) << "timestamp";
+    EXPECT_FALSE(wire.decode(putf64(40, v)).has_value()) << "snr";
+    EXPECT_FALSE(wire.decode(putf64(48, v)).has_value()) << "scale";
   }
   // A zero or negative scale is equally impossible from encode().
-  EXPECT_FALSE(wire.decode(putf64(32, 0.0)).has_value());
-  EXPECT_FALSE(wire.decode(putf64(32, -1.0)).has_value());
+  EXPECT_FALSE(wire.decode(putf64(48, 0.0)).has_value());
+  EXPECT_FALSE(wire.decode(putf64(48, -1.0)).has_value());
 }
 
 TEST(WireTest, RandomGarbageBuffersNeverCrash) {
   WireFormat wire;
+  wire.accept_legacy_v0 = true;  // exercise both parsers
   std::mt19937_64 rng(4242);
   for (int trial = 0; trial < 2000; ++trial) {
     std::vector<std::uint8_t> junk(rng() % 512);
     for (auto& b : junk) b = std::uint8_t(rng());
-    if (trial % 3 == 0 && junk.size() >= 4) {
-      // Give a third of the trials a valid magic so decode gets past
-      // the first gate and exercises the header validation.
-      junk[0] = 0x31; junk[1] = 0x52; junk[2] = 0x54; junk[3] = 0x41;
+    if (junk.size() >= 4) {
+      // Give two thirds of the trials a valid magic so decode gets
+      // past the first gate and exercises the header validation of
+      // both generations.
+      if (trial % 3 == 0) {
+        junk[0] = 0x32; junk[1] = 0x52; junk[2] = 0x54; junk[3] = 0x41;  // v1
+      } else if (trial % 3 == 1) {
+        junk[0] = 0x31; junk[1] = 0x52; junk[2] = 0x54; junk[3] = 0x41;  // v0
+      }
     }
     expect_sane(wire.decode(junk));
   }

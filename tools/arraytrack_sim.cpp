@@ -4,6 +4,7 @@
 //   arraytrack_sim <scenario.txt> [options]
 //   arraytrack_sim --office [options]         # built-in office testbed
 //   arraytrack_sim --emit-office              # print the office scenario
+//   arraytrack_sim service <scenario.txt|--office> [options]
 //
 // Options:
 //   --client <i>        localize only client i (default: all)
@@ -12,12 +13,24 @@
 //   --aps <k>           use only the first k APs
 //   --quiet             summary line only
 //
+// `service` replays the scenario through the concurrent LocationService
+// under the virtual clock and dumps the engine's stats JSON:
+//   --frames <n>        frames per client (default 5)
+//   --workers <n>       backend workers (default 2)
+//   --producers <n>     decoder threads; > 0 replays via the wire-format
+//                       ingest path (encode per AP, run_wire); 0 uses
+//                       the simulation submit path (default 0)
+//   --quiet             stats JSON only
+//
 // Exit status: 0 on success, 1 on usage/scenario errors.
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "phy/wire.h"
+#include "service/service.h"
 #include "testbed/metrics.h"
 #include "testbed/render.h"
 #include "testbed/scenario.h"
@@ -31,12 +44,115 @@ void usage() {
                "usage: arraytrack_sim <scenario.txt> [--client i] "
                "[--frames n] [--aps k] [--heatmap out.ppm] [--quiet]\n"
                "       arraytrack_sim --office [...]\n"
-               "       arraytrack_sim --emit-office\n");
+               "       arraytrack_sim --emit-office\n"
+               "       arraytrack_sim service <scenario.txt|--office> "
+               "[--frames n] [--workers n] [--producers n] [--quiet]\n");
+}
+
+/// `arraytrack_sim service`: replay the scenario through the
+/// concurrent serving engine and dump its stats JSON — the scriptable
+/// view of what the service tests and bench assert.
+int service_main(int argc, char** argv) {
+  std::optional<testbed::Scenario> scenario;
+  int frames = 5;
+  std::size_t workers = 2;
+  std::size_t producers = 0;
+  bool quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--office") {
+      scenario = testbed::office_scenario();
+    } else if (arg == "--frames") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      frames = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      workers = std::size_t(std::atoi(v));
+    } else if (arg == "--producers") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      producers = std::size_t(std::atoi(v));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(), 1;
+    } else {
+      testbed::ScenarioParseError err;
+      scenario = testbed::load_scenario(arg, &err);
+      if (!scenario) {
+        std::fprintf(stderr, "%s:%zu: %s\n", arg.c_str(), err.line,
+                     err.message.c_str());
+        return 1;
+      }
+    }
+  }
+  if (!scenario) return usage(), 1;
+  if (scenario->clients.empty()) {
+    std::fprintf(stderr, "scenario has no clients\n");
+    return 1;
+  }
+
+  auto sys = scenario->make_system();
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.virtual_clock = true;  // deterministic, machine-independent replay
+  opt.decoder_threads = std::max<std::size_t>(1, producers);
+  service::LocationService svc(&sys, opt);
+
+  // Interleaved per-client schedule, like the live traffic the service
+  // layer exists for.
+  service::ServiceReport rep;
+  if (producers > 0) {
+    // Wire path: each AP encodes its capture; the sharded ingest
+    // front-end decodes on `producers` threads.
+    phy::WireFormat wire;
+    std::vector<service::LocationService::TimedWireRecord> records;
+    for (int f = 0; f < frames; ++f)
+      for (std::size_t c = 0; c < scenario->clients.size(); ++c) {
+        const double t = 0.1 + 0.1 * f + 0.011 * double(c);
+        sys.transmit(int(c), scenario->clients[c], t);
+        for (std::size_t a = 0; a < sys.num_aps(); ++a)
+          records.push_back(
+              {t, a, wire.encode(sys.ap(int(a)).buffer().newest())});
+      }
+    rep = svc.run_wire(records);
+  } else {
+    std::vector<core::FrameEvent> schedule;
+    for (int f = 0; f < frames; ++f)
+      for (std::size_t c = 0; c < scenario->clients.size(); ++c)
+        schedule.push_back({0.1 + 0.1 * f + 0.011 * double(c), int(c),
+                            scenario->clients[c]});
+    rep = svc.run(schedule);
+  }
+
+  if (!quiet) {
+    std::printf("service: %zu workers, %zu decoder threads, %s ingest\n",
+                workers, opt.decoder_threads,
+                producers > 0 ? "wire" : "simulation");
+    std::printf("fixes: %zu (%.1f /s modeled), p50 %.1f ms, p99 %.1f ms\n",
+                rep.fixes.size(), rep.fix_rate_hz(),
+                rep.latency_percentile(50) * 1e3,
+                rep.latency_percentile(99) * 1e3);
+    if (rep.median_error_m() > 0.0)
+      std::printf("median error: %.1f cm\n", rep.median_error_m() * 100.0);
+  }
+  std::printf("%s\n", rep.stats_json.c_str());
+  return rep.fixes.empty() ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "service") == 0)
+    return service_main(argc, argv);
+
   std::optional<testbed::Scenario> scenario;
   std::string heatmap_path;
   int only_client = -1;
