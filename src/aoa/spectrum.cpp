@@ -124,12 +124,12 @@ double AoaSpectrum::side_power(bool front) const {
   return acc;
 }
 
-void AoaSpectrum::convolve_gaussian(double sigma_rad) {
-  const std::size_t n = power_.size();
-  if (n < 3 || sigma_rad <= 0.0) return;
-  const double sigma_bins = sigma_rad / bin_width_rad();
+std::vector<double> gaussian_taps(double sigma_rad, std::size_t bins) {
+  if (bins < 3 || sigma_rad <= 0.0) return {};
+  const double bin_width = kTwoPi / double(bins);
+  const double sigma_bins = sigma_rad / bin_width;
   const std::size_t half = std::min<std::size_t>(
-      n / 2, std::size_t(std::ceil(4.0 * sigma_bins)));
+      bins / 2, std::size_t(std::ceil(4.0 * sigma_bins)));
   std::vector<double> kernel(2 * half + 1);
   double sum = 0.0;
   for (std::size_t i = 0; i < kernel.size(); ++i) {
@@ -138,6 +138,14 @@ void AoaSpectrum::convolve_gaussian(double sigma_rad) {
     sum += kernel[i];
   }
   for (auto& k : kernel) k /= sum;
+  return kernel;
+}
+
+void AoaSpectrum::convolve_gaussian(double sigma_rad) {
+  const std::size_t n = power_.size();
+  const std::vector<double> kernel = gaussian_taps(sigma_rad, n);
+  if (kernel.empty()) return;
+  const std::size_t half = kernel.size() / 2;
   std::vector<double> out(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < kernel.size(); ++j) {

@@ -96,4 +96,12 @@ class AoaSpectrum {
 /// Smallest absolute angular difference between two bearings, radians.
 double bearing_distance(double a_rad, double b_rad);
 
+/// The normalized Gaussian tap weights AoaSpectrum::convolve_gaussian
+/// applies for `sigma_rad` over a `bins`-bin spectrum (2*half+1 taps,
+/// half = min(bins/2, ceil(4*sigma/bin_width))). Exposed so the
+/// batched bearing blur (linalg::kernels::fir_batch over many spectra
+/// at once) uses bit-identical weights. Empty when the blur would be
+/// a no-op (bins < 3 or sigma_rad <= 0).
+std::vector<double> gaussian_taps(double sigma_rad, std::size_t bins);
+
 }  // namespace arraytrack::aoa

@@ -33,6 +33,13 @@ ApProcessor::ApProcessor(const phy::AccessPointFrontEnd* ap,
 }
 
 aoa::AoaSpectrum ApProcessor::process(const phy::FrameCapture& frame) const {
+  aoa::AoaSpectrum spec = process_sharp(frame);
+  finish_spectrum(spec);
+  return spec;
+}
+
+aoa::AoaSpectrum ApProcessor::process_sharp(
+    const phy::FrameCapture& frame) const {
   const linalg::CMatrix samples = ap_->calibrated_samples(frame);
   if (samples.rows() < row_)
     throw std::invalid_argument("ApProcessor: capture smaller than row");
@@ -50,10 +57,13 @@ aoa::AoaSpectrum ApProcessor::process(const phy::FrameCapture& frame) const {
   if (resolver_ && samples.rows() > row_)
     resolver_->resolve_per_peak(aoa::sample_covariance(samples), &spec);
 
+  return spec;
+}
+
+void ApProcessor::finish_spectrum(aoa::AoaSpectrum& spec) const {
   if (opt_.bearing_sigma_deg > 0.0)
     spec.convolve_gaussian(deg2rad(opt_.bearing_sigma_deg));
   spec.normalize();
-  return spec;
 }
 
 ApSpectrum ApProcessor::process_tagged(const phy::FrameCapture& frame) const {

@@ -53,6 +53,17 @@ class ApProcessor {
   /// normalized to peak 1.
   aoa::AoaSpectrum process(const phy::FrameCapture& frame) const;
 
+  /// The pipeline up to (not including) the bearing-uncertainty blur:
+  /// calibration -> smoothed MUSIC -> geometry weighting -> symmetry
+  /// removal. finish_spectrum() completes it; process() is exactly
+  /// process_sharp() followed by finish_spectrum().
+  aoa::AoaSpectrum process_sharp(const phy::FrameCapture& frame) const;
+
+  /// Bearing blur + peak normalization — the tail of process(), split
+  /// out so the batched server path can run the blur of many sharp
+  /// spectra as one structure-of-arrays convolution per AP.
+  void finish_spectrum(aoa::AoaSpectrum& spec) const;
+
   /// The processed spectrum tagged with the AP pose, ready to fuse.
   ApSpectrum process_tagged(const phy::FrameCapture& frame) const;
 

@@ -1,11 +1,52 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <iterator>
 #include <optional>
 
 #include "core/thread_pool.h"
+#include "linalg/kernels.h"
 
 namespace arraytrack::core {
+namespace {
+
+/// Bearing blur for a stack of same-size spectra in one pass: the
+/// Gaussian taps and the circular window addressing are computed once,
+/// and the multiply-accumulate streams across rows via
+/// kernels::fir_batch. Each row's bits match
+/// AoaSpectrum::convolve_gaussian run on that row alone.
+void blur_rows(double sigma_rad, std::vector<aoa::AoaSpectrum>& rows) {
+  if (rows.empty()) return;
+  const std::size_t bins = rows.front().bins();
+  for (const auto& row : rows)
+    if (row.bins() != bins) {
+      // Mixed bin counts cannot share a window; blur row by row.
+      for (auto& r : rows) r.convolve_gaussian(sigma_rad);
+      return;
+    }
+  const auto taps = aoa::gaussian_taps(sigma_rad, bins);
+  if (taps.empty()) return;  // the blur is a no-op for these parameters
+  const std::size_t half = taps.size() / 2;
+  const std::size_t nrows = rows.size();
+  // Circularly extended interleaved input: sample e of row r (at
+  // ext[e*nrows + r]) holds that row's bin (e - half) mod bins, which
+  // turns the circular convolution into a plain FIR.
+  std::vector<double> ext((bins + 2 * half) * nrows);
+  for (std::size_t e = 0; e < bins + 2 * half; ++e) {
+    const std::size_t src = (e + bins - half) % bins;
+    for (std::size_t r = 0; r < nrows; ++r) ext[e * nrows + r] = rows[r][src];
+  }
+  std::vector<double> out(bins * nrows);
+  linalg::kernels::fir_batch(ext.data(), nrows, bins, taps.data(), taps.size(),
+                             out.data());
+  for (std::size_t r = 0; r < nrows; ++r) {
+    std::vector<double> row(bins);
+    for (std::size_t i = 0; i < bins; ++i) row[i] = out[i * nrows + r];
+    rows[r] = aoa::AoaSpectrum(std::move(row));
+  }
+}
+
+}  // namespace
 
 ArrayTrackServer::ArrayTrackServer(geom::Rect bounds, ServerOptions opt)
     : opt_(opt), localizer_(bounds, opt.localizer) {}
@@ -89,6 +130,77 @@ std::vector<ApSpectrum> ArrayTrackServer::spectra_from_frames(
   for (auto& slot : slots)
     if (slot) out.push_back(std::move(*slot));
   return out;
+}
+
+std::vector<std::vector<ApSpectrum>> ArrayTrackServer::spectra_from_frames_batch(
+    const std::vector<const FrameGroup*>& groups) const {
+  const std::size_t b = groups.size();
+  const std::size_t n = aps_.size();
+  // slots[i][j]: job j's fused spectrum at AP i; compacted per job in
+  // registration order afterwards, exactly like the un-batched path.
+  std::vector<std::vector<std::optional<ApSpectrum>>> slots(
+      n, std::vector<std::optional<ApSpectrum>>(b));
+  ThreadPool::shared().parallel_for(
+      0, n, opt_.localizer.threads, [&](std::size_t i) {
+        const auto& entry = aps_[i];
+        // Sharp spectra of every (job, frame) pair this AP heard, with
+        // the same newest-max_group frame selection per job as
+        // spectra_from_frames().
+        std::vector<aoa::AoaSpectrum> rows;
+        std::vector<std::size_t> rows_of(b, 0);
+        for (std::size_t j = 0; j < b; ++j) {
+          if (i >= groups[j]->size()) continue;
+          const auto& frames = (*groups[j])[i];
+          if (frames.empty()) continue;
+          const std::size_t use =
+              std::min(frames.size(), opt_.suppression.max_group);
+          for (std::size_t k = frames.size() - use; k < frames.size(); ++k)
+            rows.push_back(entry.processor->process_sharp(frames[k]));
+          rows_of[j] = use;
+        }
+        if (rows.empty()) return;
+
+        // finish_spectrum() for the whole stack: one batched blur,
+        // then per-row peak normalization.
+        const double sigma_deg = entry.processor->options().bearing_sigma_deg;
+        if (sigma_deg > 0.0) blur_rows(deg2rad(sigma_deg), rows);
+        for (auto& row : rows) row.normalize();
+
+        std::size_t cursor = 0;
+        for (std::size_t j = 0; j < b; ++j) {
+          if (!rows_of[j]) continue;
+          std::vector<aoa::AoaSpectrum> group(
+              std::make_move_iterator(rows.begin() + std::ptrdiff_t(cursor)),
+              std::make_move_iterator(rows.begin() +
+                                      std::ptrdiff_t(cursor + rows_of[j])));
+          cursor += rows_of[j];
+          aoa::AoaSpectrum fused =
+              opt_.multipath_suppression
+                  ? suppress_multipath(group, opt_.suppression)
+                  : group.front();
+          fused.normalize();
+          ApSpectrum tagged;
+          tagged.ap_position = entry.ap->array().position();
+          tagged.orientation_rad = entry.ap->array().orientation();
+          tagged.spectrum = std::move(fused);
+          slots[i][j] = std::move(tagged);
+        }
+      });
+
+  std::vector<std::vector<ApSpectrum>> out(b);
+  for (std::size_t j = 0; j < b; ++j) {
+    const std::size_t nj = std::min(n, groups[j]->size());
+    out[j].reserve(nj);
+    for (std::size_t i = 0; i < nj; ++i)
+      if (slots[i][j]) out[j].push_back(std::move(*slots[i][j]));
+  }
+  return out;
+}
+
+std::vector<std::optional<LocationEstimate>>
+ArrayTrackServer::locate_frames_batch(
+    const std::vector<const FrameGroup*>& groups) const {
+  return localizer_.locate_batch(spectra_from_frames_batch(groups));
 }
 
 std::optional<LocationEstimate> ArrayTrackServer::locate(int client_id,

@@ -80,6 +80,24 @@ class ArrayTrackServer {
   /// job entry point).
   std::optional<LocationEstimate> locate_frames(const FrameGroup& frames) const;
 
+  /// spectra_from_frames() for a batch of jobs at once: per AP, the
+  /// sharp spectra of every (job, frame) pair are computed, the
+  /// bearing blur runs as one structure-of-arrays convolution across
+  /// all rows (kernels::fir_batch amortizes the tap addressing and
+  /// vectorizes across jobs), and the per-job groups are fused as
+  /// usual. Row j is bitwise identical to
+  /// spectra_from_frames(*groups[j]).
+  std::vector<std::vector<ApSpectrum>> spectra_from_frames_batch(
+      const std::vector<const FrameGroup*>& groups) const;
+
+  /// locate_frames() for a batch of jobs sharing this server's grid —
+  /// the service's batched-dispatch entry point. Spectra come from
+  /// spectra_from_frames_batch() and positions from
+  /// Localizer::locate_batch(), so row j is bitwise identical to
+  /// locate_frames(*groups[j]) at every batch size.
+  std::vector<std::optional<LocationEstimate>> locate_frames_batch(
+      const std::vector<const FrameGroup*>& groups) const;
+
   /// The likelihood heatmap for a client (Fig. 14).
   std::optional<Heatmap> heatmap(int client_id, double now_s) const;
 

@@ -163,36 +163,63 @@ LocationEstimate Localizer::hill_climb(const std::vector<ApSpectrum>& aps,
   return {pos, best};
 }
 
-std::optional<LocationEstimate> Localizer::locate(
-    const std::vector<ApSpectrum>& aps) const {
-  if (aps.empty()) return std::nullopt;
-  const Heatmap map = heatmap(aps);
+namespace {
 
-  // Top-K grid cells, separated so the starts are not adjacent cells of
-  // the same mode. The spacing filter only ever looks at the first few
-  // dozen cells, so a bounded partial_sort replaces the full
-  // nx*ny-cell sort; ties break toward the lower cell index to keep
-  // start selection deterministic.
-  std::vector<std::size_t> order(map.cells.size());
-  std::iota(order.begin(), order.end(), 0);
-  auto better = [&map](std::size_t i, std::size_t j) {
-    if (map.cells[i] != map.cells[j]) return map.cells[i] > map.cells[j];
+/// Streaming bounded top-K insert over a strided cell view: keeps
+/// `ord` sorted by (value descending, index ascending) with at most
+/// `cap` entries. Because that order is strict and total, feeding
+/// every cell index in ascending order yields exactly the prefix that
+/// sorting all cells would — without touching the rest of the grid.
+inline void insert_top_cell(std::vector<std::size_t>& ord, std::size_t c,
+                            const double* cells, std::size_t stride,
+                            std::size_t cap) {
+  const auto better = [cells, stride](std::size_t i, std::size_t j) {
+    const double vi = cells[i * stride], vj = cells[j * stride];
+    if (vi != vj) return vi > vj;
     return i < j;
   };
+  if (ord.size() == cap && better(ord.back(), c)) return;
+  ord.insert(std::upper_bound(ord.begin(), ord.end(), c, better), c);
+  if (ord.size() > cap) ord.pop_back();
+}
+
+}  // namespace
+
+LocationEstimate Localizer::refine(const std::vector<ApSpectrum>& aps,
+                                   const Heatmap& map) const {
   const std::size_t candidates = std::min<std::size_t>(
-      order.size(),
+      map.cells.size(),
       std::max<std::size_t>(64, 32 * std::max<std::size_t>(
                                          1, opt_.hill_climb_starts)));
-  std::partial_sort(order.begin(),
-                    order.begin() + std::ptrdiff_t(candidates), order.end(),
-                    better);
+  std::vector<std::size_t> order;
+  order.reserve(candidates + 1);
+  for (std::size_t c = 0; c < map.cells.size(); ++c)
+    insert_top_cell(order, c, map.cells.data(), 1, candidates);
+  return refine_cells(aps, map, map.cells.data(), 1, std::move(order),
+                      candidates);
+}
+
+LocationEstimate Localizer::refine_cells(const std::vector<ApSpectrum>& aps,
+                                         const Heatmap& shape,
+                                         const double* cells,
+                                         std::size_t stride,
+                                         std::vector<std::size_t> order,
+                                         std::size_t candidates) const {
+  // Top-K grid cells, separated so the starts are not adjacent cells
+  // of the same mode; ties break toward the lower cell index to keep
+  // start selection deterministic.
+  auto better = [cells, stride](std::size_t i, std::size_t j) {
+    const double vi = cells[i * stride], vj = cells[j * stride];
+    if (vi != vj) return vi > vj;
+    return i < j;
+  };
 
   auto pick_starts = [&](std::size_t limit) {
     std::vector<geom::Vec2> starts;
     for (std::size_t k = 0; k < limit; ++k) {
       if (starts.size() >= opt_.hill_climb_starts) break;
       const std::size_t cell = order[k];
-      const geom::Vec2 p = map.cell_center(cell % map.nx, cell / map.nx);
+      const geom::Vec2 p = shape.cell_center(cell % shape.nx, cell / shape.nx);
       bool close = false;
       for (const auto& s : starts)
         if (geom::distance(s, p) < 3.0 * opt_.grid_step_m) close = true;
@@ -201,10 +228,13 @@ std::optional<LocationEstimate> Localizer::locate(
     return starts;
   };
 
-  std::vector<geom::Vec2> starts = pick_starts(candidates);
-  if (starts.size() < opt_.hill_climb_starts && candidates < order.size()) {
+  const std::size_t ncells = shape.nx * shape.ny;
+  std::vector<geom::Vec2> starts = pick_starts(order.size());
+  if (starts.size() < opt_.hill_climb_starts && candidates < ncells) {
     // Pathological spacing rejected most candidates; fall back to the
     // full ordering rather than under-seeding the hill climb.
+    order.resize(ncells);
+    std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), better);
     starts = pick_starts(order.size());
   }
@@ -214,13 +244,167 @@ std::optional<LocationEstimate> Localizer::locate(
     const LocationEstimate e = hill_climb(aps, s);
     if (!best || e.likelihood > best->likelihood) best = e;
   }
-  if (!best && !order.empty()) {
-    // hill_climb_starts == 0: grid-only mode (latency ablation).
+  if (!best) {
+    // hill_climb_starts == 0: grid-only mode (latency ablation). The
+    // grid has at least one cell, so order is never empty here.
     const std::size_t cell = order[0];
-    best = LocationEstimate{map.cell_center(cell % map.nx, cell / map.nx),
-                            map.cells[cell]};
+    best = LocationEstimate{
+        shape.cell_center(cell % shape.nx, cell / shape.nx),
+        cells[cell * stride]};
   }
-  return best;
+  return *best;
+}
+
+std::optional<LocationEstimate> Localizer::locate(
+    const std::vector<ApSpectrum>& aps) const {
+  if (aps.empty()) return std::nullopt;
+  const Heatmap map = heatmap(aps);
+  return refine(aps, map);
+}
+
+Localizer::BatchSweep Localizer::sweep_batch(
+    const std::vector<const std::vector<ApSpectrum>*>& batch) const {
+  BatchSweep sweep;
+  sweep.nx =
+      std::max<std::size_t>(1, std::size_t(bounds_.width() / opt_.grid_step_m));
+  sweep.ny = std::max<std::size_t>(
+      1, std::size_t(bounds_.height() / opt_.grid_step_m));
+  const std::size_t nx = sweep.nx, ny = sweep.ny;
+
+  // Group rows by their ordered per-AP LUT signature (nullptr marks an
+  // empty spectrum, which multiplies by the clamped floor): one SoA
+  // pass per group streams each bearing LUT once for all member rows.
+  // Rows sharing a LUT pointer necessarily agree on pose and bin count,
+  // so one transposed table per (group, AP slot) holds every member's
+  // spectrum.
+  std::vector<std::vector<std::shared_ptr<const BearingLut>>> row_luts(
+      batch.size());
+  std::map<std::vector<const BearingLut*>, std::vector<std::size_t>> groups;
+  for (std::size_t rj = 0; rj < batch.size(); ++rj) {
+    const auto& aps = *batch[rj];
+    std::vector<const BearingLut*> sig(aps.size(), nullptr);
+    row_luts[rj].resize(aps.size());
+    for (std::size_t k = 0; k < aps.size(); ++k)
+      if (!aps[k].spectrum.empty()) {
+        row_luts[rj][k] = bearing_lut(aps[k], nx, ny);
+        sig[k] = row_luts[rj][k].get();
+      }
+    groups[std::move(sig)].push_back(rj);
+  }
+
+  for (auto& [sig, members] : groups) {
+    const std::size_t g = members.size();
+    // Transposed spectrum tables: bin b of member r at table[b*g + r],
+    // so the kernel's per-cell bin lookups are contiguous loads.
+    std::vector<std::vector<double>> tables(sig.size());
+    for (std::size_t k = 0; k < sig.size(); ++k) {
+      if (!sig[k]) continue;
+      const std::size_t bins = (*batch[members[0]])[k].spectrum.bins();
+      tables[k].resize(bins * g);
+      for (std::size_t r = 0; r < g; ++r) {
+        const auto& vals = (*batch[members[r]])[k].spectrum.values();
+        for (std::size_t b = 0; b < bins; ++b) tables[k][b * g + r] = vals[b];
+      }
+    }
+
+    // Interleaved likelihood rows: cell c of member r at soa[c*g + r].
+    std::vector<double> soa(nx * ny * g, 1.0);
+    ThreadPool::shared().parallel_ranges(
+        ny, opt_.threads, [&](std::size_t y0, std::size_t y1) {
+          const std::size_t c0 = y0 * nx;
+          const std::size_t cend = y1 * nx;
+          // Tiles keep the SoA slab and the LUT slices cache-resident
+          // across the AP passes; within a tile the AP order (k
+          // ascending) matches heatmap()'s per-cell multiply order, so
+          // the non-associative double product is unchanged.
+          constexpr std::size_t kTileCells = 1024;
+          for (std::size_t t0 = c0; t0 < cend; t0 += kTileCells) {
+            const std::size_t count = std::min(kTileCells, cend - t0);
+            for (std::size_t k = 0; k < sig.size(); ++k) {
+              if (!sig[k]) {
+                // Empty spectrum: value_at reads 0, clamped to the floor.
+                const double v = std::max(0.0, opt_.floor);
+                double* cell = soa.data() + t0 * g;
+                for (std::size_t e = 0; e < count * g; ++e) cell[e] *= v;
+                continue;
+              }
+              linalg::kernels::gather_lerp_product_batch(
+                  tables[k].data(), sig[k]->bin0.data() + t0,
+                  sig[k]->bin1.data() + t0, sig[k]->frac.data() + t0, count,
+                  g, opt_.floor, soa.data() + t0 * g);
+            }
+          }
+        });
+
+    sweep.groups.push_back(
+        BatchSweep::Group{std::move(members), std::move(soa)});
+  }
+  return sweep;
+}
+
+std::vector<Heatmap> Localizer::heatmap_batch(
+    const std::vector<const std::vector<ApSpectrum>*>& batch) const {
+  const BatchSweep sweep = sweep_batch(batch);
+  std::vector<Heatmap> maps(batch.size());
+  for (auto& map : maps) {
+    map.bounds = bounds_;
+    map.nx = sweep.nx;
+    map.ny = sweep.ny;
+    map.cells.resize(sweep.nx * sweep.ny);
+  }
+  for (const auto& grp : sweep.groups) {
+    const std::size_t g = grp.members.size();
+    for (std::size_t r = 0; r < g; ++r) {
+      double* dst = maps[grp.members[r]].cells.data();
+      for (std::size_t c = 0; c < sweep.nx * sweep.ny; ++c)
+        dst[c] = grp.soa[c * g + r];
+    }
+  }
+  return maps;
+}
+
+std::vector<std::optional<LocationEstimate>> Localizer::locate_batch(
+    const std::vector<std::vector<ApSpectrum>>& batch) const {
+  std::vector<std::optional<LocationEstimate>> out(batch.size());
+  // Empty rows keep locate()'s contract (nullopt) and stay out of the
+  // shared sweep.
+  std::vector<const std::vector<ApSpectrum>*> live;
+  std::vector<std::size_t> live_idx;
+  for (std::size_t j = 0; j < batch.size(); ++j)
+    if (!batch[j].empty()) {
+      live.push_back(&batch[j]);
+      live_idx.push_back(j);
+    }
+  if (live.empty()) return out;
+
+  const BatchSweep sweep = sweep_batch(live);
+  Heatmap shape;  // bounds/nx/ny only; refine_cells never reads cells
+  shape.bounds = bounds_;
+  shape.nx = sweep.nx;
+  shape.ny = sweep.ny;
+  const std::size_t candidates = std::min<std::size_t>(
+      sweep.nx * sweep.ny,
+      std::max<std::size_t>(64, 32 * std::max<std::size_t>(
+                                         1, opt_.hill_climb_starts)));
+  for (const auto& grp : sweep.groups) {
+    const std::size_t g = grp.members.size();
+    // One cell-major pass builds every member's top-K at once: cell c
+    // reads g contiguous doubles from the slab, so start selection
+    // costs one stream over the SoA instead of a dense heatmap plus a
+    // strided rescan per row.
+    std::vector<std::vector<std::size_t>> orders(g);
+    for (auto& ord : orders) ord.reserve(candidates + 1);
+    for (std::size_t c = 0; c < sweep.nx * sweep.ny; ++c)
+      for (std::size_t r = 0; r < g; ++r)
+        insert_top_cell(orders[r], c, grp.soa.data() + r, g, candidates);
+    for (std::size_t r = 0; r < g; ++r) {
+      const std::size_t row = grp.members[r];
+      out[live_idx[row]] =
+          refine_cells(*live[row], shape, grp.soa.data() + r, g,
+                       std::move(orders[r]), candidates);
+    }
+  }
+  return out;
 }
 
 }  // namespace arraytrack::core

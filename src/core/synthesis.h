@@ -79,14 +79,61 @@ class Localizer {
 
   Heatmap heatmap(const std::vector<ApSpectrum>& aps) const;
 
+  /// Batched heatmaps for rows that share this localizer's grid: rows
+  /// whose per-AP bearing-LUT signatures match are swept together in
+  /// structure-of-arrays layout (kernels::gather_lerp_product_batch),
+  /// so each LUT and the grid tiles stream from memory once per group
+  /// instead of once per row. Every returned map is bitwise identical
+  /// to heatmap() on that row alone.
+  std::vector<Heatmap> heatmap_batch(
+      const std::vector<const std::vector<ApSpectrum>*>& batch) const;
+
   /// Full pipeline: grid search, then hill climbing from the top
   /// `hill_climb_starts` cells. Empty input yields nullopt.
   std::optional<LocationEstimate> locate(
       const std::vector<ApSpectrum>& aps) const;
 
+  /// locate() for a batch of concurrent requests: the grid sweep is
+  /// amortized via heatmap_batch(), then each row is refined with its
+  /// own hill climb. Row j is bitwise identical to locate(batch[j]) —
+  /// batching changes memory traffic, never results.
+  std::vector<std::optional<LocationEstimate>> locate_batch(
+      const std::vector<std::vector<ApSpectrum>>& batch) const;
+
  private:
   LocationEstimate hill_climb(const std::vector<ApSpectrum>& aps,
                               geom::Vec2 start) const;
+
+  /// Start selection + hill climbing over an already-built heatmap;
+  /// the shared tail of locate() and locate_batch().
+  LocationEstimate refine(const std::vector<ApSpectrum>& aps,
+                          const Heatmap& map) const;
+
+  /// refine() over a strided cell view (cell c at cells[c * stride]):
+  /// `order` holds the already-selected top `candidates` cell indices
+  /// and `shape` carries bounds/nx/ny (its own cells are not read).
+  /// Lets the batch path keep likelihood rows interleaved instead of
+  /// materializing a dense heatmap per job.
+  LocationEstimate refine_cells(const std::vector<ApSpectrum>& aps,
+                                const Heatmap& shape, const double* cells,
+                                std::size_t stride,
+                                std::vector<std::size_t> order,
+                                std::size_t candidates) const;
+
+  /// The shared SoA sweep behind heatmap_batch()/locate_batch(): rows
+  /// grouped by bearing-LUT signature, each group's likelihood rows
+  /// interleaved in one slab (cell c of group-member r at
+  /// soa[c * members.size() + r]).
+  struct BatchSweep {
+    std::size_t nx = 0, ny = 0;
+    struct Group {
+      std::vector<std::size_t> members;  // indices into the batch
+      std::vector<double> soa;
+    };
+    std::vector<Group> groups;
+  };
+  BatchSweep sweep_batch(
+      const std::vector<const std::vector<ApSpectrum>*>& batch) const;
 
   /// Per-cell spectrum lookup, precomputed: the interpolation bin pair
   /// and lerp weight that AoaSpectrum::value_at would derive from the

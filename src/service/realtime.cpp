@@ -1,0 +1,79 @@
+#include "service/realtime.h"
+
+#include <algorithm>
+
+#include "core/thread_pool.h"
+#include "service/service.h"
+
+namespace arraytrack::core {
+
+double RealtimeReport::latency_percentile(double p) const {
+  if (fixes.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(fixes.size());
+  for (const auto& f : fixes) lat.push_back(f.latency_s);
+  std::sort(lat.begin(), lat.end());
+  const double rank = (p / 100.0) * double(lat.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, lat.size() - 1);
+  const double frac = rank - double(lo);
+  return (1.0 - frac) * lat[lo] + frac * lat[hi];
+}
+
+double RealtimeReport::median_error_m() const {
+  if (fixes.empty()) return 0.0;
+  std::vector<double> e;
+  e.reserve(fixes.size());
+  for (const auto& f : fixes) e.push_back(f.error_m);
+  std::sort(e.begin(), e.end());
+  return e[e.size() / 2];
+}
+
+RealtimeSimulator::RealtimeSimulator(System* system, RealtimeOptions opt)
+    : system_(system), opt_(opt) {}
+
+RealtimeReport RealtimeSimulator::run(
+    const std::vector<FrameEvent>& schedule) {
+  RealtimeReport report;
+  report.frames_in = schedule.size();
+  report.pool_threads = ThreadPool::shared().size();
+  if (schedule.empty()) return report;
+  report.duration_s = schedule.back().time_s - schedule.front().time_s;
+
+  // The single Matlab-style backend as a LocationService special case:
+  // one worker, one shard (a global FIFO), no batching, an effectively
+  // unbounded queue, and no SLO shedding. measured_cost drives the
+  // modeled timeline from the measured pipeline wall time, exactly the
+  // event loop this module used to implement.
+  service::ServiceOptions sopt;
+  sopt.workers = 1;
+  sopt.shards = 1;
+  sopt.batch_max = 1;
+  sopt.shard_queue_capacity = std::size_t(1) << 20;
+  sopt.latency_slo_s = 0.0;
+  sopt.coalesce_per_client = opt_.coalesce_per_client;
+  sopt.tracked_fixes = false;
+  sopt.transport = opt_.latency;
+  sopt.virtual_clock = true;
+  sopt.measured_cost = true;
+  sopt.processing_scale = opt_.processing_scale;
+
+  service::LocationService svc(system_, sopt);
+  const service::ServiceReport srep = svc.run(schedule);
+
+  report.jobs_coalesced = srep.jobs_coalesced;
+  report.fixes.reserve(srep.fixes.size());
+  for (const auto& f : srep.fixes) {
+    FixRecord rec;
+    rec.client_id = f.client_id;
+    rec.frame_time_s = f.frame_time_s;
+    rec.latency_s = f.latency_s;
+    rec.ready_time_s = f.frame_time_s + f.latency_s;
+    rec.position = f.position;
+    rec.error_m = f.error_m >= 0.0 ? f.error_m : 0.0;
+    report.fixes.push_back(rec);
+  }
+  return report;
+}
+
+}  // namespace arraytrack::core

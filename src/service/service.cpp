@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "core/thread_pool.h"
@@ -46,6 +47,16 @@ LocationService::LocationService(core::System* system, ServiceOptions opt)
   opt_.workers = std::max<std::size_t>(1, opt_.workers);
   opt_.shards = std::max<std::size_t>(1, opt_.shards);
   opt_.shard_queue_capacity = std::max<std::size_t>(1, opt_.shard_queue_capacity);
+  opt_.batch_max = std::max<std::size_t>(1, opt_.batch_max);
+  if (const char* env = std::getenv("ARRAYTRACK_BATCH")) {
+    // Operational override for capacity experiments: a positive integer
+    // forces the batch width; anything else is ignored.
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0)
+      opt_.batch_max = std::min<std::size_t>(std::size_t(v), 4096);
+  }
+  stats_.batch_max.store(opt_.batch_max, std::memory_order_relaxed);
   shards_.resize(opt_.shards);
   vworker_free_.assign(opt_.workers, 0.0);
 }
@@ -101,8 +112,12 @@ bool LocationService::idle_locked() const {
 
 void LocationService::flush() {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (clock_.is_virtual())
-    virtual_dispatch_locked(std::numeric_limits<double>::infinity());
+  if (clock_.is_virtual()) {
+    if (opt_.measured_cost)
+      measured_dispatch_locked(std::numeric_limits<double>::infinity());
+    else
+      virtual_dispatch_locked(std::numeric_limits<double>::infinity());
+  }
   idle_cv_.wait(lock, [this] { return idle_locked(); });
 }
 
@@ -168,6 +183,84 @@ void LocationService::virtual_dispatch_locked(double now_s) {
   }
 }
 
+void LocationService::measured_dispatch_locked(double now_s) {
+  // measured_cost mode (the core::realtime wrapper): same deterministic
+  // job selection as virtual_dispatch_locked, but each committed job
+  // runs inline right here, on the producer thread, and the modeled
+  // timeline advances by the measured pipeline wall time (scaled) —
+  // the event-loop semantics of the original single-worker simulator.
+  for (;;) {
+    auto wit = std::min_element(vworker_free_.begin(), vworker_free_.end());
+    std::size_t best = kNone;
+    double best_start = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& sh = shards_[s];
+      if (sh.pending.empty()) continue;
+      const Job& head = sh.pending.front();
+      const double start = std::max({*wit, head.arrival_s, sh.busy_until_s});
+      if (start < best_start) {
+        best_start = start;
+        best = s;
+      }
+    }
+    if (best == kNone || best_start > now_s) return;
+
+    Shard& sh = shards_[best];
+    Job job = std::move(sh.pending.front());
+    sh.pending.pop_front();
+
+    if (opt_.latency_slo_s > 0.0 &&
+        best_start + estimated_cost_s() > job.deadline_s) {
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const double wait = std::max(0.0, best_start - job.arrival_s);
+    stats_.queue_wait_ms.record(wait * 1e3);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto fix = system_->server().locate_frames(job.frames);
+    const double measured =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    update_cost_estimate(measured);
+    const double processing = opt_.processing_scale * measured;
+    job.start_s = best_start;
+    job.done_s = best_start + processing;
+    *wit = job.done_s;
+    sh.busy_until_s = job.done_s;
+    stats_.processing_ms.record(processing * 1e3);
+    stats_.batch_occupancy.record(1.0);
+
+    if (!fix) {
+      stats_.locate_failures.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ServiceFix out;
+    out.client_id = job.client_id;
+    out.seq = job.seq;
+    out.frame_time_s = job.frame_time_s;
+    out.queue_wait_s = wait;
+    out.processing_s = processing;
+    out.latency_s = job.done_s - job.frame_time_s;
+    out.position = fix->position;
+    out.likelihood = fix->likelihood;
+    if (opt_.tracked_fixes) {
+      out.smoothed =
+          job.session->tracker.update(fix->position, job.frame_time_s);
+      out.tracker_rejected = job.session->tracker.last_rejected();
+      if (out.tracker_rejected)
+        stats_.tracker_rejects.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      out.smoothed = fix->position;
+    }
+    if (job.truth) out.error_m = geom::distance(fix->position, *job.truth);
+    stats_.e2e_ms.record(out.latency_s * 1e3);
+    stats_.fixes_emitted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> fl(fix_mutex_);
+    fixes_.push_back(std::move(out));
+  }
+}
+
 void LocationService::ingest_locked(int client_id, core::FrameGroup frames,
                                     double frame_time_s,
                                     std::optional<geom::Vec2> truth) {
@@ -176,10 +269,18 @@ void LocationService::ingest_locked(int client_id, core::FrameGroup frames,
       virt ? frame_time_s + transport_s_ : clock_.now();
   if (virt) {
     clock_.set(frame_time_s);
-    // Commit every modeled start up to this frame's server arrival:
-    // later events cannot change those decisions, and a job that
-    // started before `arrival` must no longer coalesce this frame.
-    virtual_dispatch_locked(arrival);
+    if (opt_.measured_cost) {
+      // The realtime event loop processes ready jobs at the *transmit*
+      // time of each frame, before enqueueing it: a job whose modeled
+      // start falls inside the transport window stays queued and can
+      // still coalesce this frame.
+      measured_dispatch_locked(frame_time_s);
+    } else {
+      // Commit every modeled start up to this frame's server arrival:
+      // later events cannot change those decisions, and a job that
+      // started before `arrival` must no longer coalesce this frame.
+      virtual_dispatch_locked(arrival);
+    }
   }
 
   Shard& sh = shards_[shard_of(client_id)];
@@ -427,19 +528,113 @@ void LocationService::worker_loop() {
     }
     rr_cursor_ = (found + 1) % shards_.size();
     Shard& sh = shards_[found];
-    Job job = std::move(sh.ready.front());
-    sh.ready.pop_front();
+    // Opportunistic batching: take whatever the shard has ready, up to
+    // batch_max, and run it through the batched pipeline. The jobs'
+    // scheduling decisions (virtual stamps, shed verdicts) were made
+    // per job before they reached `ready`, so the drain width changes
+    // memory traffic, never results.
+    std::vector<Job> batch;
+    const std::size_t take = std::min(opt_.batch_max, sh.ready.size());
+    batch.reserve(take);
+    for (std::size_t b = 0; b < take; ++b) {
+      batch.push_back(std::move(sh.ready.front()));
+      sh.ready.pop_front();
+    }
     sh.claimed = true;
-    ++in_flight_;
+    in_flight_ += batch.size();
     lock.unlock();
 
-    execute(job);
+    execute_batch(batch);
 
     lock.lock();
     sh.claimed = false;
-    --in_flight_;
+    in_flight_ -= batch.size();
     if (!sh.ready.empty()) work_cv_.notify_one();
     if (idle_locked()) idle_cv_.notify_all();
+  }
+}
+
+void LocationService::execute_batch(std::vector<Job>& batch) {
+  stats_.batch_occupancy.record(double(batch.size()));
+  if (batch.size() == 1) {
+    execute(batch.front());
+    return;
+  }
+  const bool virt = clock_.is_virtual();
+  const double wall_start = virt ? 0.0 : clock_.now();
+
+  // Wall mode sheds per job against the estimated cost, exactly like
+  // execute(); virtual-mode shedding already happened in the
+  // dispatcher. `kept` preserves deque order, which is what keeps each
+  // session's tracker updates in frame order.
+  std::vector<Job*> kept;
+  kept.reserve(batch.size());
+  for (auto& job : batch) {
+    const double start = virt ? job.start_s : wall_start;
+    if (!virt && opt_.latency_slo_s > 0.0 &&
+        start + estimated_cost_s() > job.deadline_s) {
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.queue_wait_ms.record(std::max(0.0, start - job.arrival_s) * 1e3);
+    kept.push_back(&job);
+  }
+  if (kept.empty()) return;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::optional<core::LocationEstimate>> results;
+  if (kept.size() == 1) {
+    // One survivor: skip the batch path's grouping overhead.
+    results.push_back(system_->server().locate_frames(kept[0]->frames));
+  } else {
+    std::vector<const core::FrameGroup*> groups;
+    groups.reserve(kept.size());
+    for (const Job* j : kept) groups.push_back(&j->frames);
+    results = system_->server().locate_frames_batch(groups);
+  }
+  const double measured =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!virt) update_cost_estimate(measured / double(kept.size()));
+
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    Job& job = *kept[i];
+    const double start = virt ? job.start_s : wall_start;
+    const double processing =
+        virt ? job.done_s - job.start_s : measured / double(kept.size());
+    stats_.processing_ms.record(processing * 1e3);
+    const auto& fix = results[i];
+    if (!fix) {
+      stats_.locate_failures.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const double done = virt ? job.done_s : clock_.now();
+    ServiceFix out;
+    out.client_id = job.client_id;
+    out.seq = job.seq;
+    out.frame_time_s = job.frame_time_s;
+    out.queue_wait_s = std::max(0.0, start - job.arrival_s);
+    out.processing_s = processing;
+    out.latency_s =
+        virt ? done - job.frame_time_s : (done - job.arrival_s) + transport_s_;
+    out.position = fix->position;
+    out.likelihood = fix->likelihood;
+    if (opt_.tracked_fixes) {
+      // Exclusive tracker access: every job of a client lives on one
+      // shard, and this worker holds that shard's claim.
+      out.smoothed =
+          job.session->tracker.update(fix->position, job.frame_time_s);
+      out.tracker_rejected = job.session->tracker.last_rejected();
+      if (out.tracker_rejected)
+        stats_.tracker_rejects.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      out.smoothed = fix->position;
+    }
+    if (job.truth) out.error_m = geom::distance(fix->position, *job.truth);
+    stats_.e2e_ms.record(out.latency_s * 1e3);
+    stats_.fixes_emitted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> fl(fix_mutex_);
+    fixes_.push_back(std::move(out));
   }
 }
 

@@ -1,9 +1,9 @@
 // Concurrent location-serving engine (the ROADMAP's "heavy traffic"
 // layer between frame ingest and location fixes).
 //
-// core/realtime.* answers the paper's 4.4 question with a single
-// backend worker; this engine is the production shape of the same
-// server: frame arrivals — simulated FrameEvents or AP wire-format
+// service/realtime.* answers the paper's 4.4 question with a single
+// backend worker (a batch-of-one special case of this engine); this
+// engine is the production shape of the same server: frame arrivals — simulated FrameEvents or AP wire-format
 // records — are sharded into per-client sessions and dispatched to a
 // configurable pool of N backend workers, each running the existing
 // ArrayTrackServer pipeline (which fans its per-AP work out on the
@@ -56,7 +56,7 @@
 #include "core/arraytrack.h"
 #include "core/latency.h"
 #include "core/mpsc_ring.h"
-#include "core/realtime.h"
+#include "service/realtime.h"
 #include "core/tracker.h"
 #include "phy/wire.h"
 #include "service/clock.h"
@@ -103,10 +103,28 @@ struct ServiceOptions {
   /// stats().ring_dropped.
   std::size_t ingest_ring_capacity = 1024;
 
+  /// Most jobs a worker drains from one shard per dispatch and hands
+  /// to the batched pipeline (ArrayTrackServer::locate_frames_batch),
+  /// which amortizes the bearing LUTs and grid tiles across the batch.
+  /// Opportunistic: a worker takes whatever is ready, up to this, and
+  /// falls back to the single-job path for a batch of one. Does not
+  /// affect which jobs run or what they compute — under the virtual
+  /// clock the fix set is byte-identical for every value. Clamped to
+  /// >= 1; the ARRAYTRACK_BATCH environment variable, when set to a
+  /// positive integer, overrides it (recorded in stats().batch_max).
+  std::size_t batch_max = 8;
+
   /// Virtual-clock mode: deterministic discrete-event scheduling (see
   /// header comment). Jobs are modeled to cost `virtual_cost_s` each.
   bool virtual_clock = false;
   double virtual_cost_s = 0.02;
+  /// Measured-cost virtual mode (used by the core::realtime wrapper):
+  /// jobs execute inline on the producer thread at their frame time,
+  /// in arrival order, and the modeled completion advances by the
+  /// measured pipeline wall time scaled by `processing_scale` instead
+  /// of `virtual_cost_s`. Requires virtual_clock.
+  bool measured_cost = false;
+  double processing_scale = 1.0;
 };
 
 /// One smoothed location fix leaving the engine.
@@ -286,9 +304,16 @@ class LocationService {
   /// feasible (worker, shard-head) pair in deterministic order, shed
   /// checks against the SLO, and releases admitted jobs to `ready`.
   void virtual_dispatch_locked(double now_s);
+  /// measured_cost mode: runs every job with arrival <= now_s inline
+  /// (in arrival order, like the core::realtime event loop), advancing
+  /// the modeled timeline by the measured pipeline wall time.
+  void measured_dispatch_locked(double now_s);
   bool idle_locked() const;
   void worker_loop();
   void execute(Job& job);
+  /// Runs a drained batch through locate_frames_batch (or execute()
+  /// when only one job was ready), emitting fixes in deque order.
+  void execute_batch(std::vector<Job>& batch);
   double estimated_cost_s() const;
   void update_cost_estimate(double measured_s);
   /// Decoder-thread body: decode + validate every record of partition

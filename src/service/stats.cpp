@@ -115,7 +115,8 @@ ServiceStats::ServiceStats()
     : queue_depth(1.0, 1024.0, 24),
       queue_wait_ms(0.01, 60e3, 32),
       processing_ms(0.01, 60e3, 32),
-      e2e_ms(0.1, 60e3, 32) {}
+      e2e_ms(0.1, 60e3, 32),
+      batch_occupancy(1.0, 1024.0, 16) {}
 
 std::string ServiceStats::to_json() const {
   std::string out = "{";
@@ -140,10 +141,12 @@ std::string ServiceStats::to_json() const {
   counter("fixes_emitted", fixes_emitted);
   counter("locate_failures", locate_failures);
   counter("tracker_rejects", tracker_rejects);
+  counter("batch_max", batch_max);
   out += ", \"queue_depth\": " + queue_depth.to_json();
   out += ", \"queue_wait_ms\": " + queue_wait_ms.to_json();
   out += ", \"processing_ms\": " + processing_ms.to_json();
   out += ", \"e2e_ms\": " + e2e_ms.to_json();
+  out += ", \"batch_occupancy\": " + batch_occupancy.to_json();
   out += "}";
   return out;
 }

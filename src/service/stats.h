@@ -95,11 +95,18 @@ struct ServiceStats {
   std::atomic<std::uint64_t> locate_failures{0};
   std::atomic<std::uint64_t> tracker_rejects{0};
 
+  // ---- batching ----
+  /// Effective ServiceOptions::batch_max after clamping and the
+  /// ARRAYTRACK_BATCH override, echoed so a scrape shows the width the
+  /// engine actually ran with.
+  std::atomic<std::uint64_t> batch_max{1};
+
   // ---- distributions ----
   StreamingHistogram queue_depth;     // shard depth at each enqueue
   StreamingHistogram queue_wait_ms;   // server arrival -> job start
   StreamingHistogram processing_ms;   // pipeline time per job
   StreamingHistogram e2e_ms;          // frame end -> fix emitted
+  StreamingHistogram batch_occupancy; // jobs per worker dispatch
 
   std::uint64_t jobs_shed() const {
     return shed_queue_full.load() + shed_deadline.load();
