@@ -1,0 +1,206 @@
+// Microbench for the rank-d subspace tracker (linalg/subspace.h):
+// tracked update vs full cyclic-Jacobi eigendecomposition on a slowly
+// rotating synthetic covariance stream, across array sizes. --smoke
+// runs tiny sizes and fails if the tracked signal subspace drifts from
+// the exact one — the tier-1 guard that the recursion stays glued to
+// the covariance stream it is supposed to follow.
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/subspace.h"
+
+using namespace arraytrack;
+using linalg::CMatrix;
+
+namespace {
+
+// Covariance stream of a slowly moving two-source scene: steering-like
+// unit vectors whose phase slopes drift a little every step, fixed
+// source powers, a noise floor, plus small Hermitian sample jitter.
+// Deterministic (fixed seed) so runs are comparable.
+class CovarianceStream {
+ public:
+  CovarianceStream(std::size_t m, double drift_rad, double jitter)
+      : m_(m), drift_(drift_rad), jitter_(jitter), rng_(12345) {}
+
+  CMatrix next() {
+    phase1_ += drift_ * (1.0 + 0.3 * std::sin(0.05 * double(step_)));
+    phase2_ -= 0.7 * drift_;
+    ++step_;
+    const auto a1 = steering(phase1_);
+    const auto a2 = steering(phase2_);
+    CMatrix r(m_, m_);
+    for (std::size_t i = 0; i < m_; ++i)
+      for (std::size_t j = 0; j < m_; ++j)
+        r(i, j) = 4.0 * a1[i] * std::conj(a1[j]) +
+                  1.5 * a2[i] * std::conj(a2[j]);
+    for (std::size_t i = 0; i < m_; ++i) r(i, i) += 0.05;
+    // Hermitian sample jitter (what a finite snapshot count adds).
+    std::normal_distribution<double> n(0.0, jitter_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (std::size_t j = i + 1; j < m_; ++j) {
+        const cplx e{n(rng_), n(rng_)};
+        r(i, j) += e;
+        r(j, i) += std::conj(e);
+      }
+      r(i, i) += std::abs(n(rng_));
+    }
+    return r;
+  }
+
+ private:
+  std::vector<cplx> steering(double slope) const {
+    std::vector<cplx> a(m_);
+    const double inv = 1.0 / std::sqrt(double(m_));
+    for (std::size_t i = 0; i < m_; ++i)
+      a[i] = std::polar(inv, slope * double(i));
+    return a;
+  }
+
+  std::size_t m_, step_ = 0;
+  double drift_, jitter_;
+  double phase1_ = 0.3, phase2_ = 1.9;
+  std::mt19937 rng_;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Worst-case alignment of the exact top-d eigenvectors with the span
+// of the tracked signal basis: min_e ||P_W e||^2 (cos^2 of the largest
+// principal angle). 1 = identical subspaces.
+double subspace_alignment(const linalg::SubspaceBasis& basis,
+                          const CMatrix& exact_vectors, std::size_t d) {
+  const std::size_t m = basis.m;
+  double worst = 1.0;
+  for (std::size_t s = 0; s < d; ++s) {
+    const std::size_t col = m - 1 - s;  // exact eigenvalues ascend
+    double captured = 0.0;
+    for (std::size_t v = 0; v < basis.num_signals; ++v) {
+      cplx dot{0.0, 0.0};
+      for (std::size_t i = 0; i < m; ++i) {
+        const cplx w{basis.re[v * m + i], basis.im[v * m + i]};
+        dot += std::conj(w) * exact_vectors(i, col);
+      }
+      captured += std::norm(dot);
+    }
+    worst = std::min(worst, captured);
+  }
+  return worst;
+}
+
+double benchmark_sink_ = 0.0;
+
+struct SizeResult {
+  double tracked_ns = 0.0;
+  double full_ns = 0.0;
+  double min_alignment = 1.0;
+  double tracked_fraction = 0.0;
+};
+
+SizeResult run_size(std::size_t m, std::size_t updates, bool check_alignment) {
+  linalg::SubspaceOptions opt;
+  SizeResult out;
+
+  // Tracked pass.
+  {
+    CovarianceStream stream(m, 1e-3, 1e-3);
+    linalg::SubspaceTracker tracker(opt);
+    std::vector<CMatrix> covs;
+    covs.reserve(updates);
+    for (std::size_t i = 0; i < updates; ++i) covs.push_back(stream.next());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& r : covs) {
+      const auto& basis = tracker.update(r);
+      if (check_alignment && !basis.exact) {
+        const auto eig = linalg::eig_hermitian(r);
+        const std::size_t d = linalg::signal_count(
+            eig.eigenvalues, opt.eig_threshold, opt.fixed_num_signals);
+        out.min_alignment = std::min(
+            out.min_alignment,
+            subspace_alignment(basis, eig.eigenvectors,
+                               std::min(d, basis.num_signals)));
+      }
+    }
+    const double elapsed = seconds_since(t0);
+    out.tracked_ns = elapsed / double(updates) * 1e9;
+    out.tracked_fraction =
+        double(tracker.tracked_updates()) / double(tracker.updates());
+    if (check_alignment) out.tracked_ns = 0.0;  // timing polluted by checks
+  }
+
+  // Full-decomposition pass over an identical stream.
+  {
+    CovarianceStream stream(m, 1e-3, 1e-3);
+    std::vector<CMatrix> covs;
+    covs.reserve(updates);
+    for (std::size_t i = 0; i < updates; ++i) covs.push_back(stream.next());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& r : covs) {
+      const auto eig = linalg::eig_hermitian(r);
+      benchmark_sink_ += eig.eigenvalues.back();
+    }
+    out.full_ns = seconds_since(t0) / double(updates) * 1e9;
+  }
+  return out;
+}
+
+int run_smoke() {
+  bench::banner("subspace tracker (smoke)",
+                "tracked recursion stays on the exact signal subspace");
+  bool ok = true;
+  for (std::size_t m : {4, 6}) {
+    const auto r = run_size(m, 200, /*check_alignment=*/true);
+    std::printf(
+        "m=%zu: min alignment %.6f, tracked fraction %.2f\n", m,
+        r.min_alignment, r.tracked_fraction);
+    // cos^2 of the largest principal angle between tracked and exact
+    // signal subspaces; 0.98 allows the one-power-step lag on a
+    // drifting stream while catching a diverged recursion outright.
+    if (r.min_alignment < 0.98) {
+      std::printf("SMOKE FAIL: tracked subspace diverged (m=%zu)\n", m);
+      ok = false;
+    }
+    if (r.tracked_fraction < 0.5) {
+      std::printf("SMOKE FAIL: tracker reseeding too often (m=%zu)\n", m);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+
+  bench::banner("subspace tracker microbench",
+                "tracked update vs full Jacobi eigendecomposition");
+  std::vector<std::pair<std::string, double>> fields;
+  for (std::size_t m : {4, 8, 12, 16}) {
+    const auto r = run_size(m, 4000, /*check_alignment=*/false);
+    std::printf(
+        "m=%2zu: tracked %8.0f ns/update, full EVD %8.0f ns, speedup %5.1fx, "
+        "tracked fraction %.3f\n",
+        m, r.tracked_ns, r.full_ns, r.full_ns / r.tracked_ns,
+        r.tracked_fraction);
+    const std::string suffix = "_m" + std::to_string(m);
+    fields.push_back({"tracked_ns" + suffix, r.tracked_ns});
+    fields.push_back({"full_evd_ns" + suffix, r.full_ns});
+    fields.push_back({"speedup" + suffix, r.full_ns / r.tracked_ns});
+  }
+  bench::write_bench_json("BENCH_subspace_micro.json", "subspace_micro",
+                          fields);
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "aoa/covariance.h"
 #include "linalg/kernels.h"
+#include "linalg/subspace.h"
 
 namespace arraytrack::aoa {
 namespace {
@@ -91,16 +92,7 @@ MusicEstimator::MusicEstimator(const array::PlacedArray* array,
 
 std::size_t MusicEstimator::estimate_num_signals(
     const std::vector<double>& eig) const {
-  if (opt_.fixed_num_signals > 0)
-    return std::min(opt_.fixed_num_signals, eig.size() - 1);
-  const double largest = eig.back();
-  std::size_t d = 0;
-  for (double v : eig)
-    if (v >= opt_.eig_threshold * largest) ++d;
-  // At least one signal, and keep at least one noise eigenvector.
-  if (d == 0) d = 1;
-  if (d >= eig.size()) d = eig.size() - 1;
-  return d;
+  return linalg::signal_count(eig, opt_.eig_threshold, opt_.fixed_num_signals);
 }
 
 AoaSpectrum MusicEstimator::spectrum(const linalg::CMatrix& snapshots) const {
@@ -110,16 +102,31 @@ AoaSpectrum MusicEstimator::spectrum(const linalg::CMatrix& snapshots) const {
 }
 
 AoaSpectrum MusicEstimator::spectrum_from_covariance(
-    const linalg::CMatrix& r) const {
+    const linalg::CMatrix& r, linalg::SubspaceTracker* tracker) const {
   if (r.rows() != elements_.size() || r.cols() != elements_.size())
     throw std::invalid_argument("MusicEstimator: covariance size mismatch");
 
   linalg::CMatrix rs = spatial_smooth(r, opt_.smoothing_groups);
   if (opt_.forward_backward) rs = forward_backward(rs);
 
-  const auto eig = linalg::eig_hermitian(rs);
-  const std::size_t d = estimate_num_signals(eig.eigenvalues);
-  const auto signal = projector_signal_power(steering_conj_, eig.eigenvectors, d);
+  std::vector<double> signal;
+  if (tracker != nullptr) {
+    // The tracker's basis already sits in the vector-major split layout
+    // the kernel wants; its leading num_signals planes span the signal
+    // subspace (exactly on seed/reseed updates, Ritz-tracked otherwise,
+    // and the projector sweep only depends on the span). On the exact
+    // path the basis is the same eigenvector bits the branch below
+    // would produce, so spectra match byte-for-byte.
+    const linalg::SubspaceBasis& basis = tracker->update(rs);
+    signal.resize(steering_conj_.rows);
+    linalg::kernels::projector_power(steering_conj_, basis.re.data(),
+                                     basis.im.data(), basis.num_signals,
+                                     signal.data());
+  } else {
+    const auto eig = linalg::eig_hermitian(rs);
+    const std::size_t d = estimate_num_signals(eig.eigenvalues);
+    signal = projector_signal_power(steering_conj_, eig.eigenvectors, d);
+  }
 
   AoaSpectrum spec(opt_.bins);
   const std::size_t half = opt_.bins / 2;
@@ -158,15 +165,8 @@ AoaSpectrum GeneralMusic::spectrum_from_covariance(
   if (r.rows() != elements_.size())
     throw std::invalid_argument("GeneralMusic: covariance size mismatch");
   const auto eig = linalg::eig_hermitian(r);
-  const std::size_t m = elements_.size();
-
-  std::size_t d = opt_.fixed_num_signals;
-  if (d == 0) {
-    for (double v : eig.eigenvalues)
-      if (v >= opt_.eig_threshold * eig.eigenvalues.back()) ++d;
-  }
-  d = std::min(std::max<std::size_t>(d, 1), m - 1);
-
+  const std::size_t d = linalg::signal_count(eig.eigenvalues, opt_.eig_threshold,
+                                             opt_.fixed_num_signals);
   const auto signal = projector_signal_power(steering_conj_, eig.eigenvectors, d);
   AoaSpectrum spec(opt_.bins);
   for (std::size_t i = 0; i < opt_.bins; ++i) {

@@ -9,6 +9,7 @@
 #include "linalg/eigen.h"
 #include "linalg/kernels.h"
 #include "linalg/matrix.h"
+#include "linalg/subspace.h"
 
 namespace arraytrack::aoa {
 
@@ -45,11 +46,28 @@ class MusicEstimator {
   /// Spectrum from an M x N snapshot matrix.
   AoaSpectrum spectrum(const linalg::CMatrix& snapshots) const;
 
-  /// Spectrum from a precomputed M x M covariance.
-  AoaSpectrum spectrum_from_covariance(const linalg::CMatrix& r) const;
+  /// Spectrum from a precomputed M x M covariance. With a non-null
+  /// `tracker` the projector sweep consumes the tracker's basis for the
+  /// smoothed covariance instead of running a fresh eigendecomposition
+  /// — exact on seed/reseed updates, Rayleigh-Ritz-tracked otherwise.
+  /// The tracker must be fed this estimator's covariance stream in
+  /// frame order and belongs to exactly one stream (one client x AP).
+  AoaSpectrum spectrum_from_covariance(
+      const linalg::CMatrix& r, linalg::SubspaceTracker* tracker = nullptr) const;
 
-  /// Signal count chosen for a sorted-ascending eigenvalue list.
+  /// Signal count chosen for a sorted-ascending eigenvalue list
+  /// (delegates to linalg::signal_count with this estimator's options).
   std::size_t estimate_num_signals(const std::vector<double>& eig) const;
+
+  /// Tracker options mirroring this estimator's D-selection thresholds,
+  /// so a tracked basis picks the same signal count the exact path
+  /// would.
+  linalg::SubspaceOptions subspace_options() const {
+    linalg::SubspaceOptions s;
+    s.eig_threshold = opt_.eig_threshold;
+    s.fixed_num_signals = opt_.fixed_num_signals;
+    return s;
+  }
 
   std::size_t array_size() const { return elements_.size(); }
   std::size_t subarray_size() const {

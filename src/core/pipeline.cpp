@@ -32,20 +32,35 @@ ApProcessor::ApProcessor(const phy::AccessPointFrontEnd* ap,
   }
 }
 
-aoa::AoaSpectrum ApProcessor::process(const phy::FrameCapture& frame) const {
-  aoa::AoaSpectrum spec = process_sharp(frame);
+aoa::AoaSpectrum ApProcessor::process(const phy::FrameCapture& frame,
+                                      linalg::SubspaceTracker* tracker) const {
+  aoa::AoaSpectrum spec = process_sharp(frame, tracker);
   finish_spectrum(spec);
   return spec;
 }
 
-aoa::AoaSpectrum ApProcessor::process_sharp(
+linalg::CMatrix ApProcessor::row_covariance(
     const phy::FrameCapture& frame) const {
   const linalg::CMatrix samples = ap_->calibrated_samples(frame);
   if (samples.rows() < row_)
     throw std::invalid_argument("ApProcessor: capture smaller than row");
+  return aoa::sample_covariance(samples.block(0, 0, row_, samples.cols()));
+}
 
-  aoa::AoaSpectrum spec =
-      music_->spectrum(samples.block(0, 0, row_, samples.cols()));
+aoa::AoaSpectrum ApProcessor::music_spectrum(
+    const linalg::CMatrix& row_cov, linalg::SubspaceTracker* tracker) const {
+  return music_->spectrum_from_covariance(row_cov, tracker);
+}
+
+aoa::AoaSpectrum ApProcessor::process_sharp(
+    const phy::FrameCapture& frame, linalg::SubspaceTracker* tracker) const {
+  const linalg::CMatrix samples = ap_->calibrated_samples(frame);
+  if (samples.rows() < row_)
+    throw std::invalid_argument("ApProcessor: capture smaller than row");
+
+  aoa::AoaSpectrum spec = music_->spectrum_from_covariance(
+      aoa::sample_covariance(samples.block(0, 0, row_, samples.cols())),
+      tracker);
 
   if (opt_.geometry_weighting)
     spec.apply_geometry_weighting(opt_.weighting_soft_floor);

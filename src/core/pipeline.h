@@ -50,14 +50,34 @@ class ApProcessor {
   const phy::AccessPointFrontEnd& ap() const { return *ap_; }
 
   /// Full spectrum pipeline for one captured frame. The spectrum is
-  /// normalized to peak 1.
-  aoa::AoaSpectrum process(const phy::FrameCapture& frame) const;
+  /// normalized to peak 1. A non-null `tracker` replaces the per-frame
+  /// eigendecomposition inside MUSIC with the tracked signal basis for
+  /// this frame stream (see MusicEstimator::spectrum_from_covariance).
+  aoa::AoaSpectrum process(const phy::FrameCapture& frame,
+                           linalg::SubspaceTracker* tracker = nullptr) const;
 
   /// The pipeline up to (not including) the bearing-uncertainty blur:
   /// calibration -> smoothed MUSIC -> geometry weighting -> symmetry
   /// removal. finish_spectrum() completes it; process() is exactly
   /// process_sharp() followed by finish_spectrum().
-  aoa::AoaSpectrum process_sharp(const phy::FrameCapture& frame) const;
+  aoa::AoaSpectrum process_sharp(const phy::FrameCapture& frame,
+                                 linalg::SubspaceTracker* tracker = nullptr) const;
+
+  /// Calibrated covariance of the MUSIC linear row for one frame — the
+  /// input of the covariance -> spectrum stage that music_spectrum()
+  /// (and the subspace tracker) consume. Split out so benches can
+  /// isolate that stage from capture calibration.
+  linalg::CMatrix row_covariance(const phy::FrameCapture& frame) const;
+
+  /// The covariance -> MUSIC-spectrum stage alone (no geometry
+  /// weighting, symmetry removal, or blur), with optional tracking.
+  aoa::AoaSpectrum music_spectrum(const linalg::CMatrix& row_cov,
+                                  linalg::SubspaceTracker* tracker = nullptr) const;
+
+  /// Tracker options matching this processor's MUSIC configuration.
+  linalg::SubspaceOptions subspace_options() const {
+    return music_->subspace_options();
+  }
 
   /// Bearing blur + peak normalization — the tail of process(), split
   /// out so the batched server path can run the blur of many sharp

@@ -87,8 +87,17 @@ FrameGroup ArrayTrackServer::snapshot_frames(int client_id,
   return group;
 }
 
+ClientSubspace ArrayTrackServer::make_client_subspace(
+    linalg::SubspaceCounters* counters) const {
+  ClientSubspace cs;
+  cs.trackers_.reserve(aps_.size());
+  for (const auto& entry : aps_)
+    cs.trackers_.emplace_back(entry.processor->subspace_options(), counters);
+  return cs;
+}
+
 std::vector<ApSpectrum> ArrayTrackServer::spectra_from_frames(
-    const FrameGroup& frames_per_ap) const {
+    const FrameGroup& frames_per_ap, ClientSubspace* subspace) const {
   // Per-AP pipelines (detection -> diversity synthesis -> covariance ->
   // eigendecomposition -> MUSIC -> suppression) are independent
   // read-only work over disjoint front ends, so they fan out across
@@ -107,10 +116,12 @@ std::vector<ApSpectrum> ArrayTrackServer::spectra_from_frames(
         // three).
         const std::size_t use =
             std::min(frames.size(), opt_.suppression.max_group);
+        linalg::SubspaceTracker* tracker =
+            subspace != nullptr ? subspace->tracker(i) : nullptr;
         std::vector<aoa::AoaSpectrum> group;
         group.reserve(use);
         for (std::size_t k = frames.size() - use; k < frames.size(); ++k)
-          group.push_back(entry.processor->process(frames[k]));
+          group.push_back(entry.processor->process(frames[k], tracker));
 
         aoa::AoaSpectrum fused =
             opt_.multipath_suppression
@@ -133,7 +144,8 @@ std::vector<ApSpectrum> ArrayTrackServer::spectra_from_frames(
 }
 
 std::vector<std::vector<ApSpectrum>> ArrayTrackServer::spectra_from_frames_batch(
-    const std::vector<const FrameGroup*>& groups) const {
+    const std::vector<const FrameGroup*>& groups,
+    const std::vector<ClientSubspace*>& subspaces) const {
   const std::size_t b = groups.size();
   const std::size_t n = aps_.size();
   // slots[i][j]: job j's fused spectrum at AP i; compacted per job in
@@ -152,10 +164,14 @@ std::vector<std::vector<ApSpectrum>> ArrayTrackServer::spectra_from_frames_batch
           if (i >= groups[j]->size()) continue;
           const auto& frames = (*groups[j])[i];
           if (frames.empty()) continue;
+          linalg::SubspaceTracker* tracker =
+              j < subspaces.size() && subspaces[j] != nullptr
+                  ? subspaces[j]->tracker(i)
+                  : nullptr;
           const std::size_t use =
               std::min(frames.size(), opt_.suppression.max_group);
           for (std::size_t k = frames.size() - use; k < frames.size(); ++k)
-            rows.push_back(entry.processor->process_sharp(frames[k]));
+            rows.push_back(entry.processor->process_sharp(frames[k], tracker));
           rows_of[j] = use;
         }
         if (rows.empty()) return;
@@ -199,8 +215,9 @@ std::vector<std::vector<ApSpectrum>> ArrayTrackServer::spectra_from_frames_batch
 
 std::vector<std::optional<LocationEstimate>>
 ArrayTrackServer::locate_frames_batch(
-    const std::vector<const FrameGroup*>& groups) const {
-  return localizer_.locate_batch(spectra_from_frames_batch(groups));
+    const std::vector<const FrameGroup*>& groups,
+    const std::vector<ClientSubspace*>& subspaces) const {
+  return localizer_.locate_batch(spectra_from_frames_batch(groups, subspaces));
 }
 
 std::optional<LocationEstimate> ArrayTrackServer::locate(int client_id,
@@ -211,8 +228,8 @@ std::optional<LocationEstimate> ArrayTrackServer::locate(int client_id,
 }
 
 std::optional<LocationEstimate> ArrayTrackServer::locate_frames(
-    const FrameGroup& frames) const {
-  const auto spectra = spectra_from_frames(frames);
+    const FrameGroup& frames, ClientSubspace* subspace) const {
+  const auto spectra = spectra_from_frames(frames, subspace);
   if (spectra.empty()) return std::nullopt;
   return localizer_.locate(spectra);
 }

@@ -34,6 +34,39 @@ struct ServerOptions {
 /// pipeline while ingest keeps appending frames.
 using FrameGroup = std::vector<std::vector<phy::FrameCapture>>;
 
+/// Per-client tracked-subspace state: one linalg::SubspaceTracker per
+/// registered AP, in registration order. Created by
+/// ArrayTrackServer::make_client_subspace(), owned by the client's
+/// session (the service layer keeps it alongside the LocationTracker),
+/// and passed into locate_frames / spectra_from_frames so the MUSIC
+/// stage consumes and advances tracked signal bases instead of running
+/// a fresh eigendecomposition per frame. One instance belongs to one
+/// client's frame stream: feed it jobs in that client's arrival order
+/// and never from two jobs concurrently (the per-AP fan-out inside a
+/// single job is safe — each AP touches only its own tracker). reset()
+/// drops all tracked state; call it on session eviction or after
+/// set_pipeline() rebuilds the processors.
+class ClientSubspace {
+ public:
+  ClientSubspace() = default;
+
+  /// Tracker for the AP at registration index `ap`; nullptr when the
+  /// index is out of range (an AP registered after creation falls back
+  /// to the exact per-frame decomposition).
+  linalg::SubspaceTracker* tracker(std::size_t ap) {
+    return ap < trackers_.size() ? &trackers_[ap] : nullptr;
+  }
+  std::size_t size() const { return trackers_.size(); }
+
+  void reset() {
+    for (auto& t : trackers_) t.reset();
+  }
+
+ private:
+  friend class ArrayTrackServer;
+  std::vector<linalg::SubspaceTracker> trackers_;
+};
+
 class ArrayTrackServer {
  public:
   ArrayTrackServer(geom::Rect bounds, ServerOptions opt = {});
@@ -71,14 +104,25 @@ class ArrayTrackServer {
   /// The compute half: per-AP pipeline + multipath suppression over a
   /// pre-snapshotted frame group, fanned out on the shared pool.
   /// client_spectra() is exactly spectra_from_frames(snapshot_frames()).
-  std::vector<ApSpectrum> spectra_from_frames(const FrameGroup& frames) const;
+  /// A non-null `subspace` (this client's tracked state) replaces each
+  /// AP's per-frame eigendecomposition with its tracked signal basis.
+  std::vector<ApSpectrum> spectra_from_frames(
+      const FrameGroup& frames, ClientSubspace* subspace = nullptr) const;
 
   /// End-to-end location estimate (equation 8 + hill climbing).
   std::optional<LocationEstimate> locate(int client_id, double now_s) const;
 
   /// locate() over a pre-snapshotted frame group (the backend-worker
-  /// job entry point).
-  std::optional<LocationEstimate> locate_frames(const FrameGroup& frames) const;
+  /// job entry point), optionally with the client's tracked subspaces.
+  std::optional<LocationEstimate> locate_frames(
+      const FrameGroup& frames, ClientSubspace* subspace = nullptr) const;
+
+  /// Fresh tracked-subspace state covering the currently registered
+  /// APs, wired to `counters` (may be null) for fleet-wide stats. Each
+  /// tracker inherits its AP's MUSIC thresholds, so the exact-path
+  /// basis picks the same signal count the tracker-less pipeline does.
+  ClientSubspace make_client_subspace(
+      linalg::SubspaceCounters* counters = nullptr) const;
 
   /// spectra_from_frames() for a batch of jobs at once: per AP, the
   /// sharp spectra of every (job, frame) pair are computed, the
@@ -86,9 +130,15 @@ class ArrayTrackServer {
   /// all rows (kernels::fir_batch amortizes the tap addressing and
   /// vectorizes across jobs), and the per-job groups are fused as
   /// usual. Row j is bitwise identical to
-  /// spectra_from_frames(*groups[j]).
+  /// spectra_from_frames(*groups[j]). `subspaces`, when non-empty, is
+  /// parallel to `groups` (null entries allowed): job j's spectra use
+  /// client j's tracked bases. Jobs of the same client must appear in
+  /// that client's arrival order, which the service's per-client FIFO
+  /// guarantees; within one AP the batch is walked serially in job
+  /// order, so a shared tracker still sees a deterministic stream.
   std::vector<std::vector<ApSpectrum>> spectra_from_frames_batch(
-      const std::vector<const FrameGroup*>& groups) const;
+      const std::vector<const FrameGroup*>& groups,
+      const std::vector<ClientSubspace*>& subspaces = {}) const;
 
   /// locate_frames() for a batch of jobs sharing this server's grid —
   /// the service's batched-dispatch entry point. Spectra come from
@@ -96,7 +146,8 @@ class ArrayTrackServer {
   /// Localizer::locate_batch(), so row j is bitwise identical to
   /// locate_frames(*groups[j]) at every batch size.
   std::vector<std::optional<LocationEstimate>> locate_frames_batch(
-      const std::vector<const FrameGroup*>& groups) const;
+      const std::vector<const FrameGroup*>& groups,
+      const std::vector<ClientSubspace*>& subspaces = {}) const;
 
   /// The likelihood heatmap for a client (Fig. 14).
   std::optional<Heatmap> heatmap(int client_id, double now_s) const;

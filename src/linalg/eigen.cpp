@@ -62,9 +62,11 @@ void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
   }
 }
 
-}  // namespace
-
-EigenResult eig_hermitian(const CMatrix& input, double hermitian_tol) {
+// Validates squareness / Hermitian-ness of `input` and returns its
+// symmetrized copy, with the Frobenius scale (used for the sweep
+// tolerance) written to `scale_out`.
+CMatrix symmetrized_checked(const CMatrix& input, double hermitian_tol,
+                            double& scale_out) {
   if (input.rows() != input.cols())
     throw std::invalid_argument("eig_hermitian: matrix must be square");
   const std::size_t n = input.rows();
@@ -81,8 +83,15 @@ EigenResult eig_hermitian(const CMatrix& input, double hermitian_tol) {
   for (std::size_t r = 0; r < n; ++r)
     for (std::size_t c = 0; c < n; ++c)
       a(r, c) = 0.5 * (input(r, c) + std::conj(input(c, r)));
+  scale_out = scale;
+  return a;
+}
 
-  CMatrix v = CMatrix::identity(n);
+// Cyclic Jacobi sweeps over the symmetrized matrix `a`, accumulating
+// rotations into `v` (which may start at identity or at a warm-start
+// unitary), followed by the ascending sort. Consumes `a` and `v`.
+EigenResult jacobi_sweep_and_sort(CMatrix& a, CMatrix& v, double scale) {
+  const std::size_t n = a.rows();
 
   constexpr int kMaxSweeps = 100;
   const double tol = 1e-14 * scale;
@@ -133,6 +142,58 @@ EigenResult eig_hermitian(const CMatrix& input, double hermitian_tol) {
     result.eigenvectors.set_col(i, v.col(order[i]));
   }
   return result;
+}
+
+bool is_identity_exact(const CMatrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (m(r, c) != (r == c ? cplx{1.0, 0.0} : cplx{0.0, 0.0})) return false;
+  return true;
+}
+
+}  // namespace
+
+EigenResult eig_hermitian(const CMatrix& input, double hermitian_tol) {
+  double scale = 0.0;
+  CMatrix a = symmetrized_checked(input, hermitian_tol, scale);
+  CMatrix v = CMatrix::identity(a.rows());
+  return jacobi_sweep_and_sort(a, v, scale);
+}
+
+EigenResult eig_hermitian_seeded(const CMatrix& input, const CMatrix& seed,
+                                 double hermitian_tol) {
+  if (seed.rows() != input.rows() || seed.cols() != input.cols())
+    throw std::invalid_argument(
+        "eig_hermitian_seeded: seed must match the matrix size");
+
+  double scale = 0.0;
+  CMatrix a = symmetrized_checked(input, hermitian_tol, scale);
+
+  // An exact-identity seed takes the plain path, keeping the result
+  // bit-identical to eig_hermitian (the pre-rotation below would only
+  // add benign roundoff, but bitwise parity is cheap to keep).
+  if (is_identity_exact(seed)) {
+    CMatrix v = CMatrix::identity(a.rows());
+    return jacobi_sweep_and_sort(a, v, scale);
+  }
+
+  // Pre-rotate into the seed's frame: A' = seed^H * A * seed. When the
+  // seed eigenbasis belongs to a nearby matrix, A' is almost diagonal
+  // and the sweeps converge immediately. Re-symmetrize to scrub the
+  // roundoff asymmetry the two multiplies introduce.
+  CMatrix rotated = seed.hermitian() * a * seed;
+  const std::size_t n = rotated.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const cplx sym = 0.5 * (rotated(r, c) + std::conj(rotated(c, r)));
+      rotated(r, c) = sym;
+      rotated(c, r) = std::conj(sym);
+    }
+    rotated(r, r) = cplx{rotated(r, r).real(), 0.0};
+  }
+
+  CMatrix v = seed;
+  return jacobi_sweep_and_sort(rotated, v, scale);
 }
 
 }  // namespace arraytrack::linalg

@@ -27,4 +27,16 @@ struct EigenResult {
 /// non-Hermitian (relative asymmetry above `hermitian_tol`).
 EigenResult eig_hermitian(const CMatrix& a, double hermitian_tol = 1e-6);
 
+/// Warm-started eigendecomposition: diagonalizes seed^H * A * seed and
+/// accumulates rotations on top of `seed`, so when `seed` (a unitary
+/// matrix, typically the eigenvectors of a nearby matrix) already
+/// near-diagonalizes A, Jacobi converges in one or two sweeps instead
+/// of the usual five-plus from identity. Returns the same sorted
+/// eigensystem of A as eig_hermitian up to roundoff and per-vector
+/// phase; with seed == identity the result is bit-identical to
+/// eig_hermitian. Throws if A fails the checks of eig_hermitian or if
+/// `seed` is not square of matching size.
+EigenResult eig_hermitian_seeded(const CMatrix& a, const CMatrix& seed,
+                                 double hermitian_tol = 1e-6);
+
 }  // namespace arraytrack::linalg

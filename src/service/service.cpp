@@ -57,7 +57,10 @@ LocationService::LocationService(core::System* system, ServiceOptions opt)
       opt_.batch_max = std::min<std::size_t>(std::size_t(v), 4096);
   }
   stats_.batch_max.store(opt_.batch_max, std::memory_order_relaxed);
-  shards_.resize(opt_.shards);
+  // Sessions hold move-only state (the ClientSubspace), so build the
+  // shard vector in place rather than resize() (whose relocation path
+  // requires copyable elements when moves are not noexcept).
+  shards_ = std::vector<Shard>(opt_.shards);
   vworker_free_.assign(opt_.workers, 0.0);
 }
 
@@ -71,8 +74,18 @@ std::size_t LocationService::shard_of(int client_id) const {
 
 LocationService::Session& LocationService::session_locked(Shard& shard,
                                                           int client_id) {
-  return shard.sessions.try_emplace(client_id, Session{core::LocationTracker(opt_.tracker), 0, {}})
+  return shard.sessions
+      .try_emplace(client_id,
+                   Session{core::LocationTracker(opt_.tracker), 0, {}, nullptr})
       .first->second;
+}
+
+core::ClientSubspace* LocationService::subspace_for(Session& sess) {
+  if (!opt_.subspace_tracking) return nullptr;
+  if (!sess.subspace)
+    sess.subspace = std::make_unique<core::ClientSubspace>(
+        system_->server().make_client_subspace(&stats_.subspace));
+  return sess.subspace.get();
 }
 
 std::deque<LocationService::Job>& LocationService::backlog_locked(
@@ -218,7 +231,8 @@ void LocationService::measured_dispatch_locked(double now_s) {
     stats_.queue_wait_ms.record(wait * 1e3);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto fix = system_->server().locate_frames(job.frames);
+    const auto fix = system_->server().locate_frames(
+        job.frames, subspace_for(*job.session));
     const double measured =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -585,12 +599,18 @@ void LocationService::execute_batch(std::vector<Job>& batch) {
   std::vector<std::optional<core::LocationEstimate>> results;
   if (kept.size() == 1) {
     // One survivor: skip the batch path's grouping overhead.
-    results.push_back(system_->server().locate_frames(kept[0]->frames));
+    results.push_back(system_->server().locate_frames(
+        kept[0]->frames, subspace_for(*kept[0]->session)));
   } else {
     std::vector<const core::FrameGroup*> groups;
+    std::vector<core::ClientSubspace*> subspaces;
     groups.reserve(kept.size());
-    for (const Job* j : kept) groups.push_back(&j->frames);
-    results = system_->server().locate_frames_batch(groups);
+    subspaces.reserve(kept.size());
+    for (Job* j : kept) {
+      groups.push_back(&j->frames);
+      subspaces.push_back(subspace_for(*j->session));
+    }
+    results = system_->server().locate_frames_batch(groups, subspaces);
   }
   const double measured =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -651,7 +671,8 @@ void LocationService::execute(Job& job) {
   stats_.queue_wait_ms.record(wait * 1e3);
 
   const auto t0 = std::chrono::steady_clock::now();
-  const auto fix = system_->server().locate_frames(job.frames);
+  const auto fix = system_->server().locate_frames(
+      job.frames, subspace_for(*job.session));
   const double measured =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -84,6 +84,17 @@ struct ServiceOptions {
   /// Smooth each session's fixes through a core::LocationTracker.
   bool tracked_fixes = true;
   core::TrackerOptions tracker;
+  /// Maintain per-session subspace trackers (core::ClientSubspace, one
+  /// linalg::SubspaceTracker per AP) so steady-state MUSIC spectra
+  /// reuse the tracked signal basis instead of a fresh
+  /// eigendecomposition per frame. Per-client fix ordering (one shard,
+  /// FIFO) makes the tracked stream — hence the fix set — identical
+  /// across worker counts and batch widths; the ARRAYTRACK_EXACT_EVD
+  /// environment variable forces the full decomposition on every
+  /// update for byte-identical cross-checks against this flag being
+  /// off. State survives coalescing (the tracker keys off the session,
+  /// not the job) and is dropped with the session.
+  bool subspace_tracking = true;
   /// Ingest transport model (Td + Tt + Tl), folded into arrival times
   /// (virtual mode) and end-to-end latency accounting (both modes).
   core::LatencyModel transport;
@@ -244,6 +255,11 @@ class LocationService {
     std::uint64_t next_seq = 0;
     /// Wire-path per-AP frame history (ingest thread only).
     std::vector<std::deque<phy::FrameCapture>> history;
+    /// Tracked signal subspaces, one tracker per AP (lazily created by
+    /// subspace_for when ServiceOptions::subspace_tracking is on).
+    /// Accessed only by the worker holding this session's shard claim,
+    /// like `tracker`; destroyed (state reset) with the session.
+    std::unique_ptr<core::ClientSubspace> subspace;
   };
 
   struct Job {
@@ -295,6 +311,11 @@ class LocationService {
 
   std::size_t shard_of(int client_id) const;
   Session& session_locked(Shard& shard, int client_id);
+  /// The session's ClientSubspace (created on first use), or nullptr
+  /// when subspace tracking is disabled. Callers must hold the
+  /// session's shard claim (or the ingest serialization in virtual
+  /// mode) — the same exclusivity `Session::tracker` relies on.
+  core::ClientSubspace* subspace_for(Session& sess);
   /// Backlog that admission control and coalescing operate on.
   std::deque<Job>& backlog_locked(Shard& shard);
   /// Admission control + coalescing + enqueue; `mutex_` must be held.

@@ -142,6 +142,9 @@ std::string ServiceStats::to_json() const {
   counter("locate_failures", locate_failures);
   counter("tracker_rejects", tracker_rejects);
   counter("batch_max", batch_max);
+  counter("evd_full", subspace.evd_full);
+  counter("evd_tracked", subspace.evd_tracked);
+  counter("evd_reseed", subspace.evd_reseed);
   out += ", \"queue_depth\": " + queue_depth.to_json();
   out += ", \"queue_wait_ms\": " + queue_wait_ms.to_json();
   out += ", \"processing_ms\": " + processing_ms.to_json();

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "linalg/subspace.h"
+
 namespace arraytrack::service {
 
 /// Fixed-bucket streaming histogram: log-spaced bucket edges between
@@ -100,6 +102,14 @@ struct ServiceStats {
   /// ARRAYTRACK_BATCH override, echoed so a scrape shows the width the
   /// engine actually ran with.
   std::atomic<std::uint64_t> batch_max{1};
+
+  // ---- eigendecomposition path (see linalg::SubspaceTracker) ----
+  /// Aggregated over every session's subspace trackers: full Jacobi
+  /// decompositions vs tracked recursion updates, plus monitor-forced
+  /// (or periodic) reseeds. evd_tracked / (evd_full + evd_tracked) is
+  /// the fraction of spectra that skipped the eigendecomposition — the
+  /// observable form of this optimization's speedup.
+  linalg::SubspaceCounters subspace;
 
   // ---- distributions ----
   StreamingHistogram queue_depth;     // shard depth at each enqueue

@@ -211,6 +211,101 @@ TEST(EigenTest, PositiveSemidefiniteRankDeficient) {
     EXPECT_NEAR(r.eigenvalues[i], 0.0, 1e-9);
 }
 
+// ---------------------------------------------------------------------
+// Edge cases the subspace tracker's exact fallback leans on: repeated
+// and near-degenerate eigenvalues, rank-deficient and zero matrices,
+// and the warm-started (seeded) path agreeing with the plain one.
+// ---------------------------------------------------------------------
+
+TEST(EigenTest, ZeroMatrixAllZeroEigenvalues) {
+  const auto r = eig_hermitian(CMatrix(5, 5));
+  for (double ev : r.eigenvalues) EXPECT_EQ(ev, 0.0);
+  // Eigenvectors are still a unitary basis.
+  const CMatrix g = r.eigenvectors.hermitian() * r.eigenvectors;
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(g(i, j).real(), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(EigenTest, RepeatedEigenvaluesSpanIsCorrect) {
+  // 3*I plus a rank-1 bump: eigenvalues {3, 3, 3, 3 + |v|^2}. The
+  // degenerate eigenvectors are not unique, but reconstruction and
+  // orthonormality must still hold exactly.
+  CVector v{cplx{1, 0}, cplx{0, 1}, cplx{-1, 1}, cplx{0.5, -0.5}};
+  CMatrix a = CMatrix::outer(v, v);
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 3.0;
+  const auto r = eig_hermitian(a);
+  for (std::size_t i = 0; i + 1 < 4; ++i)
+    EXPECT_NEAR(r.eigenvalues[i], 3.0, 1e-9);
+  EXPECT_NEAR(r.eigenvalues.back(), 3.0 + v.squared_norm(), 1e-9);
+  const CMatrix recon = r.eigenvectors *
+                        CMatrix::diagonal(r.eigenvalues) *
+                        r.eigenvectors.hermitian();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(std::abs(recon(i, j) - a(i, j)), 0.0, 1e-9);
+}
+
+TEST(EigenTest, NearDegenerateEigenvaluesStaySorted) {
+  // Two eigenvalues split by 1e-9 on top of a well-separated third.
+  std::vector<double> d{1.0, 2.0, 2.0 + 1e-9};
+  const auto r = eig_hermitian(CMatrix::diagonal(d));
+  ASSERT_EQ(r.eigenvalues.size(), 3u);
+  EXPECT_LE(r.eigenvalues[0], r.eigenvalues[1]);
+  EXPECT_LE(r.eigenvalues[1], r.eigenvalues[2]);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1] + r.eigenvalues[2], 4.0 + 1e-9, 1e-12);
+}
+
+TEST(EigenTest, SeededIdentityBitIdenticalToPlain) {
+  std::mt19937_64 rng(71);
+  const CMatrix a = random_hermitian(6, rng);
+  const auto plain = eig_hermitian(a);
+  const auto seeded = eig_hermitian_seeded(a, CMatrix::identity(6));
+  ASSERT_EQ(plain.eigenvalues.size(), seeded.eigenvalues.size());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(plain.eigenvalues[i], seeded.eigenvalues[i]);
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(plain.eigenvectors(i, j), seeded.eigenvectors(i, j));
+  }
+}
+
+TEST(EigenTest, SeededWarmStartSameSortedEigensystem) {
+  // Seed with the eigenbasis of a nearby matrix; the seeded solve must
+  // land on the same sorted eigensystem as the plain one (up to the
+  // per-eigenvector phase that any eigensolver is free to choose).
+  std::mt19937_64 rng(72);
+  const CMatrix a = random_hermitian(8, rng);
+  CMatrix perturbed = a;
+  std::normal_distribution<double> g(0.0, 1e-3);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      const cplx e{g(rng), g(rng)};
+      perturbed(i, j) += e;
+      perturbed(j, i) += std::conj(e);
+    }
+  }
+  const auto seed = eig_hermitian(perturbed);
+  const auto warm = eig_hermitian_seeded(a, seed.eigenvectors);
+  const auto cold = eig_hermitian(a);
+  const double scale = a.frobenius_norm();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(warm.eigenvalues[i], cold.eigenvalues[i], 1e-8 * scale);
+    // Same eigenvector up to phase: |<warm_i, cold_i>| == 1.
+    cplx dot{0.0, 0.0};
+    for (std::size_t r = 0; r < 8; ++r)
+      dot += std::conj(warm.eigenvectors(r, i)) * cold.eigenvectors(r, i);
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-6);
+  }
+}
+
+TEST(EigenTest, SeededRejectsWrongSizeSeed) {
+  std::mt19937_64 rng(73);
+  const CMatrix a = random_hermitian(4, rng);
+  EXPECT_THROW(eig_hermitian_seeded(a, CMatrix::identity(5)),
+               std::invalid_argument);
+}
+
 TEST(TypesTest, AngleWrapping) {
   EXPECT_NEAR(wrap_2pi(-kPi / 2), 1.5 * kPi, 1e-12);
   EXPECT_NEAR(wrap_2pi(5 * kPi), kPi, 1e-12);
