@@ -129,7 +129,8 @@ BENCHMARK(BM_MusicSpectrumExact)->Unit(benchmark::kMicrosecond);
 // BENCH_fig21_latency.json: per-fix latency percentiles, spectra/sec,
 // heatmap cells/sec, and the pool width + SIMD dispatch level that
 // produced them.
-void emit_telemetry(core::System& sys, int reps, const char* mode) {
+void emit_telemetry(core::System& sys, int reps, const char* mode,
+                    const char* out_path) {
   using clock = std::chrono::steady_clock;
   auto seconds = [](clock::duration d) {
     return std::chrono::duration<double>(d).count();
@@ -198,7 +199,8 @@ void emit_telemetry(core::System& sys, int reps, const char* mode) {
   const double cells_per_sec = double(cells) / seconds(clock::now() - th0);
 
   bench::write_bench_json(
-      "BENCH_fig21_latency.json", std::string("fig21_latency_") + mode,
+      out_path != nullptr ? out_path : "BENCH_fig21_latency.json",
+      std::string("fig21_latency_") + mode,
       {{"median_fix_latency_ms", median},
        {"p95_fix_latency_ms", p95},
        {"spectra_per_sec", spectra_per_sec},
@@ -227,7 +229,7 @@ void emit_telemetry(core::System& sys, int reps, const char* mode) {
 // Tiny scenario for the bench_smoke ctest: three APs in a small room,
 // coarse grid. Fast enough for tier-1 while still driving the pooled
 // per-AP fan-out, the projector kernel, and the JSON writer.
-int run_smoke() {
+int run_smoke(const char* out_path) {
   bench::banner("Figure 21 (smoke)", "pool + kernel sanity on a tiny scenario");
   geom::Floorplan plan({{0, 0}, {12, 8}});
   core::SystemConfig cfg;
@@ -239,7 +241,7 @@ int run_smoke() {
   for (std::size_t f = 0; f < 3; ++f)
     sys.transmit(0, {8.0, 4.0}, double(f) * 0.03);
 
-  emit_telemetry(sys, 5, "smoke");
+  emit_telemetry(sys, 5, "smoke", out_path);
   const auto fix = sys.locate(0, 0.1);
   if (!fix) {
     std::printf("SMOKE FAIL: no fix produced\n");
@@ -257,8 +259,21 @@ int run_smoke() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  // Peel off our flags before benchmark::Initialize sees the rest.
+  bool smoke = false;
+  const char* out_path = nullptr;
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else
+      argv[keep++] = argv[i];
+  }
+  argc = keep;
+  argv[argc] = nullptr;
+  if (smoke) return run_smoke(out_path);
 
   bench::banner("Figure 21 / 4.4", "end-to-end latency budget");
   bench::paper_note(
@@ -295,6 +310,6 @@ int main(int argc, char** argv) {
       "(C++ pipeline Tp is far below the paper's 100 ms Matlab figure; "
       "the hardware terms Td/Tt/Tl match the paper by construction)\n");
 
-  emit_telemetry(f.runner->system(), 20, "office6ap");
+  emit_telemetry(f.runner->system(), 20, "office6ap", out_path);
   return 0;
 }

@@ -155,15 +155,19 @@ SizeResult run_size(std::size_t m, std::size_t updates, bool check_alignment) {
   return out;
 }
 
-int run_smoke() {
+int run_smoke(const char* out_path) {
   bench::banner("subspace tracker (smoke)",
                 "tracked recursion stays on the exact signal subspace");
   bool ok = true;
+  std::vector<std::pair<std::string, double>> fields;
   for (std::size_t m : {4, 6}) {
     const auto r = run_size(m, 200, /*check_alignment=*/true);
     std::printf(
         "m=%zu: min alignment %.6f, tracked fraction %.2f\n", m,
         r.min_alignment, r.tracked_fraction);
+    const std::string suffix = "_m" + std::to_string(m);
+    fields.push_back({"min_alignment" + suffix, r.min_alignment});
+    fields.push_back({"tracked_fraction" + suffix, r.tracked_fraction});
     // cos^2 of the largest principal angle between tracked and exact
     // signal subspaces; 0.98 allows the one-power-step lag on a
     // drifting stream while catching a diverged recursion outright.
@@ -176,14 +180,23 @@ int run_smoke() {
       ok = false;
     }
   }
+  if (out_path != nullptr)
+    bench::write_bench_json(out_path, "subspace_micro_smoke", fields);
   return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+  if (smoke) return run_smoke(out_path);
 
   bench::banner("subspace tracker microbench",
                 "tracked update vs full Jacobi eigendecomposition");
@@ -200,7 +213,8 @@ int main(int argc, char** argv) {
     fields.push_back({"full_evd_ns" + suffix, r.full_ns});
     fields.push_back({"speedup" + suffix, r.full_ns / r.tracked_ns});
   }
-  bench::write_bench_json("BENCH_subspace_micro.json", "subspace_micro",
-                          fields);
+  bench::write_bench_json(
+      out_path != nullptr ? out_path : "BENCH_subspace_micro.json",
+      "subspace_micro", fields);
   return 0;
 }

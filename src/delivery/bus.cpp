@@ -1,0 +1,126 @@
+#include "delivery/bus.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace arraytrack::delivery {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFix:
+      return "fix";
+    case EventKind::kZoneEnter:
+      return "zone_enter";
+    case EventKind::kZoneLeave:
+      return "zone_leave";
+    case EventKind::kZoneDwell:
+      return "zone_dwell";
+  }
+  return "unknown";
+}
+
+FixBus::FixBus(BusOptions opt) : opt_(opt), history_(opt.history) {}
+
+int FixBus::add_zone(geom::Polygon polygon, ZoneOptions zopt,
+                     std::string label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return geofence_.add_zone(std::move(polygon), zopt, std::move(label));
+}
+
+std::shared_ptr<Subscriber> FixBus::subscribe(SubscribeOptions sopt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto sub = std::shared_ptr<Subscriber>(
+      new Subscriber(next_subscriber_id_++, std::move(sopt)));
+  subscribers_.push_back(sub);
+  return sub;
+}
+
+void FixBus::unsubscribe(const std::shared_ptr<Subscriber>& sub) {
+  if (!sub) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(
+      std::remove(subscribers_.begin(), subscribers_.end(), sub),
+      subscribers_.end());
+}
+
+std::size_t FixBus::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subscribers_.size();
+}
+
+void FixBus::fanout_locked(const Event& ev) {
+  published_events_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& sub : subscribers_)
+    if (sub->wants(ev)) sub->offer(ev);
+}
+
+void FixBus::publish(const Fix& fix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  published_fixes_.fetch_add(1, std::memory_order_relaxed);
+  if (opt_.retain_fixes) retained_.push_back(fix);
+  history_.append(fix);
+
+  Event ev;
+  ev.kind = EventKind::kFix;
+  ev.fix = fix;
+  fanout_locked(ev);
+
+  geofence_.update(fix, [&](Event&& zev) { fanout_locked(zev); });
+  trigger_fires_.store(geofence_.trigger_fires(), std::memory_order_relaxed);
+}
+
+void FixBus::forget_client(int client_id) {
+  history_.forget_client(client_id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  geofence_.forget_client(client_id);
+}
+
+std::vector<int> FixBus::zone_occupancy(int zone_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return geofence_.occupants(zone_id);
+}
+
+std::vector<Zone> FixBus::zones() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return geofence_.zones();
+}
+
+std::vector<Fix> FixBus::drain_retained() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Fix> out;
+  out.swap(retained_);
+  return out;
+}
+
+std::uint64_t FixBus::total_shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& sub : subscribers_) n += sub->shed();
+  return n;
+}
+
+std::string FixBus::stats_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"published_fixes\": " << published_fixes_.load()
+     << ", \"published_events\": " << published_events_.load()
+     << ", \"trigger_fires\": " << trigger_fires_.load()
+     << ", \"history_points\": " << history_.total_points()
+     << ", \"history_bytes\": " << history_.approx_bytes()
+     << ", \"subscribers\": [";
+  bool first = true;
+  for (const auto& sub : subscribers_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"id\": " << sub->id() << ", \"label\": \""
+       << sub->options().label << "\", \"published\": " << sub->published()
+       << ", \"delivered\": " << sub->delivered()
+       << ", \"shed\": " << sub->shed() << ", \"cursor\": " << sub->cursor()
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace arraytrack::delivery

@@ -1,0 +1,135 @@
+// The fix bus: streaming delivery and the read-side query layer.
+//
+// The service publishes every committed fix here, once, at fix-commit
+// time. The bus then does three things under one short publish lock:
+//
+//   1. fans the fix out to subscribers — each subscriber owns a
+//      bounded drop-oldest ring (delivery/subscriber.h), so a stalled
+//      reader sheds its own backlog and never stalls the publisher;
+//   2. evaluates geofence zones (delivery/geofence.h) and fans the
+//      resulting enter/leave/dwell events out over the same rings;
+//   3. folds the fix into the per-client history store
+//      (delivery/history.h), publishing a fresh epoch snapshot.
+//
+// Queries — latest(client), trajectory(client, t0, t1),
+// zone_occupancy(zone) — are safe to call concurrently with the write
+// path: history reads are epoch snapshots (lock-free after the pointer
+// grab) and occupancy is copied out under the publish lock.
+//
+// Publishers may be multiple service workers; the publish lock makes
+// the bus a serialization point per publish, not per reader. The
+// per-client event substream is deterministic (fixes of one client
+// arrive in sequence order from its single shard); the interleaving
+// across clients is not, which is why consumers that compare streams
+// across worker counts sort events canonically first — the same
+// convention ServiceReport.fixes already uses.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "delivery/event.h"
+#include "delivery/geofence.h"
+#include "delivery/history.h"
+#include "delivery/subscriber.h"
+
+namespace arraytrack::delivery {
+
+struct BusOptions {
+  HistoryOptions history;
+  /// Keep every published fix in an internal catch-all buffer drained
+  /// by drain_retained() — the compatibility path behind the service's
+  /// deprecated take_fixes(). Turn off when all consumers subscribe.
+  bool retain_fixes = true;
+};
+
+class FixBus {
+ public:
+  explicit FixBus(BusOptions opt = {});
+
+  // ---- configuration (call before publishing starts) ----
+
+  /// Registers a geofence zone; returns its id.
+  int add_zone(geom::Polygon polygon, ZoneOptions zopt = {},
+               std::string label = {});
+
+  // ---- subscriptions ----
+
+  /// Creates a subscriber. The returned object stays valid until
+  /// unsubscribe(); poll from exactly one thread.
+  std::shared_ptr<Subscriber> subscribe(SubscribeOptions sopt = {});
+  void unsubscribe(const std::shared_ptr<Subscriber>& sub);
+  std::size_t subscriber_count() const;
+
+  // ---- write path (service workers) ----
+
+  /// Commits one fix: retained buffer, history epoch, fix fanout,
+  /// geofence evaluation + event fanout. Never blocks on readers.
+  void publish(const Fix& fix);
+
+  /// Forgets a client everywhere (history + presence). Used when the
+  /// service evicts a session.
+  void forget_client(int client_id);
+
+  // ---- read-side queries ----
+
+  /// Newest retained point for `client`.
+  std::optional<TrackPoint> latest(int client) const {
+    return history_.latest(client);
+  }
+  /// Retained points with time in [t0, t1], ascending.
+  std::vector<TrackPoint> trajectory(int client, double t0, double t1) const {
+    return history_.trajectory(client, t0, t1);
+  }
+  /// Clients currently inside `zone_id`, ascending client id.
+  std::vector<int> zone_occupancy(int zone_id) const;
+
+  const HistoryStore& history() const { return history_; }
+  std::vector<Zone> zones() const;
+
+  // ---- compatibility drain (behind LocationService::take_fixes) ----
+
+  /// Drains the internal catch-all fix buffer (publish order).
+  std::vector<Fix> drain_retained();
+
+  // ---- stats ----
+
+  std::uint64_t published_fixes() const {
+    return published_fixes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t published_events() const {
+    return published_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t trigger_fires() const {
+    return trigger_fires_.load(std::memory_order_relaxed);
+  }
+  /// Sum of events shed across all current subscribers.
+  std::uint64_t total_shed() const;
+
+  /// Delivery block for the service stats JSON: counters plus one
+  /// entry per subscriber with its id, label, delivered/shed/cursor.
+  std::string stats_json() const;
+
+ private:
+  void fanout_locked(const Event& ev);
+
+  BusOptions opt_;
+  /// Serializes publish, subscription churn, and geofence state.
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Subscriber>> subscribers_;
+  int next_subscriber_id_ = 0;
+  GeofenceEngine geofence_;
+  HistoryStore history_;
+  std::vector<Fix> retained_;
+  std::atomic<std::uint64_t> published_fixes_{0};
+  std::atomic<std::uint64_t> published_events_{0};
+  std::atomic<std::uint64_t> trigger_fires_{0};
+};
+
+}  // namespace arraytrack::delivery

@@ -1,0 +1,29 @@
+// Events the fix bus delivers to subscribers.
+#pragma once
+
+#include <cstdint>
+
+#include "delivery/fix.h"
+
+namespace arraytrack::delivery {
+
+enum class EventKind : std::uint8_t {
+  kFix = 0,        ///< a location fix was committed
+  kZoneEnter = 1,  ///< client presence entered a zone (hysteresis passed)
+  kZoneLeave = 2,  ///< client presence left a zone
+  kZoneDwell = 3,  ///< client stayed inside a zone for the dwell threshold
+};
+
+const char* event_kind_name(EventKind k);
+
+/// One bus event. Zone events carry the fix that triggered them, so a
+/// subscriber watching a zone still sees where the client was and the
+/// fix's sequence number (which orders a client's events totally).
+struct Event {
+  EventKind kind = EventKind::kFix;
+  Fix fix;
+  int zone_id = -1;      ///< kZone* only
+  double dwell_s = 0.0;  ///< kZoneLeave / kZoneDwell: time inside so far
+};
+
+}  // namespace arraytrack::delivery

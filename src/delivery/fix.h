@@ -1,0 +1,31 @@
+// The location fix record the serving engine emits.
+//
+// Lives in the delivery layer (not service/) because this is the unit
+// of everything read-side: the fix bus fans it out to subscribers, the
+// geofence engine evaluates zones against it, and the history store
+// snapshots it for trajectory queries. service/service.h aliases it as
+// ServiceFix, so write-path code is unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::delivery {
+
+/// One smoothed location fix leaving the engine.
+struct Fix {
+  int client_id = -1;
+  std::uint64_t seq = 0;        // per-session job sequence number
+  double frame_time_s = 0.0;    // newest frame folded into the job
+  double queue_wait_s = 0.0;    // server arrival -> job start
+  double processing_s = 0.0;    // pipeline time (modeled in virtual mode)
+  double latency_s = 0.0;       // frame end -> fix out (incl. transport)
+  geom::Vec2 position;          // raw pipeline fix
+  geom::Vec2 smoothed;          // after the session tracker
+  double likelihood = 0.0;
+  double error_m = -1.0;        // vs ground truth; < 0 when unknown
+  bool tracker_rejected = false;
+};
+
+}  // namespace arraytrack::delivery

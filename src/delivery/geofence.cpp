@@ -1,0 +1,79 @@
+#include "delivery/geofence.h"
+
+#include <utility>
+
+namespace arraytrack::delivery {
+
+int GeofenceEngine::add_zone(geom::Polygon polygon, ZoneOptions opt,
+                             std::string label) {
+  Zone z;
+  z.id = int(zones_.size());
+  z.label = std::move(label);
+  z.polygon = std::move(polygon);
+  z.opt = opt;
+  zones_.push_back(std::move(z));
+  // Existing clients see the new zone on their next fix.
+  for (auto& [client, presences] : state_) presences.resize(zones_.size());
+  return zones_.back().id;
+}
+
+void GeofenceEngine::update(const Fix& fix,
+                            const std::function<void(Event&&)>& emit) {
+  if (zones_.empty()) return;
+  auto& presences = state_[fix.client_id];
+  presences.resize(zones_.size());
+
+  const geom::Vec2 p = fix.smoothed;
+  for (const Zone& z : zones_) {
+    Presence& st = presences[std::size_t(z.id)];
+    const double sd = z.polygon.signed_distance(p);  // negative inside
+
+    auto fire = [&](EventKind kind, double dwell) {
+      Event ev;
+      ev.kind = kind;
+      ev.fix = fix;
+      ev.zone_id = z.id;
+      ev.dwell_s = dwell;
+      ++trigger_fires_;
+      emit(std::move(ev));
+    };
+
+    if (!st.inside) {
+      if (sd <= -z.opt.enter_margin_m) {
+        st.inside = true;
+        st.entered_at_s = fix.frame_time_s;
+        st.dwell_fired = false;
+        fire(EventKind::kZoneEnter, 0.0);
+        // A zero dwell threshold never fires; a visit shorter than the
+        // threshold fires nothing either — checked on later fixes.
+      }
+      continue;
+    }
+
+    if (sd >= z.opt.leave_margin_m) {
+      st.inside = false;
+      fire(EventKind::kZoneLeave, fix.frame_time_s - st.entered_at_s);
+      continue;
+    }
+
+    if (z.opt.dwell_s > 0.0 && !st.dwell_fired &&
+        fix.frame_time_s - st.entered_at_s >= z.opt.dwell_s) {
+      st.dwell_fired = true;
+      fire(EventKind::kZoneDwell, fix.frame_time_s - st.entered_at_s);
+    }
+  }
+}
+
+std::vector<int> GeofenceEngine::occupants(int zone_id) const {
+  std::vector<int> out;
+  if (zone_id < 0 || std::size_t(zone_id) >= zones_.size()) return out;
+  for (const auto& [client, presences] : state_)
+    if (std::size_t(zone_id) < presences.size() &&
+        presences[std::size_t(zone_id)].inside)
+      out.push_back(client);  // std::map iteration is already ascending
+  return out;
+}
+
+void GeofenceEngine::forget_client(int client_id) { state_.erase(client_id); }
+
+}  // namespace arraytrack::delivery

@@ -1,0 +1,89 @@
+// Zone-presence triggers evaluated at fix-publish time.
+//
+// Zones are polygons in floorplan coordinates (geom::Polygon). The
+// engine keeps per-(client, zone) presence state and turns a stream of
+// fixes into enter / leave / dwell events with hysteresis: a client
+// only *enters* once its smoothed position is inside the zone by at
+// least `enter_margin_m`, and only *leaves* once it is outside by at
+// least `leave_margin_m` — a client jittering on the boundary flaps no
+// events. Dwell fires once per visit when the client has been present
+// for `dwell_s` seconds of fix time.
+//
+// Determinism: presence state is keyed per client and every update is
+// driven by that client's fix stream in sequence order, so the event
+// substream of a client is a pure function of its fixes — the same
+// contract the service's fix sets already meet across worker counts.
+// The engine is not itself thread-safe; the fix bus serializes calls
+// under its publish lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "delivery/event.h"
+#include "geom/polygon.h"
+
+namespace arraytrack::delivery {
+
+struct ZoneOptions {
+  /// Must be inside the polygon by this margin (m) to arm an enter.
+  double enter_margin_m = 0.0;
+  /// Must be outside by this margin (m) to arm a leave. Together with
+  /// enter_margin_m this is the hysteresis band around the boundary.
+  double leave_margin_m = 0.25;
+  /// Continuous presence (fix time) after which one kZoneDwell fires
+  /// per visit; <= 0 disables dwell events.
+  double dwell_s = 0.0;
+};
+
+struct Zone {
+  int id = -1;
+  std::string label;
+  geom::Polygon polygon;
+  ZoneOptions opt;
+};
+
+class GeofenceEngine {
+ public:
+  /// Registers a zone and returns its id (dense, starting at 0).
+  int add_zone(geom::Polygon polygon, ZoneOptions opt = {},
+               std::string label = {});
+
+  const std::vector<Zone>& zones() const { return zones_; }
+
+  /// Folds one fix into the presence state; `emit` is called for every
+  /// enter/leave/dwell event it triggers, in zone-id order. Evaluates
+  /// the smoothed position (the tracker output is the presence signal;
+  /// raw per-fix jitter is what the hysteresis band exists to absorb).
+  void update(const Fix& fix, const std::function<void(Event&&)>& emit);
+
+  /// Clients currently present in `zone_id`, ascending (empty when the
+  /// id is unknown). Caller must hold the bus publish serialization or
+  /// otherwise not race update(); the fix bus snapshots this under its
+  /// lock for the concurrent query path.
+  std::vector<int> occupants(int zone_id) const;
+
+  /// Drops a client's presence (session eviction). Emits nothing: an
+  /// evicted session is not a client walking out of a zone.
+  void forget_client(int client_id);
+
+  std::uint64_t trigger_fires() const { return trigger_fires_; }
+
+ private:
+  struct Presence {
+    bool inside = false;
+    double entered_at_s = 0.0;
+    bool dwell_fired = false;
+  };
+
+  std::vector<Zone> zones_;
+  /// state_[client][zone_id]
+  std::map<int, std::vector<Presence>> state_;
+  std::uint64_t trigger_fires_ = 0;
+};
+
+}  // namespace arraytrack::delivery

@@ -1,0 +1,103 @@
+#include "delivery/history.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace arraytrack::delivery {
+
+HistoryStore::HistoryStore(HistoryOptions opt) : opt_(opt) {
+  opt_.dense_capacity = std::max<std::size_t>(1, opt_.dense_capacity);
+  opt_.tier_capacity = std::max<std::size_t>(1, opt_.tier_capacity);
+}
+
+void HistoryStore::append(const Fix& fix) {
+  std::shared_ptr<const ClientHistory> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.find(fix.client_id);
+    if (it != clients_.end()) old = it->second;
+  }
+
+  // Copy-on-write outside the lock: the bounded per-client state is a
+  // few KB, and readers keep their epoch alive via the shared_ptr.
+  auto next = old ? std::make_shared<ClientHistory>(*old)
+                  : std::make_shared<ClientHistory>();
+  if (next->tiers.size() < opt_.tiers) next->tiers.resize(opt_.tiers);
+  if (next->keep_phase.size() < opt_.tiers) next->keep_phase.resize(opt_.tiers);
+
+  TrackPoint pt;
+  pt.time_s = fix.frame_time_s;
+  pt.seq = fix.seq;
+  pt.position = fix.position;
+  pt.smoothed = fix.smoothed;
+  pt.likelihood = fix.likelihood;
+  next->dense.push_back(pt);
+
+  if (next->dense.size() > opt_.dense_capacity) {
+    // Cascade the oldest dense point down the thinning tiers: each
+    // tier keeps every other candidate it is offered (geometric decay)
+    // and overflows its own oldest point into the next.
+    TrackPoint overflow = next->dense.front();
+    next->dense.erase(next->dense.begin());
+    for (std::size_t i = 0; i < opt_.tiers; ++i) {
+      next->keep_phase[i] ^= 1;
+      if (next->keep_phase[i] == 0) break;  // decimated away
+      auto& tier = next->tiers[i];
+      tier.push_back(overflow);
+      if (tier.size() <= opt_.tier_capacity) break;
+      overflow = tier.front();  // tier overflow cascades to the next
+      tier.erase(tier.begin());
+    }
+    // opt_.tiers == 0 (or the last tier overflowing): point dropped.
+  }
+
+  const std::uint64_t np = next->points();
+  const std::uint64_t op = old ? old->points() : 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    clients_[fix.client_id] = std::move(next);
+  }
+  points_.fetch_add(np - op, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const ClientHistory> HistoryStore::snapshot(int client) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = clients_.find(client);
+  return it == clients_.end() ? nullptr : it->second;
+}
+
+std::optional<TrackPoint> HistoryStore::latest(int client) const {
+  const auto snap = snapshot(client);
+  if (!snap || snap->dense.empty()) return std::nullopt;
+  return snap->dense.back();
+}
+
+std::vector<TrackPoint> HistoryStore::trajectory(int client, double t0,
+                                                 double t1) const {
+  std::vector<TrackPoint> out;
+  const auto snap = snapshot(client);
+  if (!snap) return out;
+  auto take = [&](const std::vector<TrackPoint>& pts) {
+    for (const auto& p : pts)
+      if (p.time_s >= t0 && p.time_s <= t1) out.push_back(p);
+  };
+  // Oldest tier first, dense last: globally ascending time (points
+  // only ever move dense -> tier0 -> tier1 -> ... in arrival order).
+  for (std::size_t i = snap->tiers.size(); i-- > 0;) take(snap->tiers[i]);
+  take(snap->dense);
+  return out;
+}
+
+void HistoryStore::forget_client(int client) {
+  std::shared_ptr<const ClientHistory> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    old = std::move(it->second);
+    clients_.erase(it);
+  }
+  points_.fetch_sub(old->points(), std::memory_order_relaxed);
+}
+
+}  // namespace arraytrack::delivery

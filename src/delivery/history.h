@@ -1,0 +1,113 @@
+// Per-client location history with time-decayed downsampling.
+//
+// A trajectory query wants dense recent detail and only the shape of
+// the distant past, in bounded memory. Each client's history is a
+// dense window of the newest fixes at full rate plus a geometrically
+// thinned tail: when the dense window overflows, its oldest point is
+// promoted into tier 0 keeping every 2nd sample; tier 0 overflows into
+// tier 1 keeping every 2nd of those (1/4 density), and so on, until
+// the last tier drops its overflow outright. Total footprint per
+// client is dense_capacity + tiers * tier_capacity points, while the
+// covered time span grows ~2x per tier.
+//
+// Concurrency: epoch snapshots. Every append publishes a fresh
+// immutable ClientHistory (copy-on-write of the bounded per-client
+// state); readers grab the current snapshot under a pointer-swap lock
+// and then read entirely lock-free, so a slow reader holds an old
+// epoch alive instead of blocking the write path. Appends are
+// serialized by the fix bus's publish lock; per-client fixes arrive in
+// sequence order, so snapshots are a deterministic function of the fix
+// stream — byte-identical across service worker counts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "delivery/fix.h"
+
+namespace arraytrack::delivery {
+
+struct HistoryOptions {
+  /// Newest fixes kept at full rate.
+  std::size_t dense_capacity = 64;
+  /// Points per thinned tier.
+  std::size_t tier_capacity = 32;
+  /// Thinned tiers (tier i keeps 1/2^(i+1) of the fix rate); 0 = drop
+  /// everything older than the dense window.
+  std::size_t tiers = 3;
+};
+
+/// One retained trajectory point.
+struct TrackPoint {
+  double time_s = 0.0;
+  std::uint64_t seq = 0;
+  geom::Vec2 position;
+  geom::Vec2 smoothed;
+  double likelihood = 0.0;
+};
+
+/// Immutable per-client snapshot (one epoch). Concatenating
+/// tiers[tiers-1] .. tiers[0] then dense yields the whole retained
+/// trajectory in ascending time order.
+struct ClientHistory {
+  std::vector<std::vector<TrackPoint>> tiers;  ///< each ascending, oldest tier last
+  std::vector<TrackPoint> dense;               ///< ascending time, newest last
+  /// Per-tier decimation phase: promotion into tier i keeps every
+  /// other candidate; the phase travels with the snapshot so the
+  /// thinning pattern is deterministic.
+  std::vector<std::uint8_t> keep_phase;
+
+  std::size_t points() const {
+    std::size_t n = dense.size();
+    for (const auto& t : tiers) n += t.size();
+    return n;
+  }
+};
+
+class HistoryStore {
+ public:
+  explicit HistoryStore(HistoryOptions opt = {});
+
+  /// Writer side (serialized by the bus publish lock): folds one fix
+  /// into the client's history and publishes a new epoch snapshot.
+  void append(const Fix& fix);
+
+  /// Current epoch for `client` (nullptr when unseen). Safe to read
+  /// concurrently with append(); the snapshot never mutates.
+  std::shared_ptr<const ClientHistory> snapshot(int client) const;
+
+  /// Newest retained point for `client`.
+  std::optional<TrackPoint> latest(int client) const;
+
+  /// Retained points with time_s in [t0, t1], ascending time.
+  std::vector<TrackPoint> trajectory(int client, double t0, double t1) const;
+
+  /// Drops a client's history (session eviction).
+  void forget_client(int client);
+
+  std::uint64_t total_points() const {
+    return points_.load(std::memory_order_relaxed);
+  }
+  /// Approximate retained footprint (points * sizeof(TrackPoint)).
+  std::uint64_t approx_bytes() const {
+    return total_points() * sizeof(TrackPoint);
+  }
+
+  const HistoryOptions& options() const { return opt_; }
+
+ private:
+  HistoryOptions opt_;
+  /// Guards only the map and its shared_ptr values (pointer swaps);
+  /// never held while building or reading a snapshot.
+  mutable std::mutex mutex_;
+  std::map<int, std::shared_ptr<const ClientHistory>> clients_;
+  std::atomic<std::uint64_t> points_{0};
+};
+
+}  // namespace arraytrack::delivery

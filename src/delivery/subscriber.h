@@ -1,0 +1,116 @@
+// One read-side consumer of the fix bus.
+//
+// Each subscriber owns a bounded ring carrying its private copy of the
+// event stream, with the same drop-oldest discipline as the ingest
+// rings (core/mpsc_ring.h): when a reader falls behind, the publisher
+// evicts that reader's oldest undelivered events — counted, never
+// silent — instead of blocking. A deliberately stalled subscriber
+// therefore sheds its own backlog while every other subscriber, and
+// the publish path itself, runs at full speed.
+//
+// The ring reuses the Vyukov cell protocol from core::MpscRing:
+// publishes are serialized by the bus lock and each subscriber has one
+// consumer, so this is the SPSC special case of that queue — but
+// drop-oldest requires the publisher to pop the victim, which is
+// exactly the MPMC capability the shared implementation already
+// proves under TSan. The subscriber's position in its stream is the
+// cursor (delivered + shed); published - cursor is its current lag.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mpsc_ring.h"
+#include "delivery/event.h"
+
+namespace arraytrack::delivery {
+
+struct SubscribeOptions {
+  /// Ring capacity (rounded up to a power of two, minimum 2). The
+  /// backlog bound a slow reader sheds against.
+  std::size_t capacity = 256;
+  /// Only this client's events; -1 subscribes to every client.
+  int client_id = -1;
+  /// Deliver location fixes (EventKind::kFix).
+  bool fixes = true;
+  /// Deliver geofence events (kZoneEnter/kZoneLeave/kZoneDwell).
+  bool zone_events = true;
+  /// Only events of this zone (zone events with a different id are
+  /// filtered); -1 = every zone.
+  int zone_id = -1;
+  /// Shown in the delivery stats JSON.
+  std::string label;
+};
+
+class Subscriber {
+ public:
+  /// Consumer side; single reader thread. Moves the next event into
+  /// `out`, false when the ring is empty.
+  bool poll(Event& out) {
+    if (!ring_.try_pop(out)) return false;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Drains up to `max` events (0 = everything currently queued).
+  std::vector<Event> poll_batch(std::size_t max = 0) {
+    std::vector<Event> out;
+    Event ev;
+    while ((max == 0 || out.size() < max) && poll(ev))
+      out.push_back(std::move(ev));
+    return out;
+  }
+
+  int id() const { return id_; }
+  const SubscribeOptions& options() const { return opt_; }
+
+  /// Events offered to this subscriber by the bus.
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  /// Events the consumer has popped.
+  std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  /// Events evicted drop-oldest because this reader lagged.
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  /// Position in this subscriber's event stream: everything before the
+  /// cursor was either delivered or shed, nothing after it was.
+  std::uint64_t cursor() const { return delivered() + shed(); }
+  /// Events currently waiting in the ring.
+  std::uint64_t lag() const { return published() - cursor(); }
+
+ private:
+  friend class FixBus;
+
+  Subscriber(int id, SubscribeOptions opt)
+      : id_(id), opt_(std::move(opt)), ring_(opt_.capacity) {}
+
+  /// True when the bus should route `ev` here.
+  bool wants(const Event& ev) const {
+    if (opt_.client_id >= 0 && ev.fix.client_id != opt_.client_id)
+      return false;
+    if (ev.kind == EventKind::kFix) return opt_.fixes;
+    if (!opt_.zone_events) return false;
+    return opt_.zone_id < 0 || ev.zone_id == opt_.zone_id;
+  }
+
+  /// Producer side (bus publish lock held).
+  void offer(const Event& ev) {
+    published_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t dropped = ring_.push_overwrite(ev);
+    if (dropped) shed_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+
+  int id_;
+  SubscribeOptions opt_;
+  core::MpscRing<Event> ring_;
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+}  // namespace arraytrack::delivery

@@ -1,0 +1,66 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace arraytrack::geom {
+
+Polygon::Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.empty()) return;
+  Vec2 lo = vertices_.front(), hi = vertices_.front();
+  for (const auto& v : vertices_) {
+    lo.x = std::min(lo.x, v.x);
+    lo.y = std::min(lo.y, v.y);
+    hi.x = std::max(hi.x, v.x);
+    hi.y = std::max(hi.y, v.y);
+  }
+  bounds_ = {lo, hi};
+}
+
+Polygon Polygon::rectangle(const Rect& r) {
+  return Polygon({r.min, {r.max.x, r.min.y}, r.max, {r.min.x, r.max.y}});
+}
+
+bool Polygon::contains(const Vec2& p) const {
+  if (empty() || !bounds_.contains(p)) return false;
+  // Even-odd rule: count edges a horizontal ray to +x crosses. The
+  // (yi > p.y) != (yj > p.y) half-open test assigns a vertex exactly on
+  // the ray to one of its two edges, never both.
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::boundary_distance(const Vec2& p) const {
+  if (empty()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++)
+    best = std::min(best, point_segment_distance(p, vertices_[j], vertices_[i]));
+  return best;
+}
+
+double Polygon::signed_distance(const Vec2& p) const {
+  const double d = boundary_distance(p);
+  return contains(p) ? -d : d;
+}
+
+double Polygon::area() const {
+  if (empty()) return 0.0;
+  double twice = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++)
+    twice += vertices_[j].cross(vertices_[i]);
+  return 0.5 * std::abs(twice);
+}
+
+}  // namespace arraytrack::geom

@@ -1,0 +1,53 @@
+// Simple polygons in floorplan coordinates.
+//
+// The delivery layer's geofence zones are polygons registered against
+// the same coordinate frame as geom::Floorplan (walls, pillars, AP
+// sites). Containment uses the even-odd (crossing number) rule, so
+// concave outlines — an L-shaped room, a corridor — work without
+// triangulation; boundary_distance() gives the margin a hysteresis
+// band needs to keep a client jittering on the edge of a zone from
+// flapping enter/leave events.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace arraytrack::geom {
+
+class Polygon {
+ public:
+  Polygon() = default;
+  /// Vertices in order (either winding); the closing edge back to the
+  /// first vertex is implicit. Fewer than 3 vertices = empty polygon
+  /// (contains nothing).
+  explicit Polygon(std::vector<Vec2> vertices);
+
+  /// Axis-aligned rectangle as a polygon (the common zone shape).
+  static Polygon rectangle(const Rect& r);
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.size() < 3; }
+  const Rect& bounds() const { return bounds_; }
+
+  /// Even-odd containment. Points exactly on an edge count as inside
+  /// on the low side (consistent, but callers wanting stability should
+  /// use the hysteresis margin, not the raw edge).
+  bool contains(const Vec2& p) const;
+
+  /// Distance from `p` to the nearest polygon edge (>= 0 everywhere).
+  double boundary_distance(const Vec2& p) const;
+
+  /// Negative inside, positive outside, magnitude = boundary distance.
+  double signed_distance(const Vec2& p) const;
+
+  double area() const;
+
+ private:
+  std::vector<Vec2> vertices_;
+  Rect bounds_{{0.0, 0.0}, {0.0, 0.0}};
+};
+
+}  // namespace arraytrack::geom

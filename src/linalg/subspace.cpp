@@ -98,7 +98,15 @@ SubspaceTracker::SubspaceTracker(SubspaceOptions opt,
                                  SubspaceCounters* counters)
     : opt_(opt),
       counters_(counters),
-      force_(opt.force_exact || exact_evd_forced()) {}
+      force_(opt.force_exact || exact_evd_forced()) {
+  opt_.reseed_period_min = std::max<std::size_t>(1, opt_.reseed_period_min);
+  opt_.reseed_period_max =
+      std::max(opt_.reseed_period_min, opt_.reseed_period_max);
+  period_ = opt_.reseed_period;
+  if (opt_.adaptive_reseed && period_ > 0)
+    period_ = std::clamp(period_, opt_.reseed_period_min,
+                         opt_.reseed_period_max);
+}
 
 void SubspaceTracker::reset() {
   m_ = 0;
@@ -109,6 +117,33 @@ void SubspaceTracker::reset() {
   last_residual_ = 0.0;
   since_full_ = 0;
   basis_ = SubspaceBasis{};
+  period_ = opt_.reseed_period;
+  if (opt_.adaptive_reseed && period_ > 0)
+    period_ = std::clamp(period_, opt_.reseed_period_min,
+                         opt_.reseed_period_max);
+  resid_early_ = resid_late_ = 0.0;
+  resid_early_n_ = resid_late_n_ = 0;
+}
+
+void SubspaceTracker::adapt_period(bool timer_fired) {
+  const double early =
+      resid_early_n_ ? resid_early_ / double(resid_early_n_) : 0.0;
+  const double late =
+      resid_late_n_ ? resid_late_ / double(resid_late_n_) : 0.0;
+  const bool rising = resid_late_n_ > 0 && late > 1.25 * early + 1e-12;
+  resid_early_ = resid_late_ = 0.0;
+  resid_early_n_ = resid_late_n_ = 0;
+  if (!opt_.adaptive_reseed || period_ == 0) return;
+
+  // A monitor-forced reseed means the basis decayed before the timer
+  // fired; a timer reseed over a window whose residuals rose from its
+  // first half to its second means drift is accelerating toward that
+  // same outcome. Both halve the cadence. A flat or falling window
+  // means the timer fired for nothing: stretch it.
+  if (!timer_fired || rising)
+    period_ = std::max(opt_.reseed_period_min, period_ / 2);
+  else
+    period_ = std::min(opt_.reseed_period_max, period_ * 2);
 }
 
 const SubspaceBasis& SubspaceTracker::update(const CMatrix& r) {
@@ -129,12 +164,14 @@ const SubspaceBasis& SubspaceTracker::update(const CMatrix& r) {
     return basis_;
   }
 
-  if (opt_.reseed_period > 0 && since_full_ >= opt_.reseed_period) {
+  if (period_ > 0 && since_full_ >= period_) {
+    adapt_period(/*timer_fired=*/true);
     seed_full(r, /*warm=*/true, /*is_reseed=*/true);
     return basis_;
   }
 
   if (!tracked_update(r)) {
+    adapt_period(/*timer_fired=*/false);
     seed_full(r, /*warm=*/true, /*is_reseed=*/true);
     return basis_;
   }
@@ -178,6 +215,10 @@ void SubspaceTracker::seed_full(const CMatrix& r, bool warm, bool is_reseed) {
   last_full_v_ = std::move(eig.eigenvectors);
   last_residual_ = 0.0;
   since_full_ = 0;
+  // Cold seeds and size changes reach here without adapt_period
+  // having consumed the window; start the new window clean either way.
+  resid_early_ = resid_late_ = 0.0;
+  resid_early_n_ = resid_late_n_ = 0;
 
   // Size hot-path workspaces here so tracked updates never allocate.
   z_.resize(m_ * k_);
@@ -235,6 +276,16 @@ bool SubspaceTracker::tracked_update(const CMatrix& r) {
   // means the subspace rotated faster than one power step can follow.
   const double resid2 = std::max(0.0, z_norm2 - s_norm2);
   last_residual_ = std::sqrt(resid2 / z_norm2);
+  // Window accounting for the adaptive cadence: first vs second half
+  // of the refresh window (a monitor rejection below still lands its
+  // high residual in the window before adapt_period reads it).
+  if (period_ > 0 && since_full_ * 2 < period_) {
+    resid_early_ += last_residual_;
+    ++resid_early_n_;
+  } else {
+    resid_late_ += last_residual_;
+    ++resid_late_n_;
+  }
   if (last_residual_ > opt_.residual_tol) return false;
 
   // Ritz refinement: diagonalize S, rotate Z into the Ritz frame.

@@ -54,7 +54,19 @@ struct SubspaceOptions {
   double residual_tol = 0.15;
   /// Unconditional full-decomposition refresh every this many updates
   /// (bounds slow cumulative drift the residual cannot see); 0 = never.
+  /// With adaptive_reseed this is the initial cadence.
   std::size_t reseed_period = 64;
+  /// Adapt the refresh cadence to the observed residual trend instead
+  /// of holding it fixed: a monitor-forced reseed, or a refresh window
+  /// whose residuals rose from its first half to its second, halves
+  /// the period (drift is outpacing the timer); a flat or falling
+  /// window doubles it (the timer fired for nothing). The period stays
+  /// inside [reseed_period_min, reseed_period_max]; the cadence is a
+  /// pure function of the covariance stream, so per-stream determinism
+  /// is unchanged. Ignored when reseed_period == 0.
+  bool adaptive_reseed = true;
+  std::size_t reseed_period_min = 16;
+  std::size_t reseed_period_max = 256;
   /// Run the exact full-Jacobi path on every update. Defaulted ON when
   /// ARRAYTRACK_EXACT_EVD is set at construction time.
   bool force_exact = false;
@@ -118,6 +130,10 @@ class SubspaceTracker {
   /// full decomposition).
   double last_residual() const { return last_residual_; }
 
+  /// Current refresh cadence: equals options().reseed_period until
+  /// adaptive_reseed moves it.
+  std::size_t reseed_period_current() const { return period_; }
+
   // Per-tracker tallies (the shared SubspaceCounters aggregate these
   // across trackers).
   std::uint64_t updates() const { return n_full_ + n_tracked_; }
@@ -131,6 +147,10 @@ class SubspaceTracker {
   /// monitor demands a reseed instead.
   bool tracked_update(const CMatrix& r);
   void publish_basis(std::size_t d, bool exact);
+  /// Folds the finished refresh window into the adaptive cadence
+  /// (`timer_fired` = the periodic refresh, not the drift monitor,
+  /// triggered this reseed) and clears the window accumulators.
+  void adapt_period(bool timer_fired);
 
   SubspaceOptions opt_;
   SubspaceCounters* counters_ = nullptr;
@@ -152,6 +172,14 @@ class SubspaceTracker {
   double last_residual_ = 0.0;
   std::size_t since_full_ = 0;
   std::uint64_t n_full_ = 0, n_tracked_ = 0, n_reseed_ = 0;
+
+  /// Adaptive refresh cadence (== opt_.reseed_period when fixed).
+  std::size_t period_ = 0;
+  /// Residual sums over the current refresh window, split at period/2,
+  /// so a reseed can compare the window's first half against its
+  /// second (the "rising" signal).
+  double resid_early_ = 0.0, resid_late_ = 0.0;
+  std::size_t resid_early_n_ = 0, resid_late_n_ = 0;
 
   // Reused workspaces (no steady-state allocation on the hot path).
   std::vector<cplx> z_, s_, u_, y_;

@@ -43,7 +43,8 @@ LocationService::LocationService(core::System* system, ServiceOptions opt)
       opt_(opt),
       clock_(opt.virtual_clock),
       transport_s_(opt.transport.detection_s + opt.transport.serialization_s() +
-                   opt.transport.bus_latency_s) {
+                   opt.transport.bus_latency_s),
+      bus_(opt.delivery) {
   opt_.workers = std::max<std::size_t>(1, opt_.workers);
   opt_.shards = std::max<std::size_t>(1, opt_.shards);
   opt_.shard_queue_capacity = std::max<std::size_t>(1, opt_.shard_queue_capacity);
@@ -135,9 +136,18 @@ void LocationService::flush() {
 }
 
 std::vector<ServiceFix> LocationService::take_fixes() {
-  std::lock_guard<std::mutex> lock(fix_mutex_);
-  std::vector<ServiceFix> out;
-  out.swap(fixes_);
+  // Deprecated shim: the fixes now live in the bus's catch-all buffer
+  // (published at commit time, drained here with the old semantics).
+  return bus_.drain_retained();
+}
+
+std::string LocationService::stats_json() const {
+  // Splice the bus's delivery block into the service counters object.
+  std::string out = stats_.to_json();
+  if (!out.empty() && out.back() == '}') out.pop_back();
+  out += ", \"delivery\": ";
+  out += bus_.stats_json();
+  out += "}";
   return out;
 }
 
@@ -270,8 +280,7 @@ void LocationService::measured_dispatch_locked(double now_s) {
     if (job.truth) out.error_m = geom::distance(fix->position, *job.truth);
     stats_.e2e_ms.record(out.latency_s * 1e3);
     stats_.fixes_emitted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> fl(fix_mutex_);
-    fixes_.push_back(std::move(out));
+    bus_.publish(out);
   }
 }
 
@@ -653,8 +662,7 @@ void LocationService::execute_batch(std::vector<Job>& batch) {
     if (job.truth) out.error_m = geom::distance(fix->position, *job.truth);
     stats_.e2e_ms.record(out.latency_s * 1e3);
     stats_.fixes_emitted.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> fl(fix_mutex_);
-    fixes_.push_back(std::move(out));
+    bus_.publish(out);
   }
 }
 
@@ -710,8 +718,7 @@ void LocationService::execute(Job& job) {
   stats_.e2e_ms.record(out.latency_s * 1e3);
   stats_.fixes_emitted.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> fl(fix_mutex_);
-  fixes_.push_back(std::move(out));
+  bus_.publish(out);
 }
 
 ServiceReport LocationService::finish_report(double duration_s) {
@@ -727,7 +734,7 @@ ServiceReport LocationService::finish_report(double duration_s) {
   rep.duration_s = duration_s;
   rep.workers = opt_.workers;
   rep.pool_threads = core::ThreadPool::shared().size();
-  rep.stats_json = stats_.to_json();
+  rep.stats_json = stats_json();
   rep.frames_in = stats_.frames_in.load();
   rep.jobs_enqueued = stats_.jobs_enqueued.load();
   rep.jobs_coalesced = stats_.jobs_coalesced.load();

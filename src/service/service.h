@@ -56,6 +56,7 @@
 #include "core/arraytrack.h"
 #include "core/latency.h"
 #include "core/mpsc_ring.h"
+#include "delivery/bus.h"
 #include "service/realtime.h"
 #include "core/tracker.h"
 #include "phy/wire.h"
@@ -136,22 +137,16 @@ struct ServiceOptions {
   /// of `virtual_cost_s`. Requires virtual_clock.
   bool measured_cost = false;
   double processing_scale = 1.0;
+
+  /// Fix bus configuration: per-client history retention and whether
+  /// the deprecated take_fixes() compatibility buffer is kept.
+  delivery::BusOptions delivery;
 };
 
-/// One smoothed location fix leaving the engine.
-struct ServiceFix {
-  int client_id = -1;
-  std::uint64_t seq = 0;        // per-session job sequence number
-  double frame_time_s = 0.0;    // newest frame folded into the job
-  double queue_wait_s = 0.0;    // server arrival -> job start
-  double processing_s = 0.0;    // pipeline time (modeled in virtual mode)
-  double latency_s = 0.0;       // frame end -> fix out (incl. transport)
-  geom::Vec2 position;          // raw pipeline fix
-  geom::Vec2 smoothed;          // after the session tracker
-  double likelihood = 0.0;
-  double error_m = -1.0;        // vs ground truth; < 0 when unknown
-  bool tracker_rejected = false;
-};
+/// One smoothed location fix leaving the engine. The record itself
+/// lives in delivery/fix.h so the fix bus, geofence engine, and
+/// history store can carry it without linking the service.
+using ServiceFix = delivery::Fix;
 
 struct ServiceReport {
   /// Sorted by (frame_time, client, seq) so reports are comparable
@@ -192,7 +187,34 @@ class LocationService {
 
   const ServiceOptions& options() const { return opt_; }
   const ServiceStats& stats() const { return stats_; }
-  std::string stats_json() const { return stats_.to_json(); }
+  /// Service counters plus a "delivery" block (bus counters and one
+  /// entry per subscriber with its delivered/shed/cursor).
+  std::string stats_json() const;
+
+  /// The fix bus: every committed fix is published here at commit
+  /// time. Subscribe before (or while) traffic flows; see
+  /// delivery/bus.h for the drop-oldest backpressure contract.
+  delivery::FixBus& bus() { return bus_; }
+  const delivery::FixBus& bus() const { return bus_; }
+
+  /// Registers a geofence zone on the bus; returns its id.
+  int add_zone(geom::Polygon polygon, delivery::ZoneOptions zopt = {},
+               std::string label = {}) {
+    return bus_.add_zone(std::move(polygon), zopt, std::move(label));
+  }
+
+  // Read-side snapshot queries (safe concurrently with the write
+  // path; see delivery/bus.h).
+  std::optional<delivery::TrackPoint> latest(int client) const {
+    return bus_.latest(client);
+  }
+  std::vector<delivery::TrackPoint> trajectory(int client, double t0,
+                                               double t1) const {
+    return bus_.trajectory(client, t0, t1);
+  }
+  std::vector<int> zone_occupancy(int zone_id) const {
+    return bus_.zone_occupancy(zone_id);
+  }
 
   /// Spawns the worker pool (idempotent).
   void start();
@@ -243,6 +265,10 @@ class LocationService {
   void flush();
 
   /// Removes and returns the fixes emitted so far (unsorted).
+  /// Deprecated: thin shim over the bus's internal catch-all buffer
+  /// (delivery::BusOptions::retain_fixes); new consumers should
+  /// bus().subscribe() for streaming delivery or use the snapshot
+  /// queries (latest / trajectory / zone_occupancy) instead.
   std::vector<ServiceFix> take_fixes();
 
   /// Deterministic batch drive: submits the (time-sorted) schedule,
@@ -368,8 +394,7 @@ class LocationService {
   /// Indexed by ap; only touched by the owning decoder thread.
   std::vector<ApIngestState> ap_ingest_;
 
-  std::mutex fix_mutex_;
-  std::vector<ServiceFix> fixes_;
+  delivery::FixBus bus_;
 
   ServiceStats stats_;
   std::atomic<std::uint64_t> cost_estimate_bits_{0};  // EWMA, wall mode

@@ -1,0 +1,550 @@
+// Tests for the streaming fix delivery + read-side query layer
+// (src/delivery): the fix bus and its per-subscriber drop-oldest
+// rings, geofence zone-presence triggers, the time-decayed history
+// store with epoch-snapshot queries, and the service integration.
+//
+// The load-bearing properties: (a) a stalled subscriber sheds its own
+// backlog — counted, never silent — and never blocks the publish
+// path; (b) zone events are a deterministic per-client function of
+// the fix stream (hysteresis absorbs boundary jitter); (c) snapshot
+// queries are safe concurrently with the write path; (d) event
+// streams and query results are byte-identical across worker counts,
+// batch widths, and subscriber counts under the virtual clock. The
+// Delivery/Query/Geofence suites also run under the ThreadSanitizer
+// tier of tools/check.sh, which makes (a) and (c) race tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "delivery/bus.h"
+#include "service/service.h"
+
+namespace arraytrack {
+namespace {
+
+using core::FrameEvent;
+using geom::Vec2;
+
+delivery::Fix make_fix(int client, std::uint64_t seq, Vec2 pos,
+                       double time_s = 0.0) {
+  delivery::Fix f;
+  f.client_id = client;
+  f.seq = seq;
+  f.frame_time_s = time_s;
+  f.position = pos;
+  f.smoothed = pos;
+  f.likelihood = 1.0;
+  return f;
+}
+
+// ---------------------------------------------------------------------
+// Geofence: polygons and presence triggers
+// ---------------------------------------------------------------------
+
+TEST(GeofenceTest, PolygonContainsAndSignedDistance) {
+  const auto sq = geom::Polygon::rectangle({{2.0, 2.0}, {6.0, 6.0}});
+  EXPECT_TRUE(sq.contains({4.0, 4.0}));
+  EXPECT_FALSE(sq.contains({1.0, 4.0}));
+  EXPECT_NEAR(sq.signed_distance({4.0, 4.0}), -2.0, 1e-12);  // inside
+  EXPECT_NEAR(sq.signed_distance({8.0, 4.0}), 2.0, 1e-12);   // outside
+  EXPECT_NEAR(sq.area(), 16.0, 1e-12);
+  // Degenerate polygons are empty: nothing is ever inside them.
+  EXPECT_FALSE(geom::Polygon({{0, 0}, {1, 1}}).contains({0.5, 0.5}));
+}
+
+TEST(GeofenceTest, EnterLeaveDwellSequence) {
+  delivery::GeofenceEngine eng;
+  delivery::ZoneOptions zopt;
+  zopt.leave_margin_m = 0.25;
+  zopt.dwell_s = 0.5;
+  const int zid =
+      eng.add_zone(geom::Polygon::rectangle({{2, 2}, {6, 6}}), zopt, "lab");
+
+  std::vector<delivery::Event> events;
+  auto emit = [&](delivery::Event&& ev) { events.push_back(std::move(ev)); };
+
+  std::uint64_t seq = 0;
+  auto step = [&](double x, double t) {
+    eng.update(make_fix(7, seq++, {x, 4.0}, t), emit);
+  };
+  step(0.5, 0.0);  // far outside
+  step(4.0, 0.1);  // inside -> enter
+  step(4.5, 0.3);  // still inside, dwell not yet reached
+  step(4.2, 0.7);  // inside 0.6s >= 0.5 -> dwell (once)
+  step(4.1, 0.9);  // no second dwell
+  step(8.0, 1.1);  // outside by > margin -> leave
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, delivery::EventKind::kZoneEnter);
+  EXPECT_EQ(events[0].zone_id, zid);
+  EXPECT_EQ(events[1].kind, delivery::EventKind::kZoneDwell);
+  EXPECT_NEAR(events[1].dwell_s, 0.6, 1e-12);
+  EXPECT_EQ(events[2].kind, delivery::EventKind::kZoneLeave);
+  EXPECT_NEAR(events[2].dwell_s, 1.0, 1e-12);  // total visit time
+  EXPECT_EQ(eng.trigger_fires(), 3u);
+}
+
+TEST(GeofenceTest, HysteresisAbsorbsBoundaryJitter) {
+  delivery::GeofenceEngine eng;
+  delivery::ZoneOptions zopt;
+  zopt.leave_margin_m = 0.25;
+  eng.add_zone(geom::Polygon::rectangle({{2, 2}, {6, 6}}), zopt);
+
+  std::vector<delivery::Event> events;
+  auto emit = [&](delivery::Event&& ev) { events.push_back(std::move(ev)); };
+
+  // A client jittering across the x=6 boundary but never farther out
+  // than the leave margin: one enter, no leave, no flapping.
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  eng.update(make_fix(1, seq++, {5.5, 4.0}, t += 0.1), emit);  // enter
+  for (double x : {6.1, 5.9, 6.2, 5.8, 6.15})
+    eng.update(make_fix(1, seq++, {x, 4.0}, t += 0.1), emit);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, delivery::EventKind::kZoneEnter);
+
+  // Stepping clearly past the margin finally leaves.
+  eng.update(make_fix(1, seq++, {6.5, 4.0}, t += 0.1), emit);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, delivery::EventKind::kZoneLeave);
+}
+
+TEST(GeofenceTest, OccupancyTracksPresencePerZone) {
+  delivery::GeofenceEngine eng;
+  const int za = eng.add_zone(geom::Polygon::rectangle({{0, 0}, {4, 4}}));
+  const int zb = eng.add_zone(geom::Polygon::rectangle({{6, 0}, {10, 4}}));
+  auto drop = [](delivery::Event&&) {};
+
+  eng.update(make_fix(3, 0, {2, 2}), drop);   // 3 in A
+  eng.update(make_fix(1, 0, {2, 1}), drop);   // 1 in A
+  eng.update(make_fix(2, 0, {8, 2}), drop);   // 2 in B
+  EXPECT_EQ(eng.occupants(za), (std::vector<int>{1, 3}));  // ascending
+  EXPECT_EQ(eng.occupants(zb), (std::vector<int>{2}));
+  EXPECT_TRUE(eng.occupants(99).empty());
+
+  eng.forget_client(3);
+  EXPECT_EQ(eng.occupants(za), (std::vector<int>{1}));
+}
+
+// ---------------------------------------------------------------------
+// Query layer: history store and snapshots
+// ---------------------------------------------------------------------
+
+TEST(QueryTest, HistoryDownsamplingInvariants) {
+  delivery::HistoryOptions hopt;
+  hopt.dense_capacity = 8;
+  hopt.tier_capacity = 4;
+  hopt.tiers = 2;
+  delivery::HistoryStore store(hopt);
+
+  const int kAppends = 200;
+  for (int i = 0; i < kAppends; ++i)
+    store.append(make_fix(5, std::uint64_t(i),
+                          {double(i) * 0.1, 1.0}, double(i) * 0.05));
+
+  const auto snap = store.snapshot(5);
+  ASSERT_NE(snap, nullptr);
+  // Bounded: dense at capacity, every tier at or under its capacity.
+  EXPECT_EQ(snap->dense.size(), hopt.dense_capacity);
+  ASSERT_EQ(snap->tiers.size(), hopt.tiers);
+  for (const auto& tier : snap->tiers)
+    EXPECT_LE(tier.size(), hopt.tier_capacity);
+  EXPECT_EQ(store.total_points(), snap->points());
+  EXPECT_EQ(store.approx_bytes(),
+            snap->points() * sizeof(delivery::TrackPoint));
+
+  // The full retained trajectory is ascending in time and the tail is
+  // geometrically thinned: tier i holds points spaced 2^(i+1) appends
+  // apart, so deeper tiers span older, sparser history.
+  const auto traj = store.trajectory(5, -1.0, 1e9);
+  ASSERT_GT(traj.size(), hopt.dense_capacity);
+  for (std::size_t i = 1; i < traj.size(); ++i)
+    EXPECT_LT(traj[i - 1].time_s, traj[i].time_s);
+  for (std::size_t ti = 0; ti < snap->tiers.size(); ++ti) {
+    const auto& tier = snap->tiers[ti];
+    const auto spacing = std::uint64_t(1) << (ti + 1);
+    for (std::size_t i = 1; i < tier.size(); ++i)
+      EXPECT_EQ(tier[i].seq - tier[i - 1].seq, spacing) << "tier " << ti;
+  }
+
+  // latest() is the newest appended fix; trajectory() respects [t0,t1].
+  ASSERT_TRUE(store.latest(5).has_value());
+  EXPECT_EQ(store.latest(5)->seq, std::uint64_t(kAppends - 1));
+  const auto windowed = store.trajectory(5, 5.0, 7.0);
+  for (const auto& p : windowed) {
+    EXPECT_GE(p.time_s, 5.0);
+    EXPECT_LE(p.time_s, 7.0);
+  }
+  EXPECT_FALSE(store.latest(42).has_value());
+  EXPECT_TRUE(store.trajectory(42, 0.0, 1.0).empty());
+
+  store.forget_client(5);
+  EXPECT_EQ(store.total_points(), 0u);
+  EXPECT_EQ(store.snapshot(5), nullptr);
+}
+
+TEST(QueryTest, SnapshotsAreImmutableEpochs) {
+  delivery::HistoryStore store({4, 2, 1});
+  for (int i = 0; i < 6; ++i)
+    store.append(make_fix(1, std::uint64_t(i), {double(i), 0.0}, double(i)));
+  const auto epoch = store.snapshot(1);
+  ASSERT_NE(epoch, nullptr);
+  const auto before = epoch->points();
+  const double last_t = epoch->dense.back().time_s;
+
+  for (int i = 6; i < 20; ++i)
+    store.append(make_fix(1, std::uint64_t(i), {double(i), 0.0}, double(i)));
+  // The old epoch is untouched by later appends.
+  EXPECT_EQ(epoch->points(), before);
+  EXPECT_EQ(epoch->dense.back().time_s, last_t);
+  EXPECT_NE(store.snapshot(1), epoch);
+}
+
+TEST(QueryTest, ConcurrentReadersDuringPublish) {
+  // Write path vs read path under TSan: one publisher streams fixes
+  // through the bus (history + geofence + fanout) while readers
+  // hammer the snapshot queries. Invariants only — readers see some
+  // consistent epoch, never a torn one.
+  delivery::FixBus bus;
+  const int zid =
+      bus.add_zone(geom::Polygon::rectangle({{2, 0}, {6, 4}}), {}, "mid");
+  auto sub = bus.subscribe({.capacity = 64, .label = "drain"});
+
+  constexpr int kClients = 3;
+  constexpr std::uint64_t kFixes = 4000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t)
+    readers.emplace_back([&, t] {
+      std::uint64_t last_seen = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const int c = t % kClients;
+        if (const auto latest = bus.latest(c)) {
+          // Per-client time/seq only move forward across epochs.
+          EXPECT_GE(latest->seq, last_seen);
+          last_seen = latest->seq;
+        }
+        const auto traj = bus.trajectory(c, 0.0, 1e9);
+        for (std::size_t i = 1; i < traj.size(); ++i)
+          EXPECT_LT(traj[i - 1].time_s, traj[i].time_s);
+        const auto occ = bus.zone_occupancy(zid);
+        EXPECT_TRUE(std::is_sorted(occ.begin(), occ.end()));
+      }
+    });
+  std::thread drainer([&] {
+    delivery::Event ev;
+    while (!done.load(std::memory_order_acquire))
+      if (!sub->poll(ev)) std::this_thread::yield();
+  });
+
+  for (std::uint64_t i = 0; i < kFixes; ++i) {
+    const int c = int(i % kClients);
+    const double x = double((i * 7) % 90) * 0.1;
+    bus.publish(make_fix(c, i / kClients, {x, 2.0}, double(i) * 1e-3));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  drainer.join();
+  EXPECT_EQ(bus.published_fixes(), kFixes);
+}
+
+// ---------------------------------------------------------------------
+// Delivery: the bus and its subscribers
+// ---------------------------------------------------------------------
+
+TEST(DeliveryTest, StalledSubscriberShedsItsOwnBacklogOnly) {
+  delivery::FixBus bus;
+  auto healthy = bus.subscribe({.capacity = 4096, .label = "healthy"});
+  auto stalled = bus.subscribe({.capacity = 16, .label = "stalled"});
+
+  constexpr std::uint64_t kFixes = 500;
+  for (std::uint64_t i = 0; i < kFixes; ++i)
+    bus.publish(make_fix(1, i, {1.0, 1.0}, double(i)));
+
+  // The stalled ring shed everything beyond its capacity; the healthy
+  // subscriber and the publish path never noticed.
+  EXPECT_EQ(stalled->published(), kFixes);
+  EXPECT_EQ(stalled->shed(), kFixes - stalled->options().capacity);
+  EXPECT_EQ(stalled->cursor(), stalled->delivered() + stalled->shed());
+  EXPECT_EQ(healthy->shed(), 0u);
+  EXPECT_EQ(healthy->poll_batch().size(), kFixes);
+
+  // What survives in the stalled ring is the NEWEST tail, in order.
+  const auto tail = stalled->poll_batch();
+  ASSERT_EQ(tail.size(), stalled->options().capacity);
+  EXPECT_EQ(tail.back().fix.seq, kFixes - 1);
+  for (std::size_t i = 1; i < tail.size(); ++i)
+    EXPECT_EQ(tail[i].fix.seq, tail[i - 1].fix.seq + 1);
+  EXPECT_EQ(stalled->lag(), 0u);
+  EXPECT_EQ(bus.total_shed(), kFixes - tail.size());
+}
+
+TEST(DeliveryTest, SubscriptionFilters) {
+  delivery::FixBus bus;
+  const int zid =
+      bus.add_zone(geom::Polygon::rectangle({{0, 0}, {4, 4}}), {}, "a");
+  bus.add_zone(geom::Polygon::rectangle({{6, 0}, {10, 4}}), {}, "b");
+  auto only_c2 = bus.subscribe({.client_id = 2, .label = "c2"});
+  auto zones_only =
+      bus.subscribe({.fixes = false, .zone_id = zid, .label = "zoneA"});
+
+  bus.publish(make_fix(1, 0, {2, 2}, 0.1));  // c1 enters zone a
+  bus.publish(make_fix(2, 0, {8, 2}, 0.2));  // c2 enters zone b
+  bus.publish(make_fix(2, 1, {8, 2}, 0.3));
+
+  const auto c2_events = only_c2->poll_batch();
+  ASSERT_EQ(c2_events.size(), 3u);  // 2 fixes + 1 zone-b enter
+  for (const auto& ev : c2_events) EXPECT_EQ(ev.fix.client_id, 2);
+
+  const auto zone_events = zones_only->poll_batch();
+  ASSERT_EQ(zone_events.size(), 1u);  // only zone a's enter, no fixes
+  EXPECT_EQ(zone_events[0].kind, delivery::EventKind::kZoneEnter);
+  EXPECT_EQ(zone_events[0].zone_id, zid);
+  EXPECT_EQ(zone_events[0].fix.client_id, 1);
+
+  bus.unsubscribe(only_c2);
+  bus.publish(make_fix(2, 2, {8, 2}, 0.4));
+  EXPECT_EQ(only_c2->published(), 3u);  // nothing offered after unsubscribe
+  EXPECT_EQ(bus.subscriber_count(), 1u);
+}
+
+TEST(DeliveryTest, EventKindNamesAndStatsJson) {
+  EXPECT_STREQ(delivery::event_kind_name(delivery::EventKind::kFix), "fix");
+  EXPECT_STREQ(delivery::event_kind_name(delivery::EventKind::kZoneEnter),
+               "zone_enter");
+  EXPECT_STREQ(delivery::event_kind_name(delivery::EventKind::kZoneLeave),
+               "zone_leave");
+  EXPECT_STREQ(delivery::event_kind_name(delivery::EventKind::kZoneDwell),
+               "zone_dwell");
+
+  delivery::FixBus bus;
+  auto sub = bus.subscribe({.capacity = 2, .label = "tiny"});
+  for (std::uint64_t i = 0; i < 10; ++i)
+    bus.publish(make_fix(1, i, {1, 1}, double(i)));
+  const auto js = bus.stats_json();
+  EXPECT_NE(js.find("\"published_fixes\": 10"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"label\": \"tiny\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"shed\": 8"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"history_points\""), std::string::npos) << js;
+}
+
+// ---------------------------------------------------------------------
+// Service integration
+// ---------------------------------------------------------------------
+
+geom::Floorplan make_plan() {
+  geom::Floorplan plan({{0, 0}, {18, 10}});
+  plan.add_wall({0, 0}, {18, 0}, geom::Material::kBrick);
+  plan.add_wall({18, 0}, {18, 10}, geom::Material::kBrick);
+  plan.add_wall({18, 10}, {0, 10}, geom::Material::kBrick);
+  plan.add_wall({0, 10}, {0, 0}, geom::Material::kBrick);
+  return plan;
+}
+
+std::unique_ptr<core::System> make_system(const geom::Floorplan* plan) {
+  core::SystemConfig cfg;
+  cfg.server.localizer.grid_step_m = 0.25;
+  auto sys = std::make_unique<core::System>(plan, cfg);
+  sys->add_ap({1, 1}, deg2rad(45.0));
+  sys->add_ap({17, 1}, deg2rad(135.0));
+  sys->add_ap({9, 9.5}, deg2rad(-90.0));
+  return sys;
+}
+
+std::vector<FrameEvent> interleaved_schedule(int clients, int frames,
+                                             double gap_s) {
+  static const std::vector<Vec2> sites = {
+      {12.0, 6.0}, {5.0, 3.0}, {9.0, 7.0}, {14.5, 2.5}};
+  std::vector<FrameEvent> out;
+  for (int i = 0; i < frames; ++i)
+    for (int c = 0; c < clients; ++c)
+      out.push_back({0.1 + gap_s * i + 0.011 * c, c, sites[std::size_t(c)]});
+  std::sort(out.begin(), out.end(),
+            [](const FrameEvent& a, const FrameEvent& b) {
+              return a.time_s < b.time_s;
+            });
+  return out;
+}
+
+service::ServiceOptions virtual_options(std::size_t workers,
+                                        std::size_t batch_max) {
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.batch_max = batch_max;
+  opt.virtual_clock = true;
+  opt.virtual_cost_s = 0.02;
+  opt.latency_slo_s = 0.5;
+  return opt;
+}
+
+/// Canonical event order for cross-config comparison: the per-client
+/// substream is deterministic, the interleaving across clients is not
+/// — the same convention ServiceReport.fixes already uses.
+void sort_events(std::vector<delivery::Event>& evs) {
+  std::sort(evs.begin(), evs.end(),
+            [](const delivery::Event& a, const delivery::Event& b) {
+              if (a.fix.frame_time_s != b.fix.frame_time_s)
+                return a.fix.frame_time_s < b.fix.frame_time_s;
+              if (a.fix.client_id != b.fix.client_id)
+                return a.fix.client_id < b.fix.client_id;
+              if (a.fix.seq != b.fix.seq) return a.fix.seq < b.fix.seq;
+              if (a.kind != b.kind) return int(a.kind) < int(b.kind);
+              return a.zone_id < b.zone_id;
+            });
+}
+
+struct ConfigRun {
+  std::vector<delivery::Event> events;
+  std::vector<service::ServiceFix> fixes;
+  std::vector<std::vector<delivery::TrackPoint>> trajectories;
+  std::vector<int> occupancy;
+};
+
+ConfigRun run_config(const geom::Floorplan* plan,
+                     const std::vector<FrameEvent>& schedule,
+                     std::size_t workers, std::size_t batch_max,
+                     std::size_t extra_subscribers) {
+  auto sys = make_system(plan);
+  service::LocationService svc(sys.get(), virtual_options(workers, batch_max));
+  const int zid = svc.add_zone(
+      geom::Polygon::rectangle({{3.0, 1.0}, {7.0, 5.0}}), {}, "around-c1");
+  auto sub = svc.bus().subscribe({.capacity = 1024, .label = "main"});
+  // Extra subscribers change fan-out width, never stream content.
+  std::vector<std::shared_ptr<delivery::Subscriber>> extras;
+  for (std::size_t i = 0; i < extra_subscribers; ++i)
+    extras.push_back(svc.bus().subscribe({.capacity = 1024, .label = "x"}));
+
+  ConfigRun out;
+  out.fixes = svc.run(schedule).fixes;
+  out.events = sub->poll_batch();
+  sort_events(out.events);
+  for (int c = 0; c < 3; ++c)
+    out.trajectories.push_back(svc.trajectory(c, 0.0, 1e9));
+  out.occupancy = svc.zone_occupancy(zid);
+  return out;
+}
+
+TEST(DeliveryServiceTest, StreamsAndQueriesByteIdenticalAcrossConfigs) {
+  const auto plan = make_plan();
+  const auto schedule = interleaved_schedule(3, 6, 0.2);
+
+  // workers x batch width x subscriber count; all must agree with the
+  // first configuration byte for byte.
+  const auto base = run_config(&plan, schedule, 1, 8, 0);
+  ASSERT_GT(base.events.size(), 0u);
+  ASSERT_GT(base.fixes.size(), 0u);
+  // The zone around client 1's site fired at least an enter.
+  EXPECT_TRUE(std::any_of(base.events.begin(), base.events.end(),
+                          [](const delivery::Event& e) {
+                            return e.kind == delivery::EventKind::kZoneEnter;
+                          }));
+  EXPECT_EQ(base.occupancy, (std::vector<int>{1}));
+
+  struct Cfg { std::size_t workers, batch, subs; };
+  for (const Cfg cfg : {Cfg{2, 1, 2}, Cfg{8, 8, 5}, Cfg{2, 4, 0}}) {
+    const auto other =
+        run_config(&plan, schedule, cfg.workers, cfg.batch, cfg.subs);
+    ASSERT_EQ(base.events.size(), other.events.size())
+        << "workers=" << cfg.workers << " batch=" << cfg.batch;
+    for (std::size_t i = 0; i < base.events.size(); ++i) {
+      const auto& a = base.events[i];
+      const auto& b = other.events[i];
+      EXPECT_EQ(int(a.kind), int(b.kind));
+      EXPECT_EQ(a.zone_id, b.zone_id);
+      EXPECT_EQ(a.dwell_s, b.dwell_s);
+      EXPECT_EQ(a.fix.client_id, b.fix.client_id);
+      EXPECT_EQ(a.fix.seq, b.fix.seq);
+      EXPECT_EQ(a.fix.frame_time_s, b.fix.frame_time_s);
+      EXPECT_EQ(a.fix.position.x, b.fix.position.x);
+      EXPECT_EQ(a.fix.position.y, b.fix.position.y);
+      EXPECT_EQ(a.fix.smoothed.x, b.fix.smoothed.x);
+      EXPECT_EQ(a.fix.smoothed.y, b.fix.smoothed.y);
+      EXPECT_EQ(a.fix.likelihood, b.fix.likelihood);
+    }
+    ASSERT_EQ(base.trajectories.size(), other.trajectories.size());
+    for (std::size_t c = 0; c < base.trajectories.size(); ++c) {
+      const auto& ta = base.trajectories[c];
+      const auto& tb = other.trajectories[c];
+      ASSERT_EQ(ta.size(), tb.size()) << "client " << c;
+      for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].seq, tb[i].seq);
+        EXPECT_EQ(ta[i].time_s, tb[i].time_s);
+        EXPECT_EQ(ta[i].position.x, tb[i].position.x);
+        EXPECT_EQ(ta[i].position.y, tb[i].position.y);
+        EXPECT_EQ(ta[i].smoothed.x, tb[i].smoothed.x);
+        EXPECT_EQ(ta[i].smoothed.y, tb[i].smoothed.y);
+      }
+    }
+    EXPECT_EQ(base.occupancy, other.occupancy);
+  }
+}
+
+TEST(DeliveryServiceTest, TakeFixesShimMatchesSubscribedStream) {
+  const auto plan = make_plan();
+  const auto schedule = interleaved_schedule(3, 5, 0.2);
+  auto sys = make_system(&plan);
+  service::LocationService svc(sys.get(), virtual_options(2, 8));
+  auto sub = svc.bus().subscribe({.capacity = 1024, .label = "shim"});
+
+  // run() drains through the deprecated take_fixes() shim; the
+  // subscriber saw the same committed fixes over the bus.
+  auto report = svc.run(schedule);
+  auto events = sub->poll_batch();
+  sort_events(events);
+  ASSERT_EQ(events.size(), report.fixes.size());  // no zones -> fixes only
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, delivery::EventKind::kFix);
+    EXPECT_EQ(events[i].fix.client_id, report.fixes[i].client_id);
+    EXPECT_EQ(events[i].fix.seq, report.fixes[i].seq);
+    EXPECT_EQ(events[i].fix.position.x, report.fixes[i].position.x);
+    EXPECT_EQ(events[i].fix.position.y, report.fixes[i].position.y);
+  }
+  // A second drain is empty (take semantics preserved).
+  EXPECT_TRUE(svc.take_fixes().empty());
+  // The merged stats JSON carries the delivery block.
+  const auto js = svc.stats_json();
+  EXPECT_NE(js.find("\"delivery\": {"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"subscribers\": ["), std::string::npos) << js;
+  EXPECT_NE(report.stats_json.find("\"delivery\": {"), std::string::npos);
+}
+
+TEST(DeliveryServiceTest, LiveQueriesDuringServiceRun) {
+  // Snapshot queries racing the real write path (worker threads
+  // publishing at fix-commit time) — the TSan contract for the
+  // service-facing query API.
+  const auto plan = make_plan();
+  const auto schedule = interleaved_schedule(3, 6, 0.2);
+  auto sys = make_system(&plan);
+  service::LocationService svc(sys.get(), virtual_options(4, 4));
+  const int zid = svc.add_zone(
+      geom::Polygon::rectangle({{3.0, 1.0}, {7.0, 5.0}}), {}, "mid");
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (int c = 0; c < 3; ++c) {
+        const auto traj = svc.trajectory(c, 0.0, 1e9);
+        for (std::size_t i = 1; i < traj.size(); ++i)
+          EXPECT_LT(traj[i - 1].time_s, traj[i].time_s);
+        svc.latest(c);
+      }
+      const auto occ = svc.zone_occupancy(zid);
+      EXPECT_TRUE(std::is_sorted(occ.begin(), occ.end()));
+    }
+  });
+  const auto report = svc.run(schedule);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  ASSERT_GT(report.fixes.size(), 0u);
+  const auto last = svc.latest(1);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_GT(last->time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace arraytrack

@@ -204,6 +204,55 @@ TEST(MpscRingTest, ConcurrentProducersWithOverflowNeverLoseAccounting) {
   EXPECT_EQ(delivered + dropped.load(), kProducers * kPerProducer);
 }
 
+TEST(MpscRingTest, DropOldestWraparoundAtMinimumCapacity) {
+  // The degenerate 2-cell ring (the smallest the constructor allows)
+  // is where the drop-oldest path laps itself hardest: nearly every
+  // push must evict, and the evict/insert pair wraps the two cells
+  // thousands of times. Concurrent producers hammer it while a
+  // consumer drains; accounting must still balance exactly and no
+  // value may be torn or out of range. The fix-bus subscriber rings
+  // reuse this exact path (delivery/subscriber.h), so this is also
+  // the delivery layer's backpressure edge case.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  MpscRing<std::uint64_t> ring(2);
+  ASSERT_EQ(ring.capacity(), 2u);
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i)
+        dropped.fetch_add(
+            ring.push_overwrite((std::uint64_t(p) << 32) | i),
+            std::memory_order_relaxed);
+    });
+  }
+  std::uint64_t delivered = 0;
+  std::thread consumer([&] {
+    std::uint64_t out;
+    for (;;) {
+      if (ring.try_pop(out)) {
+        EXPECT_LT(out >> 32, kProducers);
+        EXPECT_LT(out & 0xffffffffu, kPerProducer);
+        ++delivered;
+      } else if (done.load(std::memory_order_acquire)) {
+        while (ring.try_pop(out)) ++delivered;
+        return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  EXPECT_EQ(delivered + dropped.load(), kProducers * kPerProducer);
+  // With 2 cells and 4 producers the ring must have overflowed; a
+  // zero drop count would mean push_overwrite degenerated to blocking.
+  EXPECT_GT(dropped.load(), 0u);
+}
+
 TEST(MpscRingTest, MoveOnlyPayload) {
   // The ingest events carry heap-owning frames; the ring must move,
   // not copy.

@@ -261,6 +261,72 @@ TEST(SubspaceTrackerTest, ResetDropsStateAndCountersAggregate) {
 }
 
 // ---------------------------------------------------------------------
+// Adaptive reseed cadence
+// ---------------------------------------------------------------------
+
+/// Rank-1 source at `bearing` over a fixed noise floor.
+linalg::CMatrix rank1_cov(const array::PlacedArray& pa, double bearing) {
+  const std::size_t m = pa.size();
+  linalg::CMatrix r(m, m);
+  const auto a = pa.steering(bearing, kLambda);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) r(i, j) = 3.0 * a[i] * std::conj(a[j]);
+  for (std::size_t i = 0; i < m; ++i) r(i, i) += 0.05;
+  return r;
+}
+
+TEST(SubspaceAdaptiveReseedTest, RisingResidualShrinksPeriod) {
+  const auto pa = ula8();
+  linalg::SubspaceOptions opt;  // adaptive_reseed on, initial period 64
+  linalg::SubspaceTracker trk(opt);
+  ASSERT_EQ(trk.reseed_period_current(), opt.reseed_period);
+
+  // Accelerating rotation: each update the source moves a little
+  // farther than the last, so the tracked residual climbs within every
+  // refresh window until the drift monitor (or a rising-trend timer
+  // reseed) fires. The cadence must tighten, not stretch.
+  double bearing = deg2rad(80.0);
+  double step = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    step += 2e-4;
+    bearing += step;
+    trk.update(rank1_cov(pa, bearing));
+  }
+  EXPECT_LT(trk.reseed_period_current(), opt.reseed_period);
+  EXPECT_GT(trk.reseeds(), 0u);
+}
+
+TEST(SubspaceAdaptiveReseedTest, FlatResidualStretchesPeriod) {
+  const auto pa = ula8();
+  linalg::SubspaceOptions opt;
+  linalg::SubspaceTracker trk(opt);
+
+  // A static scene: residuals sit at ~0, every reseed is the timer
+  // firing for nothing, and the cadence must stretch toward the cap.
+  const auto r = rank1_cov(pa, deg2rad(80.0));
+  for (int i = 0; i < 400; ++i) trk.update(r);
+  EXPECT_GT(trk.reseed_period_current(), opt.reseed_period);
+  EXPECT_LE(trk.reseed_period_current(), opt.reseed_period_max);
+}
+
+TEST(SubspaceAdaptiveReseedTest, FixedModeKeepsPeriodAndReset) {
+  const auto pa = ula8();
+  linalg::SubspaceOptions opt;
+  opt.adaptive_reseed = false;
+  linalg::SubspaceTracker fixed(opt);
+  const auto r = rank1_cov(pa, deg2rad(80.0));
+  for (int i = 0; i < 200; ++i) fixed.update(r);
+  EXPECT_EQ(fixed.reseed_period_current(), opt.reseed_period);
+
+  // reset() restores the initial (clamped) cadence in adaptive mode.
+  linalg::SubspaceTracker adapt;
+  for (int i = 0; i < 400; ++i) adapt.update(r);
+  ASSERT_NE(adapt.reseed_period_current(), adapt.options().reseed_period);
+  adapt.reset();
+  EXPECT_EQ(adapt.reseed_period_current(), adapt.options().reseed_period);
+}
+
+// ---------------------------------------------------------------------
 // Service layer
 // ---------------------------------------------------------------------
 

@@ -5,6 +5,7 @@
 //   arraytrack_sim --office [options]         # built-in office testbed
 //   arraytrack_sim --emit-office              # print the office scenario
 //   arraytrack_sim service <scenario.txt|--office> [options]
+//   arraytrack_sim subscribe <scenario.txt|--office> [options]
 //
 // Options:
 //   --client <i>        localize only client i (default: all)
@@ -22,11 +23,26 @@
 //                       the simulation submit path (default 0)
 //   --quiet             stats JSON only
 //
+// `subscribe` replays the same traffic with a live fix-bus subscriber:
+// events (fixes and geofence triggers) print as a concurrent reader
+// drains them, then the snapshot query API (latest / trajectory /
+// zone_occupancy) and the delivery stats are dumped:
+//   --frames <n>        frames per client (default 5)
+//   --workers <n>       backend workers (default 2)
+//   --client <i>        subscribe to client i only (default: all)
+//   --capacity <n>      subscriber ring capacity (default 256; smaller
+//                       values demonstrate drop-oldest shedding)
+//   --zone x0 y0 x1 y1  add a rectangular geofence zone (repeatable)
+//   --quiet             suppress the per-event lines
+//
 // Exit status: 0 on success, 1 on usage/scenario errors.
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "phy/wire.h"
@@ -46,7 +62,10 @@ void usage() {
                "       arraytrack_sim --office [...]\n"
                "       arraytrack_sim --emit-office\n"
                "       arraytrack_sim service <scenario.txt|--office> "
-               "[--frames n] [--workers n] [--producers n] [--quiet]\n");
+               "[--frames n] [--workers n] [--producers n] [--quiet]\n"
+               "       arraytrack_sim subscribe <scenario.txt|--office> "
+               "[--frames n] [--workers n] [--client i] [--capacity n] "
+               "[--zone x0 y0 x1 y1]... [--quiet]\n");
 }
 
 /// `arraytrack_sim service`: replay the scenario through the
@@ -147,11 +166,179 @@ int service_main(int argc, char** argv) {
   return rep.fixes.empty() ? 1 : 0;
 }
 
+void print_event(const delivery::Event& ev) {
+  std::printf("[t=%7.3f] %-10s client=%d seq=%llu pos=(%6.2f, %5.2f)",
+              ev.fix.frame_time_s, delivery::event_kind_name(ev.kind),
+              ev.fix.client_id, (unsigned long long)ev.fix.seq,
+              ev.fix.smoothed.x, ev.fix.smoothed.y);
+  if (ev.kind != delivery::EventKind::kFix) {
+    std::printf(" zone=%d", ev.zone_id);
+    if (ev.dwell_s > 0.0) std::printf(" dwell=%.2fs", ev.dwell_s);
+  }
+  std::printf("\n");
+}
+
+/// `arraytrack_sim subscribe`: the streaming view of the same replay —
+/// a live fix-bus subscriber drains events on its own thread while the
+/// service runs, then the snapshot query API and delivery stats dump.
+int subscribe_main(int argc, char** argv) {
+  std::optional<testbed::Scenario> scenario;
+  int frames = 5;
+  std::size_t workers = 2;
+  int only_client = -1;
+  std::size_t capacity = 256;
+  bool quiet = false;
+  std::vector<geom::Rect> zone_rects;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--office") {
+      scenario = testbed::office_scenario();
+    } else if (arg == "--frames") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      frames = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      workers = std::size_t(std::atoi(v));
+    } else if (arg == "--client") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      only_client = std::atoi(v);
+    } else if (arg == "--capacity") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      capacity = std::size_t(std::atoi(v));
+    } else if (arg == "--zone") {
+      if (i + 4 >= argc) {
+        std::fprintf(stderr, "--zone needs x0 y0 x1 y1\n");
+        return usage(), 1;
+      }
+      geom::Rect r;
+      r.min = {std::atof(argv[i + 1]), std::atof(argv[i + 2])};
+      r.max = {std::atof(argv[i + 3]), std::atof(argv[i + 4])};
+      i += 4;
+      zone_rects.push_back(r);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(), 1;
+    } else {
+      testbed::ScenarioParseError err;
+      scenario = testbed::load_scenario(arg, &err);
+      if (!scenario) {
+        std::fprintf(stderr, "%s:%zu: %s\n", arg.c_str(), err.line,
+                     err.message.c_str());
+        return 1;
+      }
+    }
+  }
+  if (!scenario) return usage(), 1;
+  if (scenario->clients.empty()) {
+    std::fprintf(stderr, "scenario has no clients\n");
+    return 1;
+  }
+
+  auto sys = scenario->make_system();
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.virtual_clock = true;
+  // All consumers here subscribe; no need for the take_fixes buffer.
+  opt.delivery.retain_fixes = false;
+  service::LocationService svc(&sys, opt);
+
+  // Default zone when none given: a rectangle around the floorplan
+  // center, so `subscribe --office` shows geofence traffic out of the
+  // box.
+  if (zone_rects.empty()) {
+    const geom::Vec2 c = scenario->plan.bounds().center();
+    zone_rects.push_back({{c.x - scenario->plan.bounds().width() * 0.25,
+                           c.y - scenario->plan.bounds().height() * 0.25},
+                          {c.x + scenario->plan.bounds().width() * 0.25,
+                           c.y + scenario->plan.bounds().height() * 0.25}});
+  }
+  for (std::size_t z = 0; z < zone_rects.size(); ++z)
+    svc.add_zone(geom::Polygon::rectangle(zone_rects[z]), {},
+                 "zone" + std::to_string(z));
+
+  delivery::SubscribeOptions sopt;
+  sopt.capacity = capacity;
+  sopt.client_id = only_client;
+  sopt.label = "cli";
+  auto sub = svc.bus().subscribe(sopt);
+
+  // Live reader: drains the subscriber ring concurrently with the
+  // service workers publishing into it — the intended deployment shape.
+  std::atomic<bool> done{false};
+  std::uint64_t events_seen = 0;
+  std::thread reader([&] {
+    delivery::Event ev;
+    for (;;) {
+      if (sub->poll(ev)) {
+        ++events_seen;
+        if (!quiet) print_event(ev);
+      } else if (done.load(std::memory_order_acquire)) {
+        while (sub->poll(ev)) {
+          ++events_seen;
+          if (!quiet) print_event(ev);
+        }
+        return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<core::FrameEvent> schedule;
+  for (int f = 0; f < frames; ++f)
+    for (std::size_t c = 0; c < scenario->clients.size(); ++c)
+      schedule.push_back({0.1 + 0.1 * f + 0.011 * double(c), int(c),
+                          scenario->clients[c]});
+  const service::ServiceReport rep = svc.run(schedule);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  std::printf("stream: %llu events delivered, %llu shed (ring capacity "
+              "%zu)\n",
+              (unsigned long long)events_seen,
+              (unsigned long long)sub->shed(), sub->options().capacity);
+
+  // Snapshot queries after the run: the read-side API a dashboard
+  // would poll instead of (or alongside) the stream.
+  for (std::size_t c = 0; c < scenario->clients.size(); ++c) {
+    if (only_client >= 0 && c != std::size_t(only_client)) continue;
+    const auto last = svc.latest(int(c));
+    const auto traj = svc.trajectory(int(c), 0.0, 1e9);
+    if (last)
+      std::printf("client %2zu: latest (%6.2f, %5.2f) at t=%.3f, "
+                  "%zu trajectory points retained\n",
+                  c, last->smoothed.x, last->smoothed.y, last->time_s,
+                  traj.size());
+    else
+      std::printf("client %2zu: no history\n", c);
+  }
+  for (const auto& zone : svc.bus().zones()) {
+    const auto occ = svc.zone_occupancy(zone.id);
+    std::printf("%s: %zu occupant(s)", zone.label.c_str(), occ.size());
+    for (int cid : occ) std::printf(" client=%d", cid);
+    std::printf("\n");
+  }
+  std::printf("%s\n", rep.stats_json.c_str());
+  return rep.fixes.empty() && events_seen == 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "service") == 0)
     return service_main(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "subscribe") == 0)
+    return subscribe_main(argc, argv);
 
   std::optional<testbed::Scenario> scenario;
   std::string heatmap_path;

@@ -47,7 +47,7 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 TSAN_OPTIONS=halt_on_error=1 \
   run_pass "${prefix}-tsan" \
            "pass 3: TSan build + concurrency suites" \
-           'ThreadPool|Realtime|Service|StreamingHistogram|MpscRing|Ingest|Batch|Subspace' \
+           'ThreadPool|Realtime|Service|StreamingHistogram|MpscRing|Ingest|Batch|Subspace|Delivery|Query|Geofence' \
            -DARRAYTRACK_SANITIZE=thread
 
 echo "=== all checks passed ==="
