@@ -1,0 +1,311 @@
+// Extension bench: fix-rate scaling of the multi-node federation tier.
+//
+// service_capacity asks how one LocationService scales with backend
+// workers; this bench asks the next question up the stack: how does
+// sustained fix rate scale when the same offered load is sharded
+// across a fleet of 1 / 2 / 4 federated nodes, each fed over the
+// authenticated wire-v1 link (src/cluster/)?
+//
+// Same single-core honesty rule as service_capacity: the serial
+// pipeline cost is calibrated once with a steady clock, and every node
+// service then runs under the virtual-clock discrete-event scheduler
+// at that measured per-job cost (admitted jobs still execute the real
+// pipeline). Reported rates are modeled throughput at real per-fix
+// cost; the whole cluster is driven from one thread so points are
+// reproducible.
+//
+// Axes:
+//   scaling      overloaded schedule (1.3x the 4-node capacity) run at
+//                1 / 2 / 4 nodes; the SLO sheds what a fleet cannot
+//                carry, so fixes/s approaches each fleet's capacity.
+//   determinism  a light-load schedule replayed at every node count
+//                must reproduce the single-service fix set exactly —
+//                the cluster tests' headline claim, re-checked here
+//                under the bench's own scenario.
+//   elasticity   the overload replayed on nodes whose worker pools
+//                autoscale: resize activity and the fix count are
+//                reported (shedding off, so the set is complete).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "core/latency.h"
+#include "core/simd.h"
+#include "phy/wire.h"
+#include "service/service.h"
+
+using namespace arraytrack;
+
+namespace {
+
+using Record = service::LocationService::TimedWireRecord;
+
+geom::Floorplan make_plan() {
+  geom::Floorplan plan({{0, 0}, {18, 10}});
+  plan.add_wall({0, 0}, {18, 0}, geom::Material::kBrick);
+  plan.add_wall({18, 0}, {18, 10}, geom::Material::kBrick);
+  plan.add_wall({18, 10}, {0, 10}, geom::Material::kBrick);
+  plan.add_wall({0, 10}, {0, 0}, geom::Material::kBrick);
+  return plan;
+}
+
+std::unique_ptr<core::System> make_system(const geom::Floorplan* plan) {
+  core::SystemConfig cfg;
+  // Serial per-job pipeline; cross-job parallelism is the worker pool
+  // the virtual clock models, and a coarser grid keeps the bench quick
+  // (this bench measures throughput structure, not accuracy).
+  cfg.server.localizer.threads = 1;
+  cfg.server.localizer.grid_step_m = 0.5;
+  auto sys = std::make_unique<core::System>(plan, cfg);
+  sys->add_ap({1, 1}, deg2rad(45.0));
+  sys->add_ap({17, 1}, deg2rad(135.0));
+  sys->add_ap({9, 9.5}, deg2rad(-90.0));
+  return sys;
+}
+
+/// Eight clients so the Knuth shard hash spreads sessions across a
+/// 4-node fleet reasonably evenly.
+const std::vector<geom::Vec2>& client_sites() {
+  static const std::vector<geom::Vec2> sites = {
+      {12.0, 6.0}, {5.0, 3.0}, {9.0, 7.0},  {14.5, 2.5},
+      {3.0, 8.0},  {16.0, 8.5}, {7.5, 1.5}, {11.0, 3.5}};
+  return sites;
+}
+
+/// Median serial cost of one pipeline job, after warming the caches —
+/// measured once and reused for every point (re-measuring per row
+/// would let scheduler jitter move rates between rows).
+double calibrate_job_cost_s(const geom::Floorplan* plan) {
+  auto sys = make_system(plan);
+  std::vector<double> costs;
+  const int trials = 8;
+  for (int k = 0; k < trials + 2; ++k) {
+    const std::size_t c = std::size_t(k) % client_sites().size();
+    const double t = 0.5 * k;
+    sys->transmit(int(c), client_sites()[c], t);
+    const auto frames = sys->server().snapshot_frames(int(c), t + 1e-4);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto fix = sys->server().locate_frames(frames);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (k >= 2 && fix) costs.push_back(dt);  // skip cache-cold warmups
+  }
+  std::sort(costs.begin(), costs.end());
+  return costs.empty() ? 0.02 : costs[costs.size() / 2];
+}
+
+/// Round-robin capture events at a fixed aggregate rate: event i is
+/// client i%C transmitting at t = i/offered_hz, heard by every AP.
+std::vector<Record> make_schedule(core::System& sys, std::size_t events,
+                                  double offered_hz) {
+  phy::WireFormat wire;
+  std::vector<Record> out;
+  for (std::size_t i = 0; i < events; ++i) {
+    const std::size_t c = i % client_sites().size();
+    const double t = 0.05 + double(i) / offered_hz;
+    sys.transmit(int(c), client_sites()[c], t);
+    for (std::size_t a = 0; a < sys.num_aps(); ++a)
+      out.push_back({t, a, wire.encode(sys.ap(int(a)).buffer().newest())});
+  }
+  return out;
+}
+
+cluster::ClusterOptions cluster_options(std::size_t nodes,
+                                        std::size_t workers, double cost_s,
+                                        double slo_s) {
+  cluster::ClusterOptions opt;
+  opt.nodes = nodes;
+  opt.service.workers = workers;
+  opt.service.virtual_clock = true;
+  opt.service.virtual_cost_s = cost_s;
+  opt.service.latency_slo_s = slo_s;
+  return opt;
+}
+
+bool identical_fixes(const std::vector<delivery::Fix>& a,
+                     const std::vector<delivery::Fix>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].client_id != b[i].client_id || a[i].seq != b[i].seq ||
+        a[i].frame_time_s != b[i].frame_time_s ||
+        a[i].position.x != b[i].position.x ||
+        a[i].position.y != b[i].position.y ||
+        a[i].smoothed.x != b[i].smoothed.x ||
+        a[i].smoothed.y != b[i].smoothed.y ||
+        a[i].likelihood != b[i].likelihood)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  bench::banner("Extension: cluster scaling",
+                "sustained fix rate vs federated node count over wire v1");
+  bench::paper_note(
+      "4.4: ArrayTrack's server is one Matlab backend; the federation "
+      "tier's question is how fix rate scales when clients are sharded "
+      "across nodes that each run the paper's pipeline");
+
+  const auto plan = make_plan();
+  const double cost_s = calibrate_job_cost_s(&plan);
+  const std::size_t workers = 2;
+  const double cap1_hz = double(workers) / cost_s;   // one node, modeled
+  const double cap4_hz = 4.0 * cap1_hz;              // full fleet
+  // Express the workload in job-cost units so the regime (overload
+  // factor, SLO headroom, schedule length) is machine-independent. The
+  // SLO rides on top of the modeled ingest transport (Td + Tt + Tl,
+  // ~33 ms), which the service folds into every job's arrival time —
+  // an SLO below it would shed every job before it ever queued.
+  core::LatencyModel transport;
+  const double transport_s = transport.detection_s +
+                             transport.serialization_s() +
+                             transport.bus_latency_s;
+  const double slo_s = transport_s + 12.0 * cost_s;
+  const double offered_hz = 1.3 * cap4_hz;
+  const double duration_s = (smoke ? 15.0 : 60.0) * cost_s;
+  const std::size_t events = std::size_t(duration_s * offered_hz);
+  bench::measured_note("serial pipeline cost " + std::to_string(cost_s * 1e3) +
+                       " ms/job -> per-node capacity (" +
+                       std::to_string(workers) + " workers) " +
+                       std::to_string(cap1_hz) + " jobs/s");
+
+  std::vector<std::pair<std::string, double>> fields;
+  fields.emplace_back("virtual_cost_ms", cost_s * 1e3);
+  fields.emplace_back("workers_per_node", double(workers));
+  fields.emplace_back("clients", double(client_sites().size()));
+  fields.emplace_back("offered_hz", offered_hz);
+  fields.emplace_back("events", double(events));
+
+  // ---- scaling axis: overloaded schedule at 1 / 2 / 4 nodes ----
+  auto capture = make_system(&plan);
+  const auto overload = make_schedule(*capture, events, offered_hz);
+
+  const std::vector<std::size_t> node_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+  std::printf("\noffered %.1f jobs/s (1.3x the 4-node capacity), SLO %.0f ms\n",
+              offered_hz, slo_s * 1e3);
+  std::printf("  %-8s %-10s %-12s %-10s %-10s %-12s %-12s\n", "nodes",
+              "fixes", "fixes/s", "shed%", "coalesce%", "records",
+              "delivered");
+  double rate_n1 = 0.0, rate_n4 = 0.0;
+  for (const std::size_t nodes : node_counts) {
+    cluster::Cluster cl([&] { return make_system(&plan); },
+                        cluster_options(nodes, workers, cost_s, slo_s));
+    const auto rep = cl.run(overload);
+    std::uint64_t frames = 0, coal = 0, enq = 0, shed = 0;
+    for (std::size_t n = 0; n < cl.num_slots(); ++n) {
+      const auto& st = cl.node_service(n)->stats();
+      frames += st.frames_in.load();
+      coal += st.jobs_coalesced.load();
+      enq += st.jobs_enqueued.load();
+      shed += st.shed_queue_full.load() + st.shed_deadline.load();
+    }
+    const double shed_pct = enq > 0 ? 100.0 * double(shed) / double(enq) : 0.0;
+    const double coal_pct =
+        frames > 0 ? 100.0 * double(coal) / double(frames) : 0.0;
+    const double rate = rep.fix_rate_hz();
+    std::printf("  %-8zu %-10zu %-12.1f %-10.2f %-10.2f %-12llu %-12llu\n",
+                nodes, rep.fixes.size(), rate, shed_pct, coal_pct,
+                (unsigned long long)rep.stats.records_in,
+                (unsigned long long)rep.links.delivered);
+    const std::string key = "n" + std::to_string(nodes);
+    fields.emplace_back(key + "_fixes", double(rep.fixes.size()));
+    fields.emplace_back(key + "_fix_rate_hz", rate);
+    fields.emplace_back(key + "_shed_pct", shed_pct);
+    fields.emplace_back(key + "_coalesce_pct", coal_pct);
+    fields.emplace_back(key + "_link_delivered", double(rep.links.delivered));
+    fields.emplace_back(key + "_link_auth_bad_tag",
+                        double(rep.links.auth_bad_tag));
+    if (nodes == 1) rate_n1 = rate;
+    if (nodes == 4) rate_n4 = rate;
+  }
+  if (!smoke && rate_n1 > 0.0) {
+    const double scaling = rate_n4 / rate_n1;
+    bench::measured_note("1 -> 4 node scaling: " + std::to_string(scaling) +
+                         "x sustained fix rate");
+    fields.emplace_back("scaling_1_to_4", scaling);
+  }
+
+  // ---- determinism axis: light load, byte-identical across fleets ----
+  // Aggregate rate at a quarter of one node's capacity: every queue
+  // drains, nothing sheds or coalesces, so every fleet size must
+  // produce the single-service fix set bit for bit.
+  const double light_hz = 0.25 * cap1_hz;
+  const std::size_t light_events = smoke ? 16 : 48;
+  auto capture2 = make_system(&plan);
+  const auto light = make_schedule(*capture2, light_events, light_hz);
+
+  auto base_sys = make_system(&plan);
+  service::ServiceOptions sopt = cluster_options(1, workers, cost_s, slo_s).service;
+  service::LocationService base_svc(base_sys.get(), sopt);
+  const auto base = base_svc.run_wire(light);
+
+  bool all_match = true;
+  for (const std::size_t nodes : node_counts) {
+    cluster::Cluster cl([&] { return make_system(&plan); },
+                        cluster_options(nodes, workers, cost_s, slo_s));
+    const auto rep = cl.run(light);
+    const bool match = identical_fixes(base.fixes, rep.fixes);
+    all_match &= match;
+    fields.emplace_back("det_n" + std::to_string(nodes) + "_matches",
+                        match ? 1.0 : 0.0);
+  }
+  bench::measured_note(std::string("light-load fix sets across fleets: ") +
+                       (all_match ? "byte-identical to one service"
+                                  : "DIVERGED (determinism bug)"));
+  fields.emplace_back("det_fixes", double(base.fixes.size()));
+  fields.emplace_back("det_all_match", all_match ? 1.0 : 0.0);
+
+  // ---- elasticity axis: autoscaling nodes under the overload ----
+  // Shedding off (generous SLO) so the fix set is complete; one shard
+  // per node so queue depth is visible to the autoscaler. Reported:
+  // how much resize activity the burst drives and the fix count.
+  {
+    auto opt = cluster_options(2, 1, cost_s, 1e9);
+    opt.service.shards = 1;
+    opt.service.elastic.enabled = true;
+    opt.service.elastic.min_workers = 1;
+    opt.service.elastic.max_workers = 4;
+    opt.service.elastic.eval_period_s = 2.0 * cost_s;
+    opt.service.elastic.grow_depth = 1.5;
+    opt.service.elastic.hysteresis = 2;
+    cluster::Cluster cl([&] { return make_system(&plan); }, opt);
+    const auto rep = cl.run(overload);
+    std::uint64_t grow = 0, shrink = 0;
+    for (std::size_t n = 0; n < cl.num_slots(); ++n) {
+      const auto& st = cl.node_service(n)->stats();
+      grow += st.elastic_grow.load();
+      shrink += st.elastic_shrink.load();
+    }
+    std::printf("\nelastic fleet (2 nodes, 1..4 workers): %llu grows, "
+                "%llu shrinks, %zu fixes\n",
+                (unsigned long long)grow, (unsigned long long)shrink,
+                rep.fixes.size());
+    fields.emplace_back("elastic_grows", double(grow));
+    fields.emplace_back("elastic_shrinks", double(shrink));
+    fields.emplace_back("elastic_fixes", double(rep.fixes.size()));
+  }
+
+  bench::write_bench_json(
+      out_path ? out_path
+               : (smoke ? "BENCH_cluster_smoke.json" : "BENCH_cluster.json"),
+      "cluster", fields,
+      {{"simd_level", core::simd::name(core::simd::active())}});
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Per-record authentication for inter-node links (the ROADMAP's open
+// wire-auth item, folded into the cluster layer).
+//
+// Federation pipes carry location-bearing records between nodes; a
+// record that can be forged or replayed lets an attacker inject phantom
+// clients or stale positions. Every link frame therefore carries an
+// HMAC-SHA256 tag over its header and payload, keyed per deployment.
+// The implementation is self-contained (FIPS 180-4 SHA-256 + RFC 2104
+// HMAC) so the cluster has no crypto library dependency; it is used for
+// integrity/authenticity tagging of in-process streams, not as a
+// general-purpose crypto provider.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace arraytrack::cluster {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// SHA-256 of `len` bytes at `data` (FIPS 180-4).
+Digest sha256(const std::uint8_t* data, std::size_t len);
+
+/// HMAC-SHA256 (RFC 2104) of `len` bytes at `data` under `key`. Keys
+/// longer than the 64-byte block are pre-hashed, shorter ones are
+/// zero-padded, per the RFC.
+Digest hmac_sha256(const std::uint8_t* key, std::size_t key_len,
+                   const std::uint8_t* data, std::size_t len);
+
+inline Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                          const std::uint8_t* data, std::size_t len) {
+  return hmac_sha256(key.data(), key.size(), data, len);
+}
+
+/// Constant-time tag comparison: a timing oracle on the tag check
+/// would let an attacker forge tags byte by byte.
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace arraytrack::cluster

@@ -1,0 +1,37 @@
+// Session-state serialization for shard handoff.
+//
+// When a shard moves between federation nodes (join, graceful leave,
+// rebalance), the client sessions riding on it move too: the smoothing
+// tracker's Kalman state, the per-AP subspace-tracker states, the
+// wire-path frame history and the fix sequence cursor. This module
+// flattens a service::LocationService::SessionState into bytes and
+// back.
+//
+// Unlike the capture wire format, nothing here is quantized: every
+// double travels as its exact bit pattern, because the receiving node
+// must continue the fix stream bit-for-bit (the byte-identical
+// cluster determinism tests depend on it). The payload rides inside a
+// phy::HandoffRecord, which rides inside a signed link envelope — this
+// layer never sees untrusted bytes that passed no tag check, but it
+// still bounds-checks everything (a handoff from a skewed peer version
+// must fail cleanly, not overrun).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "service/service.h"
+
+namespace arraytrack::cluster {
+
+std::vector<std::uint8_t> serialize_session(
+    const service::LocationService::SessionState& st);
+
+/// nullopt on truncated input, bad magic/version, or an impossible
+/// shape (the deserializer never trusts a length field it has not
+/// checked against the remaining bytes).
+std::optional<service::LocationService::SessionState> deserialize_session(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace arraytrack::cluster

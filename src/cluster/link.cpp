@@ -1,0 +1,222 @@
+#include "cluster/link.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace arraytrack::cluster {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4154524c;  // bytes "LRTA"
+constexpr std::size_t kHeader = 4 + 4 + 8 + 8 + 4 + 4;
+constexpr std::size_t kTag = 32;
+/// A corrupted length field must not make the parser wait forever for
+/// bytes that will never come; anything above this is treated as
+/// garbage and resynced past.
+constexpr std::size_t kMaxPayload = std::size_t(1) << 24;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Link::Link(std::vector<std::uint8_t> tx_key, FaultPlan faults)
+    : Link(tx_key, tx_key, faults) {}
+
+Link::Link(std::vector<std::uint8_t> tx_key, std::vector<std::uint8_t> rx_key,
+           FaultPlan faults)
+    : tx_key_(std::move(tx_key)),
+      rx_key_(std::move(rx_key)),
+      faults_(faults),
+      rng_(faults.seed) {}
+
+double Link::draw() {
+  return double(splitmix64(rng_) >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::uint8_t> Link::frame(const Envelope& env) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeader + env.payload.size() + kTag);
+  put_u32(out, kMagic);
+  put_u32(out, std::uint32_t(env.type));
+  put_u64(out, ++tx_seq_);
+  std::uint64_t time_bits;
+  std::memcpy(&time_bits, &env.time_s, sizeof(time_bits));
+  put_u64(out, time_bits);
+  put_u32(out, env.ap_index);
+  put_u32(out, std::uint32_t(env.payload.size()));
+  out.insert(out.end(), env.payload.begin(), env.payload.end());
+  const Digest tag = hmac_sha256(tx_key_, out.data(), out.size());
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+void Link::append(std::vector<std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Link::send(const Envelope& env) {
+  ++stats_.sent;
+  std::vector<std::uint8_t> f = frame(env);
+
+  if (faults_.any()) {
+    if (draw() < faults_.drop) {
+      ++stats_.fault_dropped;
+      // The held frame (if any) still rides behind the next survivor.
+      return;
+    }
+    if (draw() < faults_.corrupt && f.size() > 4) {
+      // Flip one bit past the magic: the tag check must catch it. (The
+      // magic itself is spared so the frame stays *findable* and the
+      // failure is attributed to auth, not resync — truncation covers
+      // the byte-skipping path.)
+      const std::size_t bit = 32 + std::size_t(draw() * double((f.size() - 4) * 8));
+      f[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+      ++stats_.fault_corrupted;
+    }
+    if (draw() < faults_.truncate && f.size() > kHeader) {
+      const std::size_t cut = 1 + std::size_t(draw() * double(kTag));
+      f.resize(f.size() - std::min(cut, f.size() - 4));
+      ++stats_.fault_truncated;
+    }
+    const bool dup = draw() < faults_.duplicate;
+    if (!held_.empty()) {
+      // A held-back frame rides after this one: that is the reorder.
+      append(f);
+      if (dup) {
+        append(f);
+        ++stats_.fault_duplicated;
+      }
+      append(std::move(held_));
+      held_.clear();
+      return;
+    }
+    if (draw() < faults_.reorder) {
+      ++stats_.fault_reordered;
+      held_ = std::move(f);
+      return;
+    }
+    append(f);
+    if (dup) {
+      append(std::move(f));
+      ++stats_.fault_duplicated;
+    }
+    return;
+  }
+  append(std::move(f));
+}
+
+std::vector<Envelope> Link::parse(bool counting_lost) {
+  std::vector<Envelope> out;
+  for (;;) {
+    // Hunt for the next frame magic (resync after corruption).
+    while (buf_.size() - rd_ >= 4 && get_u32(buf_.data() + rd_) != kMagic) {
+      ++rd_;
+      ++stats_.resync_bytes;
+    }
+    if (buf_.size() - rd_ < kHeader) break;
+    const std::uint8_t* p = buf_.data() + rd_;
+    const std::size_t len = get_u32(p + 28);
+    if (len > kMaxPayload) {
+      ++rd_;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    const std::size_t need = kHeader + len + kTag;
+    if (buf_.size() - rd_ < need) break;  // incomplete tail frame
+
+    const Digest expect = hmac_sha256(rx_key_, p, kHeader + len);
+    Digest got;
+    std::memcpy(got.data(), p + kHeader + len, kTag);
+    if (!digest_equal(expect, got)) {
+      // Unauthenticated bytes are never interpreted: skip one byte and
+      // rescan, so a truncated frame's tail merging into the next
+      // frame's head cannot swallow that next frame.
+      ++stats_.auth_bad_tag;
+      ++rd_;
+      ++stats_.resync_bytes;
+      continue;
+    }
+
+    const std::uint64_t seq = get_u64(p + 8);
+    rd_ += need;
+    if (rx_seen_ && seq <= rx_last_) {
+      ++stats_.auth_replayed;
+      continue;
+    }
+    if (rx_seen_ && seq > rx_last_ + 1) stats_.seq_gaps += seq - rx_last_ - 1;
+    rx_last_ = seq;
+    rx_seen_ = true;
+
+    Envelope env;
+    env.type = EnvelopeType(get_u32(p + 4));
+    const std::uint64_t time_bits = get_u64(p + 16);
+    std::memcpy(&env.time_s, &time_bits, sizeof(env.time_s));
+    env.ap_index = get_u32(p + 24);
+    env.payload.assign(p + kHeader, p + kHeader + len);
+    if (counting_lost)
+      ++stats_.lost_on_reset;
+    else {
+      ++stats_.delivered;
+      out.push_back(std::move(env));
+    }
+  }
+  // Compact the consumed prefix so the pipe does not grow unboundedly.
+  if (rd_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + std::ptrdiff_t(rd_));
+    rd_ = 0;
+  }
+  return out;
+}
+
+std::vector<Envelope> Link::receive() {
+  if (!held_.empty()) {
+    // Nothing followed the held-back frame; deliver it late rather
+    // than lose it (it still arrives out of order if frames were sent
+    // after the hold).
+    append(std::move(held_));
+    held_.clear();
+  }
+  return parse(false);
+}
+
+void Link::reset() {
+  if (!held_.empty()) {
+    append(std::move(held_));
+    held_.clear();
+  }
+  parse(true);
+  // A truncated tail frame that never completed is lost with the pipe.
+  if (buf_.size() > rd_) ++stats_.lost_on_reset;
+  buf_.clear();
+  rd_ = 0;
+  tx_seq_ = 0;
+  rx_last_ = 0;
+  rx_seen_ = false;
+}
+
+}  // namespace arraytrack::cluster

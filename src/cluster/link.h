@@ -1,0 +1,132 @@
+// Authenticated inter-node byte-stream links.
+//
+// Federation nodes are connected by in-process byte-stream pipes that
+// model a TCP-like transport: bytes arrive in order, but the stream may
+// be cut (node kill), and a deterministic fault injector can drop,
+// duplicate, reorder, bit-flip or truncate whole frames to exercise the
+// failure paths. Every frame is an envelope:
+//
+//   u32 magic "LRTA" | u32 type | u64 envelope_seq | f64 time_s
+//   | u32 ap_index | u32 payload_len | payload | 32-byte HMAC-SHA256 tag
+//
+// The tag covers everything before it, keyed per deployment (see
+// auth.h); the envelope sequence is per-link monotone, so the receiver
+// rejects duplicated or reordered frames as replays and counts forward
+// jumps as gaps — the same discipline wire v1 applies per AP, applied
+// here per link. A frame that fails the tag check (corruption,
+// truncation, wrong key) is never parsed further: the receiver skips
+// one byte and rescans for the magic, so one bad frame cannot poison
+// the rest of the stream.
+//
+// Every envelope offered to send() lands in exactly one terminal
+// counter: delivered, fault_dropped, auth_bad_tag, auth_replayed,
+// lost_on_reset, or still buffered — the accounting invariant the
+// fault-injection tier asserts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/auth.h"
+
+namespace arraytrack::cluster {
+
+enum class EnvelopeType : std::uint32_t {
+  kData = 1,     ///< payload is one phy wire capture record
+  kHandoff = 2,  ///< payload is one phy::HandoffRecord (shard migration)
+};
+
+struct Envelope {
+  EnvelopeType type = EnvelopeType::kData;
+  /// kData: the record's service-clock stamp and source AP (carried in
+  /// the envelope so the receiving node can rebuild a
+  /// TimedWireRecord without decoding first).
+  double time_s = 0.0;
+  std::uint32_t ap_index = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Deterministic whole-frame fault injection on the send side. Rates
+/// are per frame in [0, 1]; draws come from a seeded splitmix64 stream,
+/// so a given (plan, traffic) pair always injects the same faults.
+struct FaultPlan {
+  double drop = 0.0;       ///< frame never enters the pipe (counted)
+  double duplicate = 0.0;  ///< frame appended twice (replay at receiver)
+  double reorder = 0.0;    ///< frame held back one send (replay at receiver)
+  double corrupt = 0.0;    ///< one bit flipped past the magic (tag fails)
+  double truncate = 0.0;   ///< tail bytes chopped (tag fails / stalls)
+  std::uint64_t seed = 1;
+  bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           truncate > 0;
+  }
+};
+
+struct LinkStats {
+  std::uint64_t sent = 0;       ///< envelopes offered to send()
+  std::uint64_t delivered = 0;  ///< envelopes returned by receive()
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_duplicated = 0;
+  std::uint64_t fault_reordered = 0;
+  std::uint64_t fault_corrupted = 0;
+  std::uint64_t fault_truncated = 0;
+  std::uint64_t auth_bad_tag = 0;   ///< HMAC mismatch (corrupt/trunc/wrong key)
+  std::uint64_t auth_replayed = 0;  ///< envelope seq <= newest accepted
+  std::uint64_t seq_gaps = 0;       ///< missing envelopes implied by jumps
+  std::uint64_t resync_bytes = 0;   ///< bytes skipped rescanning for magic
+  std::uint64_t lost_on_reset = 0;  ///< parseable envelopes dropped by reset()
+};
+
+/// One unidirectional authenticated pipe. Single-threaded by design:
+/// the cluster front tier drives both ends from its own thread (the
+/// same discipline LocationService::submit assumes for its producer).
+class Link {
+ public:
+  /// `tx_key` signs outgoing frames, `rx_key` verifies incoming ones;
+  /// they differ only in wrong-key tests.
+  explicit Link(std::vector<std::uint8_t> tx_key, FaultPlan faults = {});
+  Link(std::vector<std::uint8_t> tx_key, std::vector<std::uint8_t> rx_key,
+       FaultPlan faults = {});
+
+  /// Frames, signs and appends one envelope (subject to the fault
+  /// plan). The envelope sequence is stamped here.
+  void send(const Envelope& env);
+
+  /// Parses, verifies and strips every complete frame currently
+  /// buffered, in stream order. Tag or replay failures are counted and
+  /// skipped; an incomplete tail frame stays buffered for the next
+  /// call.
+  std::vector<Envelope> receive();
+
+  /// Node-kill path: counts the parseable envelopes still in flight
+  /// into lost_on_reset (tag failures into auth_bad_tag), clears the
+  /// pipe, and rearms both ends at sequence zero for a restarted peer.
+  void reset();
+
+  const LinkStats& stats() const { return stats_; }
+  /// Unconsumed bytes in the pipe (0 once receive() has drained it).
+  std::size_t buffered_bytes() const { return buf_.size() - rd_ + held_.size(); }
+
+ private:
+  std::vector<std::uint8_t> frame(const Envelope& env);
+  void append(std::vector<std::uint8_t> bytes);
+  double draw();  // uniform [0, 1) from the seeded stream
+  /// Parse loop shared by receive() and reset().
+  std::vector<Envelope> parse(bool counting_lost);
+
+  std::vector<std::uint8_t> tx_key_, rx_key_;
+  FaultPlan faults_;
+  std::uint64_t rng_;
+  std::uint64_t tx_seq_ = 0;
+  std::uint64_t rx_last_ = 0;
+  bool rx_seen_ = false;
+  std::vector<std::uint8_t> buf_;
+  std::size_t rd_ = 0;
+  /// Reorder hold-back: a framed envelope waiting to be appended after
+  /// the next send (flushed by receive() so nothing is silently lost).
+  std::vector<std::uint8_t> held_;
+  LinkStats stats_;
+};
+
+}  // namespace arraytrack::cluster

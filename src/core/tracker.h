@@ -31,12 +31,37 @@ struct TrackerOptions {
   double max_coast_s = 2.0;
 };
 
+/// Bit-exact snapshot of a tracker's mutable state (the Kalman state,
+/// covariance and timing), the unit of session handoff between
+/// federation nodes. Options are excluded: exporter and importer must
+/// construct their trackers with identical TrackerOptions.
+struct TrackerState {
+  bool initialized = false;
+  bool last_rejected = false;
+  double last_time = 0.0;
+  std::array<double, 4> state{};
+  std::array<double, 16> cov{};
+};
+
 class LocationTracker {
  public:
   explicit LocationTracker(TrackerOptions opt = {});
 
   /// Drops all state; the next fix reinitializes the track.
   void reset();
+
+  /// Snapshot / restore of the mutable filter state, so a handed-off
+  /// session continues its smoothed trajectory bit-for-bit.
+  TrackerState save_state() const {
+    return {initialized_, last_rejected_, last_time_, state_, cov_};
+  }
+  void restore_state(const TrackerState& st) {
+    initialized_ = st.initialized;
+    last_rejected_ = st.last_rejected;
+    last_time_ = st.last_time;
+    state_ = st.state;
+    cov_ = st.cov;
+  }
 
   bool initialized() const { return initialized_; }
 

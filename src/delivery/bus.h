@@ -44,8 +44,9 @@ namespace arraytrack::delivery {
 struct BusOptions {
   HistoryOptions history;
   /// Keep every published fix in an internal catch-all buffer drained
-  /// by drain_retained() — the compatibility path behind the service's
-  /// deprecated take_fixes(). Turn off when all consumers subscribe.
+  /// by drain_retained() — the batch read path run()/run_wire() reports
+  /// and the cluster fan-in drain from. Turn off when all consumers
+  /// subscribe.
   bool retain_fixes = true;
 };
 
@@ -93,7 +94,7 @@ class FixBus {
   const HistoryStore& history() const { return history_; }
   std::vector<Zone> zones() const;
 
-  // ---- compatibility drain (behind LocationService::take_fixes) ----
+  // ---- batch drain (service reports, cluster fan-in) ----
 
   /// Drains the internal catch-all fix buffer (publish order).
   std::vector<Fix> drain_retained();

@@ -125,6 +125,53 @@ void SubspaceTracker::reset() {
   resid_early_n_ = resid_late_n_ = 0;
 }
 
+SubspaceTrackerState SubspaceTracker::export_state() const {
+  SubspaceTrackerState st;
+  st.basis = basis_;
+  st.m = m_;
+  st.k = k_;
+  st.w = w_;
+  st.last_full_v = last_full_v_;
+  st.noise_ref = noise_ref_;
+  st.last_residual = last_residual_;
+  st.since_full = since_full_;
+  st.n_full = n_full_;
+  st.n_tracked = n_tracked_;
+  st.n_reseed = n_reseed_;
+  st.period = period_;
+  st.resid_early = resid_early_;
+  st.resid_late = resid_late_;
+  st.resid_early_n = resid_early_n_;
+  st.resid_late_n = resid_late_n_;
+  return st;
+}
+
+void SubspaceTracker::import_state(const SubspaceTrackerState& st) {
+  basis_ = st.basis;
+  m_ = st.m;
+  k_ = st.k;
+  w_ = st.w;
+  last_full_v_ = st.last_full_v;
+  noise_ref_ = st.noise_ref;
+  last_residual_ = st.last_residual;
+  since_full_ = st.since_full;
+  n_full_ = st.n_full;
+  n_tracked_ = st.n_tracked;
+  n_reseed_ = st.n_reseed;
+  period_ = st.period;
+  resid_early_ = st.resid_early;
+  resid_late_ = st.resid_late;
+  resid_early_n_ = st.resid_early_n;
+  resid_late_n_ = st.resid_late_n;
+  // The workspaces seed_full would have sized on this node.
+  z_.resize(m_ * k_);
+  y_.resize(m_ * k_);
+  s_.resize(k_ * k_);
+  u_.resize(k_ * k_);
+  ritz_.resize(k_);
+  order_.resize(k_);
+}
+
 void SubspaceTracker::adapt_period(bool timer_fired) {
   const double early =
       resid_early_n_ ? resid_early_ / double(resid_early_n_) : 0.0;

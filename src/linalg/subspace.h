@@ -101,6 +101,27 @@ struct SubspaceBasis {
   bool exact = false;  ///< true when this basis came from a full decomposition
 };
 
+/// Bit-exact snapshot of one tracker's mutable state, the unit of
+/// session handoff between federation nodes (src/cluster/). Excludes
+/// the options (fixed at construction — exporter and importer must be
+/// constructed with identical SubspaceOptions, which the service
+/// guarantees by building every session from the same ServerOptions)
+/// and the reused workspaces (resized on import). Doubles are carried
+/// verbatim, so a handed-off tracker continues the exact sequence of
+/// tracked updates the original would have produced.
+struct SubspaceTrackerState {
+  SubspaceBasis basis;
+  std::size_t m = 0, k = 0;
+  std::vector<cplx> w;
+  CMatrix last_full_v;
+  double noise_ref = 0.0, last_residual = 0.0;
+  std::size_t since_full = 0;
+  std::uint64_t n_full = 0, n_tracked = 0, n_reseed = 0;
+  std::size_t period = 0;
+  double resid_early = 0.0, resid_late = 0.0;
+  std::size_t resid_early_n = 0, resid_late_n = 0;
+};
+
 /// Tracks the dominant subspace of one Hermitian covariance stream.
 /// Not thread-safe; one tracker belongs to one (client, AP) stream and
 /// is updated in frame order, which makes the tracked spectra a
@@ -119,6 +140,13 @@ class SubspaceTracker {
 
   /// Drops all tracked state; the next update reseeds from scratch.
   void reset();
+
+  /// Snapshot / restore of the mutable tracked state (see
+  /// SubspaceTrackerState). import_state() replaces whatever this
+  /// tracker held; the next update continues the imported stream
+  /// bit-for-bit.
+  SubspaceTrackerState export_state() const;
+  void import_state(const SubspaceTrackerState& st);
 
   const SubspaceOptions& options() const { return opt_; }
   const SubspaceBasis& basis() const { return basis_; }

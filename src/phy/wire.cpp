@@ -7,8 +7,9 @@
 namespace arraytrack::phy {
 namespace {
 
-constexpr std::uint32_t kMagicV0 = 0x41545231;  // bytes "1RTA"
-constexpr std::uint32_t kMagicV1 = 0x41545232;  // bytes "2RTA"
+constexpr std::uint32_t kMagicV0 = 0x41545231;       // bytes "1RTA"
+constexpr std::uint32_t kMagicV1 = 0x41545232;       // bytes "2RTA"
+constexpr std::uint32_t kMagicHandoff = 0x41545248;  // bytes "HRTA"
 constexpr std::uint32_t kVersion = 1;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
@@ -106,6 +107,16 @@ int WireFormat::header_version(const std::uint8_t* bytes, std::size_t size) {
                                                    0x7fffffffu))
                      : -1;
   return -1;
+}
+
+std::optional<int> WireFormat::peek_client(const std::uint8_t* bytes,
+                                           std::size_t size) {
+  const std::uint32_t magic = size >= 4 ? get_u32(bytes) : 0;
+  if (magic == kMagicV0 && size >= kFixedHeaderV0)
+    return int(std::int32_t(get_u32(bytes + 40)));
+  if (magic == kMagicV1 && size >= kFixedHeaderV1)
+    return int(std::int32_t(get_u32(bytes + 56)));
+  return std::nullopt;
 }
 
 std::size_t WireFormat::encoded_size(std::size_t elements,
@@ -240,6 +251,37 @@ std::optional<FrameCapture> WireFormat::decode(
     }
   }
   return frame;
+}
+
+std::vector<std::uint8_t> encode_handoff(const HandoffRecord& rec) {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + rec.payload.size());
+  put_u32(out, kMagicHandoff);
+  put_u32(out, kVersion);
+  put_u32(out, std::uint32_t(rec.client_id));
+  put_u64(out, rec.seq);
+  put_u32(out, std::uint32_t(rec.payload.size()));
+  out.insert(out.end(), rec.payload.begin(), rec.payload.end());
+  return out;
+}
+
+std::optional<HandoffRecord> decode_handoff(const std::uint8_t* bytes,
+                                            std::size_t size) {
+  constexpr std::size_t kHeader = 4 * 4 + 8;
+  if (size < kHeader) return std::nullopt;
+  if (get_u32(bytes) != kMagicHandoff) return std::nullopt;
+  if (get_u32(bytes + 4) != kVersion) return std::nullopt;
+  HandoffRecord rec;
+  rec.client_id = int(std::int32_t(get_u32(bytes + 8)));
+  rec.seq = get_u64(bytes + 12);
+  const std::size_t len = get_u32(bytes + 20);
+  if (size != kHeader + len) return std::nullopt;
+  rec.payload.assign(bytes + kHeader, bytes + kHeader + len);
+  return rec;
+}
+
+bool is_handoff_record(const std::uint8_t* bytes, std::size_t size) {
+  return size >= 4 && get_u32(bytes) == kMagicHandoff;
 }
 
 }  // namespace arraytrack::phy

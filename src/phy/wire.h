@@ -66,6 +66,38 @@ struct WireFormat {
   /// ingest layer account "rejected because unversioned" separately
   /// from "malformed".
   static int header_version(const std::uint8_t* bytes, std::size_t size);
+
+  /// Client id tagged in a raw record's header, without decoding the
+  /// samples — the cluster front tier routes records by client shard
+  /// before any node spends decode work on them. nullopt when the
+  /// buffer is too short for the header or the magic is unknown.
+  static std::optional<int> peek_client(const std::uint8_t* bytes,
+                                        std::size_t size);
 };
+
+/// Session-handoff record: the wire v1 carrier for shard migration
+/// between federation nodes. The payload is opaque at this layer (the
+/// cluster layer serializes the session's tracker/subspace/history
+/// state into it); the header carries the client being moved and a
+/// per-handoff sequence number so the receiving node can account and
+/// order migrations like any other v1 traffic.
+///
+/// Layout (little endian):
+///   u32 magic "HRTA" | u32 version (1) | i32 client_id | u64 seq
+///   | u32 payload_len | payload bytes
+struct HandoffRecord {
+  int client_id = -1;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+std::vector<std::uint8_t> encode_handoff(const HandoffRecord& rec);
+/// nullopt on short buffer, bad magic, unsupported version, or a
+/// payload length that disagrees with the buffer size.
+std::optional<HandoffRecord> decode_handoff(const std::uint8_t* bytes,
+                                            std::size_t size);
+/// True when `bytes` starts with the handoff magic (cheap dispatch for
+/// streams that interleave capture and handoff records).
+bool is_handoff_record(const std::uint8_t* bytes, std::size_t size);
 
 }  // namespace arraytrack::phy

@@ -58,11 +58,26 @@ LocationService::LocationService(core::System* system, ServiceOptions opt)
       opt_.batch_max = std::min<std::size_t>(std::size_t(v), 4096);
   }
   stats_.batch_max.store(opt_.batch_max, std::memory_order_relaxed);
+  if (opt_.elastic.enabled) {
+    auto& e = opt_.elastic;
+    e.min_workers = std::max<std::size_t>(1, e.min_workers);
+    e.max_workers = std::max(e.min_workers, e.max_workers);
+    // measured_cost is the single-worker realtime shim; a non-positive
+    // period would stall the dispatch loop at its first boundary.
+    if (e.eval_period_s <= 0.0 || opt_.measured_cost) {
+      e.enabled = false;
+    } else {
+      opt_.workers = std::clamp(opt_.workers, e.min_workers, e.max_workers);
+      elastic_next_eval_ = e.eval_period_s;
+    }
+  }
   // Sessions hold move-only state (the ClientSubspace), so build the
   // shard vector in place rather than resize() (whose relocation path
   // requires copyable elements when moves are not noexcept).
   shards_ = std::vector<Shard>(opt_.shards);
   vworker_free_.assign(opt_.workers, 0.0);
+  active_target_ = opt_.workers;
+  stats_.workers_now.store(opt_.workers, std::memory_order_relaxed);
 }
 
 LocationService::~LocationService() { stop(); }
@@ -100,9 +115,16 @@ std::deque<LocationService::Job>& LocationService::backlog_locked(
 void LocationService::start() {
   if (!workers_.empty()) return;
   stopping_ = false;
-  workers_.reserve(opt_.workers);
-  for (std::size_t i = 0; i < opt_.workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  // In virtual mode elasticity resizes the *modeled* pool only — the
+  // real threads just drain `ready` and their count never affects
+  // results — so only wall mode needs room to grow.
+  const std::size_t cap = !clock_.is_virtual() && opt_.elastic.enabled
+                              ? opt_.elastic.max_workers
+                              : active_target_;
+  worker_exited_.assign(cap, 0);
+  workers_.reserve(cap);
+  for (std::size_t i = 0; i < active_target_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 void LocationService::stop() {
@@ -115,6 +137,37 @@ void LocationService::stop() {
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  worker_exited_.clear();
+  pending_spawn_ = false;
+}
+
+void LocationService::apply_pending_spawn() {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!pending_spawn_) return;
+    pending_spawn_ = false;
+    target = active_target_;
+  }
+  // Respawn slots whose threads exited from an earlier shrink (their
+  // exit flag means the thread is done or returning — the join is
+  // brief), then append fresh slots. Only the producer thread touches
+  // `workers_` while the service runs, per the submit() contract.
+  for (std::size_t id = 0; id < workers_.size() && id < target; ++id) {
+    bool exited;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      exited = worker_exited_[id] != 0;
+      worker_exited_[id] = 0;
+    }
+    if (!exited) continue;
+    workers_[id].join();
+    workers_[id] = std::thread([this, id] { worker_loop(id); });
+  }
+  while (workers_.size() < target) {
+    const std::size_t id = workers_.size();
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
 }
 
 bool LocationService::idle_locked() const {
@@ -133,12 +186,6 @@ void LocationService::flush() {
       virtual_dispatch_locked(std::numeric_limits<double>::infinity());
   }
   idle_cv_.wait(lock, [this] { return idle_locked(); });
-}
-
-std::vector<ServiceFix> LocationService::take_fixes() {
-  // Deprecated shim: the fixes now live in the bus's catch-all buffer
-  // (published at commit time, drained here with the old semantics).
-  return bus_.drain_retained();
 }
 
 std::string LocationService::stats_json() const {
@@ -185,6 +232,17 @@ void LocationService::virtual_dispatch_locked(double now_s) {
       }
     }
     if (best == kNone || best_start > now_s) return;
+
+    if (opt_.elastic.enabled && elastic_next_eval_ <= best_start) {
+      // Autoscaler boundaries fire in timeline order between job
+      // commits: an evaluation at t_k happens before any job whose
+      // modeled start is >= t_k, so the resize schedule is a pure
+      // function of the submitted schedule (and the pool the next
+      // commit pairs against may have changed width — re-pair).
+      elastic_eval_locked(elastic_next_eval_);
+      elastic_next_eval_ += opt_.elastic.eval_period_s;
+      continue;
+    }
 
     Shard& sh = shards_[best];
     Job job = std::move(sh.pending.front());
@@ -347,6 +405,21 @@ void LocationService::ingest_locked(int client_id, core::FrameGroup frames,
   backlog.push_back(std::move(job));
   stats_.jobs_enqueued.fetch_add(1, std::memory_order_relaxed);
   stats_.queue_depth.record(double(backlog.size()));
+  if (opt_.elastic.enabled) {
+    // Admission-side pressure window: depth seen by each enqueue, the
+    // same signal the queue_depth histogram records. In virtual mode
+    // this runs on the driver thread only, so the autoscaler's inputs
+    // are deterministic.
+    ++window_enqueued_;
+    window_depth_sum_ += double(backlog.size());
+    if (!virt) {
+      const double now = clock_.now();
+      if (now >= elastic_next_eval_) {
+        elastic_eval_locked(now);
+        elastic_next_eval_ = now + opt_.elastic.eval_period_s;
+      }
+    }
+  }
   if (!virt) work_cv_.notify_one();
 }
 
@@ -358,8 +431,11 @@ void LocationService::submit(const core::FrameEvent& ev) {
   system_->transmit(ev.client_id, ev.position, ev.time_s);
   auto frames =
       system_->server().snapshot_frames(ev.client_id, ev.time_s + 1e-4);
-  std::unique_lock<std::mutex> lock(mutex_);
-  ingest_locked(ev.client_id, std::move(frames), ev.time_s, ev.position);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ingest_locked(ev.client_id, std::move(frames), ev.time_s, ev.position);
+  }
+  apply_pending_spawn();
 }
 
 void LocationService::submit_wire(double time_s,
@@ -521,6 +597,7 @@ void LocationService::ingest_wire(const std::vector<TimedWireRecord>& records) {
     for (auto& t : threads) t.join();
   }
   drain_ingest_rings();
+  apply_pending_spawn();
 }
 
 ServiceReport LocationService::run_wire(
@@ -531,9 +608,16 @@ ServiceReport LocationService::run_wire(
       records.empty() ? 0.0 : records.back().time_s - records.front().time_s);
 }
 
-void LocationService::worker_loop() {
+void LocationService::worker_loop(std::size_t id) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    // Elastic shrink: surplus workers retire once their id falls off
+    // the target. Worker 0 never exits (min_workers >= 1), so draining
+    // always makes progress.
+    if (!stopping_ && id >= active_target_) {
+      worker_exited_[id] = 1;
+      return;
+    }
     // Claim the next unclaimed shard with released work, round-robin
     // from a shared cursor so one hot shard cannot starve the rest.
     std::size_t found = kNone;
@@ -723,7 +807,7 @@ void LocationService::execute(Job& job) {
 
 ServiceReport LocationService::finish_report(double duration_s) {
   ServiceReport rep;
-  rep.fixes = take_fixes();
+  rep.fixes = bus_.drain_retained();
   std::sort(rep.fixes.begin(), rep.fixes.end(),
             [](const ServiceFix& a, const ServiceFix& b) {
               if (a.frame_time_s != b.frame_time_s)
@@ -755,6 +839,159 @@ ServiceReport LocationService::run(
   return finish_report(schedule.empty() ? 0.0
                                         : schedule.back().time_s -
                                               schedule.front().time_s);
+}
+
+std::size_t LocationService::width_locked() const {
+  return clock_.is_virtual() ? vworker_free_.size() : active_target_;
+}
+
+void LocationService::elastic_eval_locked(double t) {
+  const auto& e = opt_.elastic;
+  const bool virt = clock_.is_virtual();
+  const double mean =
+      window_enqueued_ ? window_depth_sum_ / double(window_enqueued_) : 0.0;
+  bool pressure = window_enqueued_ > 0 && mean >= e.grow_depth;
+  if (!virt && !pressure) {
+    // Wall mode folds in the batch-occupancy histogram (recorded by
+    // the real workers, so off-limits to the deterministic virtual
+    // path): consistently full batches mean the drain is saturated
+    // even when admission depth looks shallow.
+    const double cnt = double(stats_.batch_occupancy.count());
+    const double sum = stats_.batch_occupancy.mean() * cnt;
+    const double wcnt = cnt - occ_count_base_;
+    if (wcnt > 0.0)
+      pressure = (sum - occ_sum_base_) / wcnt >=
+                 e.occupancy_grow_frac * double(opt_.batch_max);
+    occ_count_base_ = cnt;
+    occ_sum_base_ = sum;
+  }
+  // Work waiting *at the eval point*. In virtual mode evals fire
+  // between job commits, so the job that triggered this eval is still
+  // pending — but if it arrives after t it is future traffic, not
+  // backlog, and must not veto a shrink during a sparse trickle.
+  std::size_t backlog = 0;
+  for (const auto& sh : shards_) {
+    if (!virt) {
+      backlog += sh.ready.size();
+      continue;
+    }
+    for (const auto& job : sh.pending)
+      if (job.arrival_s < t) ++backlog;
+  }
+  const bool idle =
+      (window_enqueued_ == 0 || mean <= e.shrink_depth) && backlog == 0;
+  window_enqueued_ = 0;
+  window_depth_sum_ = 0.0;
+
+  if (pressure) {
+    ++grow_streak_;
+    shrink_streak_ = 0;
+  } else if (idle) {
+    ++shrink_streak_;
+    grow_streak_ = 0;
+  } else {
+    grow_streak_ = 0;
+    shrink_streak_ = 0;
+  }
+
+  const std::size_t cur = width_locked();
+  std::size_t next = cur;
+  if (grow_streak_ >= e.hysteresis && cur < e.max_workers) {
+    next = cur + 1;
+    grow_streak_ = 0;
+    stats_.elastic_grow.fetch_add(1, std::memory_order_relaxed);
+  } else if (shrink_streak_ >= e.hysteresis && cur > e.min_workers) {
+    next = cur - 1;
+    shrink_streak_ = 0;
+    stats_.elastic_shrink.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (next == cur) return;
+  resize_log_.push_back({t, cur, next});
+  stats_.workers_now.store(next, std::memory_order_relaxed);
+  if (virt) {
+    // Grow: a new modeled worker comes free at the evaluation point,
+    // not at t=0 — it must not start jobs in the past. Shrink only
+    // fires with an empty backlog, so truncating the tail cancels no
+    // committed work.
+    vworker_free_.resize(next, t);
+  } else {
+    active_target_ = next;
+    if (next > cur)
+      pending_spawn_ = true;  // applied by apply_pending_spawn()
+    else
+      work_cv_.notify_all();  // surplus workers wake up and retire
+  }
+}
+
+std::vector<LocationService::ResizeEvent> LocationService::elastic_log()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resize_log_;
+}
+
+std::size_t LocationService::worker_width() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return width_locked();
+}
+
+std::vector<int> LocationService::session_clients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  for (const auto& sh : shards_)
+    for (const auto& [id, sess] : sh.sessions) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<LocationService::SessionState> LocationService::export_session(
+    int client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& sh = shards_[shard_of(client_id)];
+  auto it = sh.sessions.find(client_id);
+  if (it == sh.sessions.end()) return std::nullopt;
+  // A queued or in-flight job holds a pointer into the session — the
+  // caller must flush() first. Other clients on the same shard are
+  // fine: map erase does not move their nodes.
+  if (sh.claimed) return std::nullopt;
+  for (const auto& j : sh.pending)
+    if (j.client_id == client_id) return std::nullopt;
+  for (const auto& j : sh.ready)
+    if (j.client_id == client_id) return std::nullopt;
+
+  Session& sess = it->second;
+  SessionState st;
+  st.client_id = client_id;
+  st.next_seq = sess.next_seq;
+  st.tracker = sess.tracker.save_state();
+  st.history.reserve(sess.history.size());
+  for (const auto& dq : sess.history) st.history.emplace_back(dq.begin(), dq.end());
+  if (sess.subspace) {
+    const std::size_t n = sess.subspace->size();
+    st.subspace.reserve(n);
+    for (std::size_t a = 0; a < n; ++a)
+      st.subspace.push_back(sess.subspace->tracker(a)->export_state());
+  }
+  sh.sessions.erase(it);
+  return st;
+}
+
+void LocationService::import_session(const SessionState& st) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& sh = shards_[shard_of(st.client_id)];
+  sh.sessions.erase(st.client_id);
+  Session& sess = session_locked(sh, st.client_id);
+  sess.next_seq = st.next_seq;
+  sess.tracker.restore_state(st.tracker);
+  sess.history.clear();
+  sess.history.resize(st.history.size());
+  for (std::size_t a = 0; a < st.history.size(); ++a)
+    sess.history[a].assign(st.history[a].begin(), st.history[a].end());
+  if (!st.subspace.empty() && opt_.subspace_tracking) {
+    core::ClientSubspace* sub = subspace_for(sess);
+    if (sub && sub->size() == st.subspace.size())
+      for (std::size_t a = 0; a < st.subspace.size(); ++a)
+        sub->tracker(a)->import_state(st.subspace[a]);
+  }
 }
 
 }  // namespace arraytrack::service

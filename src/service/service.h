@@ -57,6 +57,7 @@
 #include "core/latency.h"
 #include "core/mpsc_ring.h"
 #include "delivery/bus.h"
+#include "linalg/subspace.h"
 #include "service/realtime.h"
 #include "core/tracker.h"
 #include "phy/wire.h"
@@ -64,6 +65,43 @@
 #include "service/stats.h"
 
 namespace arraytrack::service {
+
+/// Elastic worker-pool controller (the cluster layer's per-node
+/// autoscaler). The engine evaluates the admission-side pressure
+/// signals the metrics layer already records — the queue-depth
+/// histogram's window mean (depth seen at each enqueue) and, in wall
+/// mode, the batch-occupancy window mean — at fixed period boundaries,
+/// and grows or shrinks the backend worker pool one worker at a time
+/// with hysteresis, clamped to [min_workers, max_workers].
+///
+/// Determinism: under the virtual clock the evaluation points are
+/// interleaved with modeled job commits (an evaluation at t_k fires
+/// before any job whose modeled start is >= t_k), the inputs are the
+/// admission-side window counters (driver thread only), and the resize
+/// mutates the modeled pool — so the resize schedule, like the fix
+/// set, is a pure function of the submitted schedule. Batch occupancy
+/// is recorded by real workers and is therefore folded in only in wall
+/// mode. Ignored in measured_cost mode (the single-worker realtime
+/// shim).
+struct ElasticOptions {
+  bool enabled = false;
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 8;
+  /// Evaluation period on the service clock; <= 0 disables.
+  double eval_period_s = 0.25;
+  /// Grow pressure: window mean queue depth at admission (>= 1; a job
+  /// enqueued into an empty backlog records depth 1) at or above this.
+  double grow_depth = 3.0;
+  /// Shrink signal: an empty window, or window mean depth at or below
+  /// this, with no backlog outstanding at the evaluation point.
+  double shrink_depth = 1.05;
+  /// Wall mode only: window mean batch occupancy at or above this
+  /// fraction of batch_max also counts as grow pressure (full batches
+  /// mean the drain is saturated even when admission depth looks shallow).
+  double occupancy_grow_frac = 0.9;
+  /// Consecutive same-verdict evaluations before a one-worker resize.
+  std::size_t hysteresis = 2;
+};
 
 struct ServiceOptions {
   /// Backend workers draining the shard queues. Each job additionally
@@ -126,6 +164,11 @@ struct ServiceOptions {
   /// positive integer, overrides it (recorded in stats().batch_max).
   std::size_t batch_max = 8;
 
+  /// Elastic worker-pool autoscaling (see ElasticOptions). When
+  /// enabled, `workers` is the starting width, clamped into
+  /// [elastic.min_workers, elastic.max_workers].
+  ElasticOptions elastic;
+
   /// Virtual-clock mode: deterministic discrete-event scheduling (see
   /// header comment). Jobs are modeled to cost `virtual_cost_s` each.
   bool virtual_clock = false;
@@ -139,7 +182,8 @@ struct ServiceOptions {
   double processing_scale = 1.0;
 
   /// Fix bus configuration: per-client history retention and whether
-  /// the deprecated take_fixes() compatibility buffer is kept.
+  /// the catch-all retained buffer (drained by run()/run_wire() and the
+  /// cluster fan-in) is kept.
   delivery::BusOptions delivery;
 };
 
@@ -264,16 +308,57 @@ class LocationService {
   /// Blocks until every queued job has completed (or been shed).
   void flush();
 
-  /// Removes and returns the fixes emitted so far (unsorted).
-  /// Deprecated: thin shim over the bus's internal catch-all buffer
-  /// (delivery::BusOptions::retain_fixes); new consumers should
-  /// bus().subscribe() for streaming delivery or use the snapshot
-  /// queries (latest / trajectory / zone_occupancy) instead.
-  std::vector<ServiceFix> take_fixes();
-
   /// Deterministic batch drive: submits the (time-sorted) schedule,
   /// drains, and reports. Requires virtual_clock mode.
   ServiceReport run(const std::vector<core::FrameEvent>& schedule);
+
+  // --- Session handoff (the cluster layer's shard-migration unit) ---
+
+  /// Bit-exact snapshot of one client session: the smoothing tracker,
+  /// the wire-path frame history, per-AP subspace-tracker states and
+  /// the fix sequence cursor. Serialized by the cluster layer into a
+  /// phy::HandoffRecord payload; exporter and importer must run
+  /// identically configured services (same options, same System
+  /// geometry) for the continued fix stream to be byte-identical.
+  struct SessionState {
+    int client_id = -1;
+    std::uint64_t next_seq = 0;
+    core::TrackerState tracker;
+    /// Wire-path frame history, one vector (oldest first) per AP.
+    std::vector<std::vector<phy::FrameCapture>> history;
+    /// Per-AP subspace tracker states; empty when the session has no
+    /// subspace yet or tracking is disabled.
+    std::vector<linalg::SubspaceTrackerState> subspace;
+  };
+
+  /// Clients with a live session, ascending. Requires the service
+  /// idle (flush() first): sessions are touched by workers in flight.
+  std::vector<int> session_clients() const;
+
+  /// Removes the client's session and returns its state, or nullopt if
+  /// the client has no session or still has jobs queued/in flight (the
+  /// caller must flush() first — a job holds a pointer into the
+  /// session).
+  std::optional<SessionState> export_session(int client_id);
+
+  /// Installs a migrated session (replacing any existing one for that
+  /// client). Subspace states are dropped when subspace_tracking is
+  /// off or the AP count disagrees.
+  void import_session(const SessionState& st);
+
+  // --- Elastic pool introspection ---
+
+  /// One autoscaler resize, for pinned-schedule assertions.
+  struct ResizeEvent {
+    double time_s = 0.0;
+    std::size_t from = 0;
+    std::size_t to = 0;
+  };
+  /// Every resize so far, in evaluation order.
+  std::vector<ResizeEvent> elastic_log() const;
+  /// Current pool width: the modeled width in virtual mode, the thread
+  /// target in wall mode (== options().workers when elastic is off).
+  std::size_t worker_width() const;
 
  private:
   struct Session {
@@ -356,7 +441,7 @@ class LocationService {
   /// the modeled timeline by the measured pipeline wall time.
   void measured_dispatch_locked(double now_s);
   bool idle_locked() const;
-  void worker_loop();
+  void worker_loop(std::size_t id);
   void execute(Job& job);
   /// Runs a drained batch through locate_frames_batch (or execute()
   /// when only one job was ready), emitting fixes in deque order.
@@ -374,6 +459,20 @@ class LocationService {
   /// Sorts and snapshots fixes/stats into a report, then stops.
   ServiceReport finish_report(double duration_s);
 
+  /// Pool width the autoscaler reasons about (modeled in virtual mode,
+  /// thread target in wall mode); `mutex_` must be held.
+  std::size_t width_locked() const;
+  /// One autoscaler evaluation at time `t` (on the service clock);
+  /// `mutex_` must be held. Resizes the modeled pool directly in
+  /// virtual mode; in wall mode adjusts the thread target (shrink takes
+  /// effect via worker exit, grow is applied by apply_pending_spawn()
+  /// once the lock is released).
+  void elastic_eval_locked(double t);
+  /// Spawns wall-mode workers up to the current target (joins slots
+  /// whose threads exited from an earlier shrink first). Called outside
+  /// `mutex_` from the ingest paths and start().
+  void apply_pending_spawn();
+
   core::System* system_;
   ServiceOptions opt_;
   ServiceClock clock_;
@@ -388,6 +487,25 @@ class LocationService {
   std::size_t rr_cursor_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  /// Wall-mode pool target: a worker whose id >= active_target_ exits.
+  std::size_t active_target_ = 0;
+  /// Set by an exiting (shrunk-away) worker so a later grow can join
+  /// and respawn its slot. Guarded by `mutex_`.
+  std::vector<char> worker_exited_;
+  /// Wall-mode grow request flag (spawning threads under `mutex_` would
+  /// stall the ingest path). Guarded by `mutex_`.
+  bool pending_spawn_ = false;
+
+  // Autoscaler state (driver thread under the virtual clock, ingest
+  // threads under `mutex_` in wall mode).
+  double elastic_next_eval_ = 0.0;
+  std::size_t grow_streak_ = 0;
+  std::size_t shrink_streak_ = 0;
+  std::uint64_t window_enqueued_ = 0;
+  double window_depth_sum_ = 0.0;
+  double occ_count_base_ = 0.0;
+  double occ_sum_base_ = 0.0;
+  std::vector<ResizeEvent> resize_log_;
 
   /// One ring per session shard; created on first wire ingest.
   std::vector<std::unique_ptr<core::MpscRing<IngestEvent>>> ingest_rings_;

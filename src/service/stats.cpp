@@ -141,6 +141,9 @@ std::string ServiceStats::to_json() const {
   counter("fixes_emitted", fixes_emitted);
   counter("locate_failures", locate_failures);
   counter("tracker_rejects", tracker_rejects);
+  counter("elastic_grow", elastic_grow);
+  counter("elastic_shrink", elastic_shrink);
+  counter("workers_now", workers_now);
   counter("batch_max", batch_max);
   counter("evd_full", subspace.evd_full);
   counter("evd_tracked", subspace.evd_tracked);

@@ -97,6 +97,13 @@ struct ServiceStats {
   std::atomic<std::uint64_t> locate_failures{0};
   std::atomic<std::uint64_t> tracker_rejects{0};
 
+  // ---- elastic pool (see ElasticOptions) ----
+  std::atomic<std::uint64_t> elastic_grow{0};
+  std::atomic<std::uint64_t> elastic_shrink{0};
+  /// Current pool width (the modeled width in virtual mode); equals the
+  /// configured worker count when elasticity is off.
+  std::atomic<std::uint64_t> workers_now{0};
+
   // ---- batching ----
   /// Effective ServiceOptions::batch_max after clamping and the
   /// ARRAYTRACK_BATCH override, echoed so a scrape shows the width the

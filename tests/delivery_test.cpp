@@ -491,7 +491,7 @@ TEST(DeliveryServiceTest, TakeFixesShimMatchesSubscribedStream) {
   service::LocationService svc(sys.get(), virtual_options(2, 8));
   auto sub = svc.bus().subscribe({.capacity = 1024, .label = "shim"});
 
-  // run() drains through the deprecated take_fixes() shim; the
+  // run() drains through the bus's retained catch-all buffer; the
   // subscriber saw the same committed fixes over the bus.
   auto report = svc.run(schedule);
   auto events = sub->poll_batch();
@@ -505,7 +505,7 @@ TEST(DeliveryServiceTest, TakeFixesShimMatchesSubscribedStream) {
     EXPECT_EQ(events[i].fix.position.y, report.fixes[i].position.y);
   }
   // A second drain is empty (take semantics preserved).
-  EXPECT_TRUE(svc.take_fixes().empty());
+  EXPECT_TRUE(svc.bus().drain_retained().empty());
   // The merged stats JSON carries the delivery block.
   const auto js = svc.stats_json();
   EXPECT_NE(js.find("\"delivery\": {"), std::string::npos) << js;

@@ -1,0 +1,281 @@
+// Elastic worker-pool tests.
+//
+// The autoscaler's contract has two halves. Determinism: under the
+// virtual clock, resize decisions are a pure function of the admitted
+// schedule — the same records produce the same resize log on every
+// run, and the fix set is byte-identical to a fixed-width run (width
+// never changes which jobs are admitted or what the pipeline computes,
+// only when modeled workers pick them up). Behavior: the pool grows on
+// sustained queue depth, shrinks when idle, steps by one with
+// hysteresis, and never leaves [min_workers, max_workers]. The wall
+// mode exercises real thread spawn/retirement (also under the TSan
+// tier of tools/check.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/wire.h"
+#include "service/service.h"
+#include "service/stats.h"
+
+namespace arraytrack::service {
+namespace {
+
+using geom::Vec2;
+using Record = LocationService::TimedWireRecord;
+
+geom::Floorplan make_plan() {
+  geom::Floorplan plan({{0, 0}, {18, 10}});
+  plan.add_wall({0, 0}, {18, 0}, geom::Material::kBrick);
+  plan.add_wall({18, 0}, {18, 10}, geom::Material::kBrick);
+  plan.add_wall({18, 10}, {0, 10}, geom::Material::kBrick);
+  plan.add_wall({0, 10}, {0, 0}, geom::Material::kBrick);
+  return plan;
+}
+
+std::unique_ptr<core::System> make_system(const geom::Floorplan* plan) {
+  core::SystemConfig cfg;
+  cfg.server.localizer.grid_step_m = 0.25;
+  auto sys = std::make_unique<core::System>(plan, cfg);
+  sys->add_ap({1, 1}, deg2rad(45.0));
+  sys->add_ap({17, 1}, deg2rad(135.0));
+  sys->add_ap({9, 9.5}, deg2rad(-90.0));
+  return sys;
+}
+
+const std::vector<Vec2>& client_sites() {
+  static const std::vector<Vec2> sites = {
+      {12.0, 6.0}, {5.0, 3.0}, {9.0, 7.0}, {14.5, 2.5}};
+  return sites;
+}
+
+std::vector<Record> encode_event(core::System& sys,
+                                 const phy::WireFormat& wire, double t,
+                                 int client, Vec2 pos) {
+  sys.transmit(client, pos, t);
+  std::vector<Record> out;
+  for (std::size_t a = 0; a < sys.num_aps(); ++a)
+    out.push_back({t, a, wire.encode(sys.ap(int(a)).buffer().newest())});
+  return out;
+}
+
+/// A burst that outruns one modeled worker (4 clients every 50 ms at a
+/// 150 ms job cost), followed by a sparse single-client trickle whose
+/// commits keep the virtual clock moving while the queue sits empty —
+/// the shape that must first grow the pool, then shrink it back.
+std::vector<Record> burst_then_trickle(core::System& sys) {
+  phy::WireFormat wire;
+  std::vector<Record> out;
+  for (int i = 0; i < 16; ++i)
+    for (int c = 0; c < 4; ++c)
+      for (auto& r : encode_event(sys, wire, 0.1 + 0.05 * i + 0.011 * c, c,
+                                  client_sites()[std::size_t(c)]))
+        out.push_back(std::move(r));
+  for (int i = 0; i < 20; ++i)
+    for (auto& r :
+         encode_event(sys, wire, 2.0 + 0.3 * i, 0, client_sites()[0]))
+      out.push_back(std::move(r));
+  return out;
+}
+
+ServiceOptions elastic_options() {
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.virtual_clock = true;
+  opt.virtual_cost_s = 0.15;
+  opt.latency_slo_s = 10.0;  // keep shedding out of the picture
+  // One shard: the autoscaler's depth signal is per-shard backlog, so
+  // funnel every client through one queue to let pressure build.
+  opt.shards = 1;
+  opt.elastic.enabled = true;
+  opt.elastic.min_workers = 1;
+  opt.elastic.max_workers = 4;
+  opt.elastic.eval_period_s = 0.25;
+  opt.elastic.grow_depth = 1.5;
+  opt.elastic.shrink_depth = 1.05;
+  opt.elastic.hysteresis = 2;
+  return opt;
+}
+
+void expect_identical_fixes(const ServiceReport& a, const ServiceReport& b) {
+  ASSERT_EQ(a.fixes.size(), b.fixes.size());
+  for (std::size_t i = 0; i < a.fixes.size(); ++i) {
+    EXPECT_EQ(a.fixes[i].client_id, b.fixes[i].client_id);
+    EXPECT_EQ(a.fixes[i].seq, b.fixes[i].seq);
+    EXPECT_EQ(a.fixes[i].frame_time_s, b.fixes[i].frame_time_s);
+    EXPECT_EQ(a.fixes[i].position.x, b.fixes[i].position.x);
+    EXPECT_EQ(a.fixes[i].position.y, b.fixes[i].position.y);
+    EXPECT_EQ(a.fixes[i].smoothed.x, b.fixes[i].smoothed.x);
+    EXPECT_EQ(a.fixes[i].smoothed.y, b.fixes[i].smoothed.y);
+    EXPECT_EQ(a.fixes[i].likelihood, b.fixes[i].likelihood);
+  }
+}
+
+TEST(ElasticTest, GrowsUnderSustainedDepthAndShrinksWhenIdle) {
+  const auto plan = make_plan();
+  auto capture = make_system(&plan);
+  const auto records = burst_then_trickle(*capture);
+
+  auto sys = make_system(&plan);
+  LocationService svc(sys.get(), elastic_options());
+  svc.run_wire(records);
+  const auto log = svc.elastic_log();
+
+  ASSERT_FALSE(log.empty());
+  bool grew = false, shrank = false;
+  double last_t = -1.0;
+  std::size_t width = 1;
+  for (const auto& ev : log) {
+    EXPECT_GT(ev.time_s, last_t);  // evals are strictly ordered
+    last_t = ev.time_s;
+    EXPECT_EQ(ev.from, width);  // the log is a connected trajectory
+    // Resizes step by one and stay clamped.
+    EXPECT_EQ(std::max(ev.from, ev.to) - std::min(ev.from, ev.to), 1u);
+    EXPECT_GE(ev.to, 1u);
+    EXPECT_LE(ev.to, 4u);
+    grew |= ev.to > ev.from;
+    shrank |= ev.to < ev.from;
+    width = ev.to;
+  }
+  EXPECT_TRUE(grew) << "burst never grew the pool";
+  EXPECT_TRUE(shrank) << "trickle never shrank the pool";
+  EXPECT_EQ(svc.stats().elastic_grow.load() - svc.stats().elastic_shrink.load(),
+            width - 1);
+  // The trickle tail ends idle: the pool must be back at the minimum.
+  EXPECT_EQ(width, 1u);
+}
+
+TEST(ElasticTest, ResizeScheduleIsPinnedUnderTheVirtualClock) {
+  const auto plan = make_plan();
+  auto capture = make_system(&plan);
+  const auto records = burst_then_trickle(*capture);
+
+  std::vector<std::vector<LocationService::ResizeEvent>> logs;
+  for (int run = 0; run < 2; ++run) {
+    auto sys = make_system(&plan);
+    LocationService svc(sys.get(), elastic_options());
+    svc.run_wire(records);
+    logs.push_back(svc.elastic_log());
+  }
+  ASSERT_EQ(logs[0].size(), logs[1].size());
+  ASSERT_FALSE(logs[0].empty());
+  for (std::size_t i = 0; i < logs[0].size(); ++i) {
+    // Bit-equal times: evals fire at deterministic period boundaries,
+    // not at thread-dependent instants.
+    EXPECT_EQ(logs[0][i].time_s, logs[1][i].time_s);
+    EXPECT_EQ(logs[0][i].from, logs[1][i].from);
+    EXPECT_EQ(logs[0][i].to, logs[1][i].to);
+    // Every eval point is a multiple of the eval period.
+    const double k = logs[0][i].time_s / 0.25;
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+  }
+}
+
+TEST(ElasticTest, FixesAreByteIdenticalElasticityOnVsOff) {
+  const auto plan = make_plan();
+  auto capture = make_system(&plan);
+  const auto records = burst_then_trickle(*capture);
+
+  auto sys_e = make_system(&plan);
+  LocationService elastic(sys_e.get(), elastic_options());
+  const auto rep_elastic = elastic.run_wire(records);
+  ASSERT_FALSE(elastic.elastic_log().empty());  // it really did resize
+
+  for (std::size_t fixed_width : {1u, 4u}) {
+    auto sys_f = make_system(&plan);
+    auto opt = elastic_options();
+    opt.elastic.enabled = false;
+    opt.workers = fixed_width;
+    LocationService fixed(sys_f.get(), opt);
+    const auto rep_fixed = fixed.run_wire(records);
+    expect_identical_fixes(rep_elastic, rep_fixed);
+  }
+}
+
+TEST(ElasticTest, WidthIsClampedToMaxUnderOverload) {
+  const auto plan = make_plan();
+  auto capture = make_system(&plan);
+  const auto records = burst_then_trickle(*capture);
+
+  auto sys = make_system(&plan);
+  auto opt = elastic_options();
+  opt.elastic.max_workers = 2;
+  LocationService svc(sys.get(), opt);
+  svc.run_wire(records);
+  ASSERT_FALSE(svc.elastic_log().empty());
+  for (const auto& ev : svc.elastic_log()) EXPECT_LE(ev.to, 2u);
+  EXPECT_LE(svc.worker_width(), 2u);
+  EXPECT_LE(svc.stats().workers_now.load(), 2u);
+}
+
+TEST(ElasticTest, DisabledElasticityNeverResizes) {
+  const auto plan = make_plan();
+  auto capture = make_system(&plan);
+  const auto records = burst_then_trickle(*capture);
+
+  auto sys = make_system(&plan);
+  auto opt = elastic_options();
+  opt.elastic.enabled = false;
+  opt.workers = 2;
+  LocationService svc(sys.get(), opt);
+  svc.run_wire(records);
+  EXPECT_TRUE(svc.elastic_log().empty());
+  EXPECT_EQ(svc.worker_width(), 2u);
+  EXPECT_EQ(svc.stats().elastic_grow.load(), 0u);
+  EXPECT_EQ(svc.stats().elastic_shrink.load(), 0u);
+}
+
+TEST(ElasticTest, WallModeSpawnsAndRetiresRealWorkers) {
+  // Wall clock: resizes spawn and retire actual threads. Behavior is
+  // timing-dependent, so the assertions are structural — clamped
+  // width, a connected resize trajectory, clean shutdown — not a
+  // pinned schedule. Under the TSan tier this doubles as a race test
+  // on the spawn/retire paths.
+  const auto plan = make_plan();
+  auto capture = make_system(&plan);
+  phy::WireFormat wire;
+  std::vector<Record> records;
+  for (int i = 0; i < 12; ++i)
+    for (int c = 0; c < 4; ++c)
+      for (auto& r : encode_event(*capture, wire, 0.1 + 0.05 * i + 0.011 * c,
+                                  c, client_sites()[std::size_t(c)]))
+        records.push_back(std::move(r));
+
+  auto sys = make_system(&plan);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.virtual_clock = false;
+  opt.latency_slo_s = 10.0;
+  opt.shards = 1;
+  opt.elastic.enabled = true;
+  opt.elastic.min_workers = 1;
+  opt.elastic.max_workers = 3;
+  opt.elastic.eval_period_s = 0.01;  // wall seconds; keep the test quick
+  opt.elastic.grow_depth = 1.0;
+  opt.elastic.hysteresis = 1;
+  LocationService svc(sys.get(), opt);
+  svc.start();
+  svc.ingest_wire(records);
+  svc.flush();
+  const auto fixes = svc.bus().drain_retained();
+  const auto log = svc.elastic_log();
+  svc.stop();
+
+  EXPECT_FALSE(fixes.empty());
+  std::size_t width = 1;
+  for (const auto& ev : log) {
+    EXPECT_EQ(ev.from, width);
+    EXPECT_GE(ev.to, 1u);
+    EXPECT_LE(ev.to, 3u);
+    width = ev.to;
+  }
+  EXPECT_GE(svc.worker_width(), 1u);
+  EXPECT_LE(svc.worker_width(), 3u);
+}
+
+}  // namespace
+}  // namespace arraytrack::service

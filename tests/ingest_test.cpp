@@ -301,7 +301,7 @@ TEST(IngestTest, PerClientFifoWithConcurrentDecodersAndWorkers) {
   svc.start();
   svc.ingest_wire(records);
   svc.flush();
-  const auto fixes = svc.take_fixes();  // emission order
+  const auto fixes = svc.bus().drain_retained();  // emission order
   svc.stop();
   expect_accounted(svc.stats());
 
@@ -369,7 +369,7 @@ TEST(IngestTest, SubmitWireStillGroupsOneCallAsOneArrival) {
   svc.start();
   svc.submit_wire(0.5, records);
   svc.flush();
-  const auto fixes = svc.take_fixes();
+  const auto fixes = svc.bus().drain_retained();
   svc.stop();
 
   ASSERT_EQ(fixes.size(), 1u);

@@ -123,7 +123,7 @@ TEST(ServiceTest, PerClientOrderingUnderManyWorkers) {
   svc.start();
   for (const auto& ev : interleaved_schedule(4, 8, 0.08)) svc.submit(ev);
   svc.flush();
-  const auto fixes = svc.take_fixes();  // emission order
+  const auto fixes = svc.bus().drain_retained();  // emission order
   svc.stop();
 
   ASSERT_GT(fixes.size(), 0u);
@@ -204,7 +204,7 @@ TEST(ServiceTest, WallClockModeServes) {
   svc.start();
   for (const auto& ev : interleaved_schedule(2, 4, 0.05)) svc.submit(ev);
   svc.flush();
-  const auto fixes = svc.take_fixes();
+  const auto fixes = svc.bus().drain_retained();
   svc.stop();
 
   // Submits land back-to-back in real time, so most frames coalesce
@@ -241,7 +241,7 @@ TEST(ServiceTest, WireIngestProducesFix) {
   svc.start();
   svc.submit_wire(0.5, records);
   svc.flush();
-  const auto fixes = svc.take_fixes();
+  const auto fixes = svc.bus().drain_retained();
   svc.stop();
 
   ASSERT_EQ(fixes.size(), 1u);
@@ -274,7 +274,7 @@ TEST(ServiceTest, WireIngestRejectsMalformedRecords) {
   EXPECT_EQ(svc.stats().wire_records_in.load(), 3u);
   EXPECT_EQ(svc.stats().decode_errors.load(), 3u);
   EXPECT_EQ(svc.stats().frames_in.load(), 0u);
-  EXPECT_TRUE(svc.take_fixes().empty());
+  EXPECT_TRUE(svc.bus().drain_retained().empty());
 }
 
 TEST(ServiceTest, StatsJsonSnapshotIsWellFormed) {

@@ -6,6 +6,7 @@
 //   arraytrack_sim --emit-office              # print the office scenario
 //   arraytrack_sim service <scenario.txt|--office> [options]
 //   arraytrack_sim subscribe <scenario.txt|--office> [options]
+//   arraytrack_sim cluster <scenario.txt|--office> [options]
 //
 // Options:
 //   --client <i>        localize only client i (default: all)
@@ -21,6 +22,18 @@
 //   --producers <n>     decoder threads; > 0 replays via the wire-format
 //                       ingest path (encode per AP, run_wire); 0 uses
 //                       the simulation submit path (default 0)
+//   --quiet             stats JSON only
+//
+// `cluster` replays the scenario through a multi-node federation: the
+// front tier shards clients across N virtual-clock backend nodes over
+// authenticated wire-v1 links (src/cluster/), optionally retiring one
+// node mid-run (graceful handoff) or injecting link faults, then dumps
+// the cluster's stats JSON:
+//   --nodes <n>         backend node slots (default 2)
+//   --workers <n>       workers per node (default 2)
+//   --frames <n>        frames per client (default 5)
+//   --leave <slot>      gracefully retire this slot halfway through
+//   --drop <p>          per-frame link drop probability in [0,1]
 //   --quiet             stats JSON only
 //
 // `subscribe` replays the same traffic with a live fix-bus subscriber:
@@ -45,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "phy/wire.h"
 #include "service/service.h"
 #include "testbed/metrics.h"
@@ -63,6 +77,9 @@ void usage() {
                "       arraytrack_sim --emit-office\n"
                "       arraytrack_sim service <scenario.txt|--office> "
                "[--frames n] [--workers n] [--producers n] [--quiet]\n"
+               "       arraytrack_sim cluster <scenario.txt|--office> "
+               "[--nodes n] [--workers n] [--frames n] [--leave slot] "
+               "[--drop p] [--quiet]\n"
                "       arraytrack_sim subscribe <scenario.txt|--office> "
                "[--frames n] [--workers n] [--client i] [--capacity n] "
                "[--zone x0 y0 x1 y1]... [--quiet]\n");
@@ -166,6 +183,136 @@ int service_main(int argc, char** argv) {
   return rep.fixes.empty() ? 1 : 0;
 }
 
+/// `arraytrack_sim cluster`: replay the scenario through the federation
+/// front tier — N backend nodes fed over authenticated links, with an
+/// optional mid-run graceful leave or injected link faults — and dump
+/// the cluster stats JSON the fault tier asserts over.
+int cluster_main(int argc, char** argv) {
+  std::optional<testbed::Scenario> scenario;
+  int frames = 5;
+  std::size_t nodes = 2;
+  std::size_t workers = 2;
+  int leave_slot = -1;
+  double drop = 0.0;
+  bool quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--office") {
+      scenario = testbed::office_scenario();
+    } else if (arg == "--frames") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      frames = std::atoi(v);
+    } else if (arg == "--nodes") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      nodes = std::size_t(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      workers = std::size_t(std::atoi(v));
+    } else if (arg == "--leave") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      leave_slot = std::atoi(v);
+    } else if (arg == "--drop") {
+      const char* v = next();
+      if (!v) return usage(), 1;
+      drop = std::atof(v);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(), 1;
+    } else {
+      testbed::ScenarioParseError err;
+      scenario = testbed::load_scenario(arg, &err);
+      if (!scenario) {
+        std::fprintf(stderr, "%s:%zu: %s\n", arg.c_str(), err.line,
+                     err.message.c_str());
+        return 1;
+      }
+    }
+  }
+  if (!scenario) return usage(), 1;
+  if (scenario->clients.empty()) {
+    std::fprintf(stderr, "scenario has no clients\n");
+    return 1;
+  }
+  if (leave_slot >= 0 &&
+      (std::size_t(leave_slot) >= nodes || nodes < 2)) {
+    std::fprintf(stderr, "--leave needs a slot < --nodes and >= 2 nodes\n");
+    return 1;
+  }
+
+  // Every node builds its own identically configured System (the
+  // cluster's determinism contract); the capture side uses one more.
+  const auto factory = [&scenario] {
+    auto sys =
+        std::make_unique<core::System>(&scenario->plan, scenario->system);
+    for (const auto& site : scenario->ap_sites)
+      sys->add_ap(site.position, site.orientation_rad);
+    return sys;
+  };
+
+  auto capture = factory();
+  phy::WireFormat wire;
+  std::vector<service::LocationService::TimedWireRecord> records;
+  for (int f = 0; f < frames; ++f)
+    for (std::size_t c = 0; c < scenario->clients.size(); ++c) {
+      const double t = 0.1 + 0.1 * f + 0.011 * double(c);
+      capture->transmit(int(c), scenario->clients[c], t);
+      for (std::size_t a = 0; a < capture->num_aps(); ++a)
+        records.push_back(
+            {t, a, wire.encode(capture->ap(int(a)).buffer().newest())});
+    }
+
+  cluster::ClusterOptions copt;
+  copt.nodes = nodes;
+  copt.service.workers = workers;
+  copt.service.virtual_clock = true;  // deterministic replay
+  copt.faults.drop = drop;
+  cluster::Cluster cl(factory, copt);
+
+  // A mid-run leave splits the replay at a capture-event boundary so
+  // the records of one transmit stay in one ingest batch.
+  std::size_t half = 0;
+  if (leave_slot >= 0) {
+    const std::size_t aps = capture->num_aps();
+    half = (records.size() / aps / 2) * aps;
+    cl.ingest({records.begin(), records.begin() + std::ptrdiff_t(half)});
+    cl.flush();
+    cl.node_leave(std::size_t(leave_slot));
+  }
+  const auto rep = cl.run({records.begin() + std::ptrdiff_t(half),
+                           records.end()});
+
+  if (!quiet) {
+    std::printf("cluster: %zu node slots (%zu alive), %zu workers each\n",
+                cl.num_slots(), cl.alive_nodes(), workers);
+    std::printf("fixes: %zu (%.1f /s modeled), %llu deduped\n",
+                rep.fixes.size(), rep.fix_rate_hz(),
+                (unsigned long long)cl.stats().fixes_deduped);
+    std::printf("links: %llu sent, %llu delivered, %llu dropped, "
+                "%llu bad tag\n",
+                (unsigned long long)rep.links.sent,
+                (unsigned long long)rep.links.delivered,
+                (unsigned long long)rep.links.fault_dropped,
+                (unsigned long long)rep.links.auth_bad_tag);
+    if (cl.stats().handoffs_sent > 0)
+      std::printf("handoffs: %llu sent, %llu applied, %llu rejected\n",
+                  (unsigned long long)cl.stats().handoffs_sent,
+                  (unsigned long long)cl.stats().handoffs_applied,
+                  (unsigned long long)cl.stats().handoffs_rejected);
+  }
+  std::printf("%s\n", cl.stats_json().c_str());
+  return rep.fixes.empty() && cl.stats().fixes_out == 0 ? 1 : 0;
+}
+
 void print_event(const delivery::Event& ev) {
   std::printf("[t=%7.3f] %-10s client=%d seq=%llu pos=(%6.2f, %5.2f)",
               ev.fix.frame_time_s, delivery::event_kind_name(ev.kind),
@@ -248,7 +395,7 @@ int subscribe_main(int argc, char** argv) {
   service::ServiceOptions opt;
   opt.workers = workers;
   opt.virtual_clock = true;
-  // All consumers here subscribe; no need for the take_fixes buffer.
+  // All consumers here subscribe; no need for the retained catch-all buffer.
   opt.delivery.retain_fixes = false;
   service::LocationService svc(&sys, opt);
 
@@ -339,6 +486,8 @@ int main(int argc, char** argv) {
     return service_main(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "subscribe") == 0)
     return subscribe_main(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "cluster") == 0)
+    return cluster_main(argc, argv);
 
   std::optional<testbed::Scenario> scenario;
   std::string heatmap_path;

@@ -11,9 +11,11 @@
 #           scalar.
 #   pass 3  ThreadSanitizer build (ARRAYTRACK_SANITIZE=thread) running
 #           only the concurrency-bearing suites — the shared thread
-#           pool, the realtime simulator, and the multi-worker location
-#           service (plus its lock-free histogram) — since TSan slows
-#           everything ~10x and the rest of the tree is single-threaded.
+#           pool, the realtime simulator, the multi-worker location
+#           service (plus its lock-free histogram), the elastic pool's
+#           spawn/retire paths, and the cluster/auth tier — since TSan
+#           slows everything ~10x and the rest of the tree is
+#           single-threaded.
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
 set -euo pipefail
@@ -47,7 +49,7 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 TSAN_OPTIONS=halt_on_error=1 \
   run_pass "${prefix}-tsan" \
            "pass 3: TSan build + concurrency suites" \
-           'ThreadPool|Realtime|Service|StreamingHistogram|MpscRing|Ingest|Batch|Subspace|Delivery|Query|Geofence' \
+           'ThreadPool|Realtime|Service|StreamingHistogram|MpscRing|Ingest|Batch|Subspace|Delivery|Query|Geofence|Cluster|Elastic|Auth' \
            -DARRAYTRACK_SANITIZE=thread
 
 echo "=== all checks passed ==="
