@@ -64,6 +64,23 @@ void BM_SynthesisGridAndHillClimb(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesisGridAndHillClimb)->Unit(benchmark::kMillisecond);
 
+// The same synthesis step with the quantized coarse-to-fine sweep
+// disabled — the all-float baseline the quant speedup is read against
+// (fixes are byte-identical between the two, so only the sweep cost
+// differs).
+void BM_SynthesisFloatSweep(benchmark::State& state) {
+  auto& f = fixture();
+  auto& server = f.runner->system().server();
+  const auto spectra = server.client_spectra(0, 0.1);
+  server.set_quantized_sweep(false);
+  for (auto _ : state) {
+    auto fix = server.locate_from_spectra(spectra);
+    benchmark::DoNotOptimize(fix);
+  }
+  server.set_quantized_sweep(true);
+}
+BENCHMARK(BM_SynthesisFloatSweep)->Unit(benchmark::kMillisecond);
+
 // Full server-side location computation.
 void BM_FullLocate(benchmark::State& state) {
   auto& f = fixture();
@@ -198,6 +215,24 @@ void emit_telemetry(core::System& sys, int reps, const char* mode,
   }
   const double cells_per_sec = double(cells) / seconds(clock::now() - th0);
 
+  // The synthesis sweep with the quantized coarse-to-fine pass on vs
+  // off: same spectra, byte-identical fixes, different sweep cost.
+  auto& server = sys.server();
+  const auto spectra = server.client_spectra(0, 0.1);
+  const bool quant_was = server.quantized_sweep();
+  auto locate_ms = [&](bool quant) {
+    server.set_quantized_sweep(quant);
+    benchmark::DoNotOptimize(server.locate_from_spectra(spectra));
+    const auto t0 = clock::now();
+    const int n = reps * 4;
+    for (int i = 0; i < n; ++i)
+      benchmark::DoNotOptimize(server.locate_from_spectra(spectra));
+    return seconds(clock::now() - t0) * 1e3 / double(n);
+  };
+  const double synthesis_float_ms = locate_ms(false);
+  const double synthesis_quant_ms = locate_ms(true);
+  server.set_quantized_sweep(quant_was);
+
   bench::write_bench_json(
       out_path != nullptr ? out_path : "BENCH_fig21_latency.json",
       std::string("fig21_latency_") + mode,
@@ -209,6 +244,15 @@ void emit_telemetry(core::System& sys, int reps, const char* mode,
        {"evd_tracked", double(evd.evd_tracked.load())},
        {"evd_reseed", double(evd.evd_reseed.load())},
        {"heatmap_cells_per_sec", cells_per_sec},
+       {"synthesis_float_ms", synthesis_float_ms},
+       {"synthesis_quant_ms", synthesis_quant_ms},
+       {"quant_sweep_speedup",
+        synthesis_quant_ms > 0.0 ? synthesis_float_ms / synthesis_quant_ms
+                                 : 0.0},
+       {"quant_pruned", double(server.localizer().quant_pruned())},
+       {"quant_refined", double(server.localizer().quant_refined())},
+       {"steering_table_bytes", double(server.steering_table_bytes())},
+       {"quant_table_bytes", double(server.quant_table_bytes())},
        {"threads", double(core::ThreadPool::shared().size())},
        {"num_aps", double(sys.num_aps())}},
       {{"simd_level", core::simd::name(core::simd::active())},
@@ -224,6 +268,14 @@ void emit_telemetry(core::System& sys, int reps, const char* mode,
       (unsigned long long)evd.evd_reseed.load(), fused_spectra_per_sec,
       cells_per_sec, core::ThreadPool::shared().size(),
       core::simd::name(core::simd::active()));
+  std::printf(
+      "synthesis sweep: float %.3f ms, quant %.3f ms (%.2fx) | pruned %llu / "
+      "refined %llu cells | steering tables %zu B float, %zu B int16\n",
+      synthesis_float_ms, synthesis_quant_ms,
+      synthesis_quant_ms > 0.0 ? synthesis_float_ms / synthesis_quant_ms : 0.0,
+      (unsigned long long)server.localizer().quant_pruned(),
+      (unsigned long long)server.localizer().quant_refined(),
+      server.steering_table_bytes(), server.quant_table_bytes());
 }
 
 // Tiny scenario for the bench_smoke ctest: three APs in a small room,

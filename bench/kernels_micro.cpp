@@ -1,13 +1,17 @@
 // Per-kernel microbenchmark for the SIMD layer: projector matvec,
 // Bartlett quadratic form, covariance accumulation, forward-backward
-// averaging, the heatmap gather+lerp+product, and the batched SoA
-// forms (multi-client heatmap pass, batched spectrum blur), each timed
-// at the scalar level and at the dispatched level, reporting ns/op and
-// the effective memory bandwidth of the streams each kernel touches.
-// Emits BENCH_kernels.json; `--smoke` runs a fast pass that also
+// averaging, the heatmap gather+lerp+product, the batched SoA forms
+// (multi-client heatmap pass, batched spectrum blur), and the int16
+// quantized tier (projector/Bartlett over QuantPlanes, coarse score
+// accumulation), each timed at the scalar level and at the dispatched
+// level, reporting ns/op and the effective memory bandwidth of the
+// streams each kernel touches. Emits BENCH_kernels.json (path
+// overridable with `--out`); `--smoke` runs a fast pass that also
 // cross-checks scalar vs dispatched results (<= 1e-9 relative), pins
-// the batched kernels bitwise against their single-row forms at every
-// level, and is registered as the kernels_smoke ctest.
+// the batched kernels bitwise against their single-row forms, pins
+// the quant kernels bitwise across every level and against the float
+// kernels within the quantization tolerance, and is registered as the
+// kernels_smoke ctest.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -24,6 +28,9 @@
 using namespace arraytrack;
 using core::simd::ForcedLevel;
 using core::simd::Level;
+using linalg::CoarseLogTable;
+using linalg::QuantPlanes;
+using linalg::QuantVectors;
 using linalg::SplitPlanes;
 
 namespace {
@@ -108,6 +115,10 @@ struct Fixture {
   std::vector<double> fir_in;    // interleaved, kSpecBins + kTaps - 1 samples
   std::vector<double> fir_taps;
   std::vector<double> fir_out;
+  QuantPlanes qtable;            // int16 tier of `table`
+  QuantVectors qvec;             // int16 tier of ev_re/ev_im
+  CoarseLogTable coarse;         // round-up log2 pair-max of `power`
+  std::vector<std::int32_t> score;
 
   Fixture() {
     std::mt19937_64 rng(7);
@@ -153,6 +164,10 @@ struct Fixture {
     fir_taps.resize(kTaps);
     for (auto& v : fir_taps) v = 0.5 * (u(rng) + 1.0);
     fir_out.resize(kSpecBins * kBatch);
+    qtable = QuantPlanes::quantize(table);
+    qvec = QuantVectors::quantize(ev_re.data(), ev_im.data(), kNvec, kM);
+    coarse = linalg::coarse_log_table(power.data(), kSpecBins, 0.05);
+    score.assign(kCells, 0);
   }
 };
 
@@ -161,7 +176,7 @@ struct Report {
   Timing t;
 };
 
-int run(bool smoke) {
+int run(bool smoke, const char* out_path) {
   bench::banner("Kernel microbench",
                 "SIMD layer: scalar vs dispatched hot loops");
   Fixture f;
@@ -223,13 +238,43 @@ int run(bool smoke) {
       double(((kSpecBins + kTaps - 1) + kSpecBins) * kBatch *
              sizeof(double)));
 
+  // int16 tier: same sweep shapes over the ~3.5x smaller quantized
+  // tables (2 bytes/plane entry + one float scale per row).
+  const double quant_table_stream =
+      double(2 * kBins * kM * sizeof(std::int16_t) + kBins * sizeof(float) +
+             kBins * sizeof(double));
+  const Timing projector_quant = time_levels(
+      [&] {
+        linalg::kernels::projector_power_quant(f.qtable, f.qvec,
+                                               f.sweep_out.data());
+      },
+      800 * scale, quant_table_stream);
+
+  const Timing bartlett_quant = time_levels(
+      [&] {
+        linalg::kernels::bartlett_power_quant(f.qtable, f.herm.data(),
+                                              f.sweep_out.data());
+      },
+      400 * scale, quant_table_stream);
+
+  const Timing score_accum = time_levels(
+      [&] {
+        linalg::kernels::score_accum(f.coarse.pairmax.data(), f.bin0.data(),
+                                     kCells, f.score.data());
+        std::fill(f.score.begin(), f.score.end(), 0);
+      },
+      40 * scale, double(kCells * 3 * sizeof(std::int32_t)));
+
   const Report reports[] = {{"projector", projector},
                             {"bartlett", bartlett},
                             {"covariance", cov},
                             {"forward_backward", fb},
                             {"heatmap", heatmap},
                             {"heatmap_batch", heatmap_batch},
-                            {"fir_batch", fir_batch}};
+                            {"fir_batch", fir_batch},
+                            {"projector_quant", projector_quant},
+                            {"bartlett_quant", bartlett_quant},
+                            {"score_accum", score_accum}};
   std::printf("dispatched level: %s (hardware max %s)\n\n",
               core::simd::name(core::simd::active()),
               core::simd::name(core::simd::hardware_level()));
@@ -245,8 +290,14 @@ int run(bool smoke) {
     fields.push_back({std::string(rep.key) + "_speedup", rep.t.speedup()});
     fields.push_back({std::string(rep.key) + "_simd_gbs", rep.t.simd_gbs()});
   }
+  const std::size_t float_bytes = 2 * kBins * kM * sizeof(double);
+  fields.push_back({"steering_table_bytes", double(float_bytes)});
+  fields.push_back({"quant_table_bytes", double(f.qtable.bytes())});
+  fields.push_back(
+      {"quant_table_shrink", double(float_bytes) / double(f.qtable.bytes())});
   bench::write_bench_json(
-      "BENCH_kernels.json", "kernels_micro", fields,
+      out_path != nullptr ? out_path : "BENCH_kernels.json", "kernels_micro",
+      fields,
       {{"simd_level", core::simd::name(core::simd::active())},
        {"hardware_level", core::simd::name(core::simd::hardware_level())}});
 
@@ -345,6 +396,72 @@ int run(bool smoke) {
       }
   }
 
+  // Quant tier: bitwise identity across every dispatch level (the
+  // integer cores are exact and the double finalize chains are pinned,
+  // so this is equality, not a tolerance), and agreement with the
+  // float kernels within the int16 quantization error.
+  auto check_quant = [&](const char* what, const std::function<void()>& op,
+                         const double* got, std::size_t n) {
+    std::vector<double> want(n);
+    {
+      ForcedLevel base(Level::kScalar);
+      op();
+      std::copy(got, got + n, want.begin());
+    }
+    for (Level lvl : {Level::kSse2, Level::kAvx2}) {
+      if (core::simd::clamp_to_hardware(lvl) != lvl) continue;
+      ForcedLevel g(lvl);
+      op();
+      if (std::memcmp(got, want.data(), n * sizeof(double))) {
+        std::printf("SMOKE FAIL: %s at %s not bitwise vs scalar\n", what,
+                    core::simd::name(lvl));
+        ++failures;
+      }
+    }
+  };
+  check_quant(
+      "projector_quant",
+      [&] {
+        linalg::kernels::projector_power_quant(f.qtable, f.qvec,
+                                               f.sweep_out.data());
+      },
+      f.sweep_out.data(), kBins);
+  check_quant(
+      "bartlett_quant",
+      [&] {
+        linalg::kernels::bartlett_power_quant(f.qtable, f.herm.data(),
+                                              f.sweep_out.data());
+      },
+      f.sweep_out.data(), kBins);
+  for (Level lvl : {Level::kScalar, Level::kSse2, Level::kAvx2}) {
+    if (core::simd::clamp_to_hardware(lvl) != lvl) continue;
+    ForcedLevel g(lvl);
+    std::vector<std::int32_t> got(kCells, 0);
+    linalg::kernels::score_accum(f.coarse.pairmax.data(), f.bin0.data(),
+                                 kCells, got.data());
+    for (std::size_t c = 0; c < kCells; ++c)
+      if (got[c] != f.coarse.pairmax[std::size_t(f.bin0[c])]) {
+        std::printf("SMOKE FAIL: score_accum at %s wrong at cell %zu\n",
+                    core::simd::name(lvl), c);
+        ++failures;
+        break;
+      }
+  }
+  // Quant vs float: relative error bounded by the int16 grid.
+  std::vector<double> fsweep(kBins), qsweep(kBins);
+  linalg::kernels::projector_power(f.table, f.ev_re.data(), f.ev_im.data(),
+                                   kNvec, fsweep.data());
+  linalg::kernels::projector_power_quant(f.qtable, f.qvec, qsweep.data());
+  double vmax = 0.0, dev = 0.0;
+  for (double v : fsweep) vmax = std::max(vmax, std::abs(v));
+  for (std::size_t i = 0; i < kBins; ++i)
+    dev = std::max(dev, std::abs(qsweep[i] - fsweep[i]));
+  if (dev > 2e-3 * vmax) {
+    std::printf("SMOKE FAIL: projector_quant deviates %.3g (max %.3g)\n", dev,
+                2e-3 * vmax);
+    ++failures;
+  }
+
   if (failures == 0) std::printf("smoke: all levels agree with scalar\n");
   return failures == 0 ? 0 : 1;
 }
@@ -353,7 +470,12 @@ int run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  return run(smoke);
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+  return run(smoke, out_path);
 }

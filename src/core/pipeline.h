@@ -79,6 +79,10 @@ class ApProcessor {
     return music_->subspace_options();
   }
 
+  /// The MUSIC estimator (steering tables live there); used for the
+  /// server's table-footprint accounting and the quant benches.
+  const aoa::MusicEstimator& music() const { return *music_; }
+
   /// Bearing blur + peak normalization — the tail of process(), split
   /// out so the batched server path can run the blur of many sharp
   /// spectra as one structure-of-arrays convolution per AP.

@@ -82,6 +82,16 @@ class ArrayTrackServer {
   /// Toggles the 2.4 suppression step.
   void set_multipath_suppression(bool on) { opt_.multipath_suppression = on; }
 
+  /// Runtime kill switch for the localizer's quantized coarse-to-fine
+  /// sweep (both settings are byte-identical; see LocalizerOptions).
+  void set_quantized_sweep(bool on) { localizer_.set_quantized_sweep(on); }
+  bool quantized_sweep() const { return localizer_.quantized_sweep(); }
+
+  /// Aggregate steering-table footprint across every registered AP's
+  /// MUSIC estimator: float tier and the ~3.5x smaller int16 tier.
+  std::size_t steering_table_bytes() const;
+  std::size_t quant_table_bytes() const;
+
   /// Registers an AP; the front end must outlive the server.
   void register_ap(const phy::AccessPointFrontEnd* ap);
   std::size_t num_aps() const { return aps_.size(); }

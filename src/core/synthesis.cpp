@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <numeric>
 #include <sstream>
 
@@ -49,7 +53,18 @@ std::string Heatmap::to_ascii(std::size_t width) const {
 }
 
 Localizer::Localizer(geom::Rect bounds, LocalizerOptions opt)
-    : bounds_(bounds), opt_(opt) {}
+    : bounds_(bounds), opt_(opt), quant_enabled_(opt.quantized_sweep) {
+  // ARRAYTRACK_QUANT overrides the option either way — same shape as
+  // the ARRAYTRACK_EXACT_EVD / ARRAYTRACK_BATCH escape hatches.
+  if (const char* env = std::getenv("ARRAYTRACK_QUANT")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "false") == 0)
+      quant_enabled_ = false;
+    else if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0 ||
+             std::strcmp(env, "true") == 0)
+      quant_enabled_ = true;
+  }
+}
 
 double Localizer::likelihood(const std::vector<ApSpectrum>& aps,
                              const geom::Vec2& x) const {
@@ -199,21 +214,13 @@ LocationEstimate Localizer::refine(const std::vector<ApSpectrum>& aps,
                       candidates);
 }
 
-LocationEstimate Localizer::refine_cells(const std::vector<ApSpectrum>& aps,
-                                         const Heatmap& shape,
-                                         const double* cells,
-                                         std::size_t stride,
-                                         std::vector<std::size_t> order,
-                                         std::size_t candidates) const {
+std::optional<LocationEstimate> Localizer::refine_cells_inner(
+    const std::vector<ApSpectrum>& aps, const Heatmap& shape,
+    const double* cells, std::size_t stride,
+    const std::vector<std::size_t>& order, std::size_t candidates) const {
   // Top-K grid cells, separated so the starts are not adjacent cells
   // of the same mode; ties break toward the lower cell index to keep
   // start selection deterministic.
-  auto better = [cells, stride](std::size_t i, std::size_t j) {
-    const double vi = cells[i * stride], vj = cells[j * stride];
-    if (vi != vj) return vi > vj;
-    return i < j;
-  };
-
   auto pick_starts = [&](std::size_t limit) {
     std::vector<geom::Vec2> starts;
     for (std::size_t k = 0; k < limit; ++k) {
@@ -229,14 +236,12 @@ LocationEstimate Localizer::refine_cells(const std::vector<ApSpectrum>& aps,
   };
 
   const std::size_t ncells = shape.nx * shape.ny;
-  std::vector<geom::Vec2> starts = pick_starts(order.size());
+  const std::vector<geom::Vec2> starts = pick_starts(order.size());
   if (starts.size() < opt_.hill_climb_starts && candidates < ncells) {
-    // Pathological spacing rejected most candidates; fall back to the
-    // full ordering rather than under-seeding the hill climb.
-    order.resize(ncells);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), better);
-    starts = pick_starts(order.size());
+    // Pathological spacing rejected most candidates; the caller must
+    // rebuild a full-grid ordering (which needs every cell value — the
+    // quantized sweep never computed them, hence the bail-out).
+    return std::nullopt;
   }
 
   std::optional<LocationEstimate> best;
@@ -252,12 +257,231 @@ LocationEstimate Localizer::refine_cells(const std::vector<ApSpectrum>& aps,
         shape.cell_center(cell % shape.nx, cell / shape.nx),
         cells[cell * stride]};
   }
-  return *best;
+  return best;
+}
+
+LocationEstimate Localizer::refine_cells(const std::vector<ApSpectrum>& aps,
+                                         const Heatmap& shape,
+                                         const double* cells,
+                                         std::size_t stride,
+                                         std::vector<std::size_t> order,
+                                         std::size_t candidates) const {
+  if (auto e = refine_cells_inner(aps, shape, cells, stride, order, candidates))
+    return *e;
+  // Pathological spacing rejected most candidates; fall back to the
+  // full ordering rather than under-seeding the hill climb.
+  auto better = [cells, stride](std::size_t i, std::size_t j) {
+    const double vi = cells[i * stride], vj = cells[j * stride];
+    if (vi != vj) return vi > vj;
+    return i < j;
+  };
+  const std::size_t ncells = shape.nx * shape.ny;
+  order.resize(ncells);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), better);
+  return *refine_cells_inner(aps, shape, cells, stride, order, ncells);
+}
+
+std::optional<LocationEstimate> Localizer::locate_quant_row(
+    const std::vector<ApSpectrum>& aps,
+    const std::vector<const BearingLut*>& luts, const Heatmap& shape,
+    std::size_t candidates) const {
+  const std::size_t ncells = shape.nx * shape.ny;
+  // The coarse pass works in log2 space, so it needs a positive floor
+  // clamp; the default (0.05) qualifies, a zero/negative floor does not.
+  if (opt_.floor <= 0.0 || candidates >= ncells) return std::nullopt;
+
+  // Per-AP round-up log2 pair-max tables; empty spectra contribute a
+  // constant factor per cell, folded into the threshold instead of
+  // being added to every score.
+  const double empty_v = std::max(0.0, opt_.floor);
+  std::int64_t base = 0;
+  std::vector<linalg::CoarseLogTable> tables(aps.size());
+  for (std::size_t k = 0; k < aps.size(); ++k) {
+    if (!luts[k]) {
+      base += std::int64_t(std::ceil(
+          std::log2(empty_v) *
+          double(1 << linalg::CoarseLogTable::kFracBits)));
+      continue;
+    }
+    tables[k] = linalg::coarse_log_table(aps[k].spectrum.values().data(),
+                                         aps[k].spectrum.bins(), opt_.floor);
+  }
+
+  // Integer upper-bound scores over the full grid: one 4-byte gather +
+  // add per (cell, AP) against the float path's two 8-byte gathers, a
+  // lerp, and a multiply. Disjoint row chunks on the shared pool;
+  // integer adds make chunking trivially result-free.
+  std::vector<std::int32_t> score(ncells, 0);
+  ThreadPool::shared().parallel_ranges(
+      shape.ny, opt_.threads, [&](std::size_t y0, std::size_t y1) {
+        const std::size_t c0 = y0 * shape.nx;
+        const std::size_t count = (y1 - y0) * shape.nx;
+        for (std::size_t k = 0; k < aps.size(); ++k)
+          if (luts[k])
+            linalg::kernels::score_accum(tables[k].pairmax.data(),
+                                         luts[k]->bin0.data() + c0, count,
+                                         score.data() + c0);
+      });
+
+  // Phase A: exactly evaluate the top-`candidates` cells by coarse
+  // score with the float kernels, compacted (per-cell chains in
+  // gather_lerp_product are position-independent, so these values are
+  // bitwise what the dense sweep would write at those cells). The
+  // selection probes a widening margin below the coarse maximum with
+  // vector count passes until `candidates` cells clear it, bisects the
+  // bracket a few steps to keep the tie set small, then trims by
+  // (score desc, index asc) — exactly the set a full streaming top-K
+  // scan would keep, at a fraction of its cost.
+  const auto thr32 = [](std::int64_t t) {
+    return std::int32_t(std::clamp<std::int64_t>(
+        t, std::numeric_limits<std::int32_t>::min(),
+        std::numeric_limits<std::int32_t>::max()));
+  };
+  const std::int32_t smax = linalg::kernels::score_max(score.data(), ncells);
+  std::int64_t dlo = 0, dhi = 64;
+  while (linalg::kernels::score_count_ge(
+             score.data(), ncells, thr32(std::int64_t(smax) - dhi)) <
+         candidates) {
+    dlo = dhi;
+    dhi *= 2;
+  }
+  for (int step = 0; step < 3 && dhi - dlo > 1; ++step) {
+    const std::int64_t mid = dlo + (dhi - dlo) / 2;
+    if (linalg::kernels::score_count_ge(
+            score.data(), ncells, thr32(std::int64_t(smax) - mid)) >=
+        candidates)
+      dhi = mid;
+    else
+      dlo = mid;
+  }
+  const std::int32_t ta = thr32(std::int64_t(smax) - dhi);
+  const std::size_t cnt_a =
+      linalg::kernels::score_count_ge(score.data(), ncells, ta);
+  // A flat coarse surface (most of the grid within the bracket of the
+  // maximum) cannot prune enough to beat the dense sweep.
+  if (cnt_a > ncells / 2) return std::nullopt;
+  std::vector<std::uint32_t> picked(cnt_a);
+  linalg::kernels::score_collect_ge(score.data(), ncells, ta, picked.data());
+  if (picked.size() > candidates) {
+    std::nth_element(picked.begin(),
+                     picked.begin() + std::ptrdiff_t(candidates), picked.end(),
+                     [&](std::uint32_t i, std::uint32_t j) {
+                       if (score[i] != score[j]) return score[i] > score[j];
+                       return i < j;
+                     });
+    picked.resize(candidates);
+  }
+  std::vector<std::size_t> topm(picked.begin(), picked.end());
+  std::sort(topm.begin(), topm.end());
+
+  // Exact values only exist at evaluated cells; everything else in
+  // this buffer stays uninitialized and is provably never read.
+  std::unique_ptr<double[]> dense(new double[ncells]);
+  std::vector<std::int32_t> b0, b1;
+  std::vector<double> fr, vals;
+  const auto exact_eval = [&](const std::vector<std::size_t>& cells_idx) {
+    const std::size_t n = cells_idx.size();
+    vals.assign(n, 1.0);
+    b0.resize(n);
+    b1.resize(n);
+    fr.resize(n);
+    for (std::size_t k = 0; k < aps.size(); ++k) {
+      if (!luts[k]) {
+        for (auto& x : vals) x *= empty_v;
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = cells_idx[i];
+        b0[i] = luts[k]->bin0[c];
+        b1[i] = luts[k]->bin1[c];
+        fr[i] = luts[k]->frac[c];
+      }
+      linalg::kernels::gather_lerp_product(
+          aps[k].spectrum.values().data(), b0.data(), b1.data(), fr.data(), n,
+          opt_.floor, vals.data());
+    }
+    for (std::size_t i = 0; i < n; ++i) dense[cells_idx[i]] = vals[i];
+  };
+  exact_eval(topm);
+
+  double exact_min = dense[topm[0]];
+  for (std::size_t c : topm) exact_min = std::min(exact_min, dense[c]);
+  // Zero/denormal products would need -inf log thresholds; hand the
+  // row back to the dense path rather than reasoning about them.
+  if (!(exact_min > 0.0) || !std::isfinite(exact_min)) return std::nullopt;
+
+  // Phase B: the K-th largest exact value of the full grid is >= the
+  // minimum of any K exactly-evaluated cells, so every cell the dense
+  // sweep would rank into its top K satisfies
+  //   score[c] + base >= 64 * log2(f_c) >= 64 * log2(exact_min) >= Lq,
+  // with one Q.6 step subtracted to absorb double log2 rounding.
+  // Cells below the threshold are *provably* outside the dense top-K.
+  // (Clamping thr into int32 only ever widens the survivor set.)
+  const std::int64_t lq =
+      std::int64_t(std::ceil(
+          std::log2(exact_min) *
+          double(1 << linalg::CoarseLogTable::kFracBits))) -
+      1;
+  const std::int32_t tb = thr32(lq - base);
+  const std::size_t cnt_b =
+      linalg::kernels::score_count_ge(score.data(), ncells, tb);
+  // Weak pruning (flat likelihoods): the dense sweep is cheaper than
+  // compacted evaluation of most of the grid.
+  if (cnt_b > ncells / 2) return std::nullopt;
+  std::vector<std::uint32_t> above(cnt_b);
+  linalg::kernels::score_collect_ge(score.data(), ncells, tb, above.data());
+  std::vector<std::size_t> extra;
+  extra.reserve(above.size());
+  for (std::uint32_t c : above)
+    if (!std::binary_search(topm.begin(), topm.end(), std::size_t(c)))
+      extra.push_back(c);
+  const std::size_t survivors = topm.size() + extra.size();
+  if (!extra.empty()) exact_eval(extra);
+
+  // The survivor set contains every dense-top-K cell with bitwise-equal
+  // values, so the streaming top-K over survivors fed in ascending
+  // index order reproduces the dense pass's `order` exactly. topm and
+  // extra are each ascending and disjoint, so a merge stays ascending.
+  std::vector<std::size_t> surv(survivors);
+  std::merge(topm.begin(), topm.end(), extra.begin(), extra.end(),
+             surv.begin());
+  std::vector<std::size_t> order;
+  order.reserve(candidates + 1);
+  for (std::size_t c : surv)
+    insert_top_cell(order, c, dense.get(), 1, candidates);
+
+  auto e = refine_cells_inner(aps, shape, dense.get(), 1, order, candidates);
+  if (!e) return std::nullopt;
+  quant_refined_.fetch_add(survivors, std::memory_order_relaxed);
+  quant_pruned_.fetch_add(ncells - survivors, std::memory_order_relaxed);
+  return e;
 }
 
 std::optional<LocationEstimate> Localizer::locate(
     const std::vector<ApSpectrum>& aps) const {
   if (aps.empty()) return std::nullopt;
+  if (quant_enabled_) {
+    Heatmap shape;
+    shape.bounds = bounds_;
+    shape.nx = std::max<std::size_t>(
+        1, std::size_t(bounds_.width() / opt_.grid_step_m));
+    shape.ny = std::max<std::size_t>(
+        1, std::size_t(bounds_.height() / opt_.grid_step_m));
+    const std::size_t candidates = std::min<std::size_t>(
+        shape.nx * shape.ny,
+        std::max<std::size_t>(
+            64, 32 * std::max<std::size_t>(1, opt_.hill_climb_starts)));
+    std::vector<std::shared_ptr<const BearingLut>> owned(aps.size());
+    std::vector<const BearingLut*> luts(aps.size(), nullptr);
+    for (std::size_t k = 0; k < aps.size(); ++k)
+      if (!aps[k].spectrum.empty()) {
+        owned[k] = bearing_lut(aps[k], shape.nx, shape.ny);
+        luts[k] = owned[k].get();
+      }
+    if (auto e = locate_quant_row(aps, luts, shape, candidates)) return e;
+    quant_refined_.fetch_add(shape.nx * shape.ny, std::memory_order_relaxed);
+  }
   const Heatmap map = heatmap(aps);
   return refine(aps, map);
 }
@@ -376,6 +600,44 @@ std::vector<std::optional<LocationEstimate>> Localizer::locate_batch(
       live_idx.push_back(j);
     }
   if (live.empty()) return out;
+
+  if (quant_enabled_) {
+    // Coarse-to-fine per row: the integer pass replaces the dense SoA
+    // float sweep outright, so there is no slab to share — only the
+    // bearing LUTs, which the cache already de-duplicates across rows.
+    // Each row's result is bitwise what locate() produces for it, which
+    // is itself bitwise the dense batch path's (both feed refinement
+    // the same order over the same values).
+    Heatmap shape;
+    shape.bounds = bounds_;
+    shape.nx = std::max<std::size_t>(
+        1, std::size_t(bounds_.width() / opt_.grid_step_m));
+    shape.ny = std::max<std::size_t>(
+        1, std::size_t(bounds_.height() / opt_.grid_step_m));
+    const std::size_t candidates = std::min<std::size_t>(
+        shape.nx * shape.ny,
+        std::max<std::size_t>(
+            64, 32 * std::max<std::size_t>(1, opt_.hill_climb_starts)));
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      const auto& aps = *live[j];
+      std::vector<std::shared_ptr<const BearingLut>> owned(aps.size());
+      std::vector<const BearingLut*> luts(aps.size(), nullptr);
+      for (std::size_t k = 0; k < aps.size(); ++k)
+        if (!aps[k].spectrum.empty()) {
+          owned[k] = bearing_lut(aps[k], shape.nx, shape.ny);
+          luts[k] = owned[k].get();
+        }
+      if (auto e = locate_quant_row(aps, luts, shape, candidates)) {
+        out[live_idx[j]] = e;
+      } else {
+        quant_refined_.fetch_add(shape.nx * shape.ny,
+                                 std::memory_order_relaxed);
+        const Heatmap map = heatmap(aps);
+        out[live_idx[j]] = refine(aps, map);
+      }
+    }
+    return out;
+  }
 
   const BatchSweep sweep = sweep_batch(live);
   Heatmap shape;  // bounds/nx/ny only; refine_cells never reads cells

@@ -4,6 +4,7 @@
 // a 10 cm grid, then refined with hill climbing from the top grid cells.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -43,6 +44,15 @@ struct LocalizerOptions {
   /// pool's full width, 1 = serial. Results are identical for every
   /// value (chunks write disjoint slots).
   std::size_t threads = 0;
+  /// Coarse-to-fine quantized sweep: the grid search first scores every
+  /// cell with an integer upper-bound pass (round-up Q.6 log2 pair-max
+  /// tables, linalg::coarse_log_table + kernels::score_accum), exactly
+  /// evaluates only the cells whose bound clears the top-K threshold
+  /// with the existing float kernels, and feeds refinement the same
+  /// top-K order and bitwise-equal values the dense float sweep would
+  /// produce — fix sets are byte-identical with this on or off. The
+  /// ARRAYTRACK_QUANT env var ("on"/"off") overrides at construction.
+  bool quantized_sweep = true;
 };
 
 struct LocationEstimate {
@@ -100,6 +110,20 @@ class Localizer {
   std::vector<std::optional<LocationEstimate>> locate_batch(
       const std::vector<std::vector<ApSpectrum>>& batch) const;
 
+  /// Kill switch for the quantized coarse-to-fine sweep (overrides the
+  /// option/env chosen at construction); off is bitwise-identical to
+  /// the all-float path by construction, on is too — the switch exists
+  /// for A/B latency measurement and as an escape hatch.
+  void set_quantized_sweep(bool on) { quant_enabled_ = on; }
+  bool quantized_sweep() const { return quant_enabled_; }
+
+  /// Coarse-to-fine accounting: cells skipped by the integer pass vs
+  /// cells exactly evaluated with the float kernels (both cumulative
+  /// across locate/locate_batch calls; a dense fallback row counts all
+  /// its cells as refined).
+  std::uint64_t quant_pruned() const { return quant_pruned_.load(); }
+  std::uint64_t quant_refined() const { return quant_refined_.load(); }
+
  private:
   LocationEstimate hill_climb(const std::vector<ApSpectrum>& aps,
                               geom::Vec2 start) const;
@@ -119,6 +143,15 @@ class Localizer {
                                 std::size_t stride,
                                 std::vector<std::size_t> order,
                                 std::size_t candidates) const;
+
+  /// refine_cells without its dense fallback: returns nullopt when
+  /// start separation rejected too many candidates (the rare case that
+  /// needs a full-grid ordering), so callers that never materialized a
+  /// dense heatmap — the quantized sweep — can rebuild one first.
+  std::optional<LocationEstimate> refine_cells_inner(
+      const std::vector<ApSpectrum>& aps, const Heatmap& shape,
+      const double* cells, std::size_t stride,
+      const std::vector<std::size_t>& order, std::size_t candidates) const;
 
   /// The shared SoA sweep behind heatmap_batch()/locate_batch(): rows
   /// grouped by bearing-LUT signature, each group's likelihood rows
@@ -155,8 +188,24 @@ class Localizer {
                                                 std::size_t nx,
                                                 std::size_t ny) const;
 
+  /// One row of the quantized coarse-to-fine sweep: integer
+  /// upper-bound scores over the full grid, exact float evaluation of
+  /// the surviving cells, then refine_cells_inner on the top-K order —
+  /// which is provably the order the dense float sweep would hand it.
+  /// Returns nullopt when the row must fall back to the dense path
+  /// (degenerate likelihoods, weak pruning, or start under-seeding);
+  /// the caller recomputes that row with the float sweep, so the
+  /// result is byte-identical either way.
+  std::optional<LocationEstimate> locate_quant_row(
+      const std::vector<ApSpectrum>& aps,
+      const std::vector<const BearingLut*>& luts, const Heatmap& shape,
+      std::size_t candidates) const;
+
   geom::Rect bounds_;
   LocalizerOptions opt_;
+  bool quant_enabled_ = true;
+  mutable std::atomic<std::uint64_t> quant_pruned_{0};
+  mutable std::atomic<std::uint64_t> quant_refined_{0};
 
   // x, y, orientation, spectrum bins
   using LutKey = std::tuple<double, double, double, std::size_t>;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "core/thread_pool.h"
@@ -58,6 +59,18 @@ LocationService::LocationService(core::System* system, ServiceOptions opt)
       opt_.batch_max = std::min<std::size_t>(std::size_t(v), 4096);
   }
   stats_.batch_max.store(opt_.batch_max, std::memory_order_relaxed);
+  // Mirror the Localizer ctor's ARRAYTRACK_QUANT parsing so the env
+  // var wins over ServiceOptions at this layer too (the server's
+  // localizer was built before this option could reach it).
+  if (const char* env = std::getenv("ARRAYTRACK_QUANT")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "false") == 0)
+      opt_.quantized_sweep = false;
+    else if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0 ||
+             std::strcmp(env, "true") == 0)
+      opt_.quantized_sweep = true;
+  }
+  system_->server().set_quantized_sweep(opt_.quantized_sweep);
   if (opt_.elastic.enabled) {
     auto& e = opt_.elastic;
     e.min_workers = std::max<std::size_t>(1, e.min_workers);
@@ -194,6 +207,20 @@ std::string LocationService::stats_json() const {
   if (!out.empty() && out.back() == '}') out.pop_back();
   out += ", \"delivery\": ";
   out += bus_.stats_json();
+  // Coarse-to-fine sweep accounting lives on the localizer (shared by
+  // every worker); table footprints on the per-AP estimators.
+  const auto& server = system_->server();
+  out += ", \"quant\": {\"quantized_sweep\": ";
+  out += server.quantized_sweep() ? "true" : "false";
+  out += ", \"quant_pruned\": ";
+  out += std::to_string(server.localizer().quant_pruned());
+  out += ", \"quant_refined\": ";
+  out += std::to_string(server.localizer().quant_refined());
+  out += ", \"steering_table_bytes\": ";
+  out += std::to_string(server.steering_table_bytes());
+  out += ", \"quant_table_bytes\": ";
+  out += std::to_string(server.quant_table_bytes());
+  out += "}";
   out += "}";
   return out;
 }

@@ -164,6 +164,15 @@ struct ServiceOptions {
   /// positive integer, overrides it (recorded in stats().batch_max).
   std::size_t batch_max = 8;
 
+  /// Quantized coarse-to-fine grid sweep in the localizer (see
+  /// LocalizerOptions::quantized_sweep): an integer upper-bound pass
+  /// prunes the grid before the float kernels refine the survivors.
+  /// Fix sets are byte-identical on or off; the ARRAYTRACK_QUANT env
+  /// var ("on"/"off") overrides this at construction, and the
+  /// `"quant"` block of stats_json() reports pruned/refined counts and
+  /// the steering-table footprints (float vs int16 tiers).
+  bool quantized_sweep = true;
+
   /// Elastic worker-pool autoscaling (see ElasticOptions). When
   /// enabled, `workers` is the starting width, clamped into
   /// [elastic.min_workers, elastic.max_workers].

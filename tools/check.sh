@@ -49,7 +49,7 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 TSAN_OPTIONS=halt_on_error=1 \
   run_pass "${prefix}-tsan" \
            "pass 3: TSan build + concurrency suites" \
-           'ThreadPool|Realtime|Service|StreamingHistogram|MpscRing|Ingest|Batch|Subspace|Delivery|Query|Geofence|Cluster|Elastic|Auth' \
+           'ThreadPool|Realtime|Service|StreamingHistogram|MpscRing|Ingest|Batch|Subspace|Delivery|Query|Geofence|Cluster|Elastic|Auth|Quant' \
            -DARRAYTRACK_SANITIZE=thread
 
 echo "=== all checks passed ==="
